@@ -1,0 +1,164 @@
+// Package aed is the public API of the AED configuration synthesizer —
+// a from-scratch Go reproduction of "AED: Incrementally Synthesizing
+// Policy-Compliant and Manageable Configurations" (CoNEXT 2020).
+//
+// AED takes a network's current router configurations, a set of
+// forwarding policies, and a set of management objectives written in a
+// small high-level language, and computes configuration updates that
+// rectify policy violations while maximally satisfying the objectives.
+//
+// Quick start:
+//
+//	net, _ := aed.ParseConfigs(map[string]string{"r1": cfg1, "r2": cfg2})
+//	topo := aed.NewTopology("lab")
+//	// ... describe routers, links and subnets ...
+//	ps, _ := aed.ParsePolicies("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+//	objs, _ := aed.ParseObjectives(`NOMODIFY //Router GROUPBY name`)
+//	res, _ := aed.Synthesize(net, topo, ps, aed.Options{Objectives: objs})
+//	for name, text := range aed.PrintConfigs(res.Updated) { ... }
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the system inventory and paper-experiment index.
+package aed
+
+import (
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/deploy"
+	"github.com/aed-net/aed/internal/encode"
+	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/smt"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Re-exported model types. The internal packages carry the full API;
+// these aliases are the stable public surface.
+type (
+	// Network is a parsed set of router configurations.
+	Network = config.Network
+	// Router is one device's configuration.
+	Router = config.Router
+	// Topology is the physical network graph.
+	Topology = topology.Topology
+	// Policy is one forwarding policy.
+	Policy = policy.Policy
+	// Objective is one management objective.
+	Objective = objective.Objective
+	// Prefix is an IPv4 prefix.
+	Prefix = prefix.Prefix
+	// Result is a synthesis outcome.
+	Result = core.Result
+	// Options configures synthesis.
+	Options = core.Options
+	// Edit is one extracted configuration change.
+	Edit = encode.Edit
+	// Violation is a policy the configurations do not satisfy.
+	Violation = simulate.Violation
+	// DiffStats summarizes configuration changes.
+	DiffStats = config.DiffStats
+)
+
+// Policy kinds.
+const (
+	Reachability   = policy.Reachability
+	Blocking       = policy.Blocking
+	Waypoint       = policy.Waypoint
+	PathPreference = policy.PathPreference
+	Isolation      = policy.Isolation
+	PathLength     = policy.PathLength
+)
+
+// MaxSAT strategies for Options.Strategy.
+const (
+	LinearDescent = smt.LinearDescent
+	BinarySearch  = smt.BinarySearch
+	CoreGuided    = smt.CoreGuided
+)
+
+// Synthesize computes configuration updates for net on topo that
+// satisfy ps and maximally satisfy the objectives in opts.
+func Synthesize(net *Network, topo *Topology, ps []Policy, opts Options) (*Result, error) {
+	if opts.Strategy == 0 && opts.Encode == (encode.Options{}) && !opts.Validate {
+		// Zero-value Options: fill in the paper's defaults while
+		// keeping any objectives the caller set.
+		def := core.DefaultOptions()
+		def.Objectives = opts.Objectives
+		def.MinimizeLines = opts.MinimizeLines
+		def.Monolithic = opts.Monolithic
+		if len(def.Objectives) == 0 {
+			// An incremental synthesizer without objectives should
+			// still prefer staying close to the input.
+			def.MinimizeLines = true
+		}
+		opts = def
+	}
+	return core.Synthesize(net, topo, ps, opts)
+}
+
+// DefaultOptions returns the paper's fully optimized configuration
+// (per-destination parallel solving, pruning, boolean rank metrics,
+// simulator validation).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// ParseConfigs parses router configurations keyed by a label (e.g.
+// file name) and validates cross-references.
+func ParseConfigs(texts map[string]string) (*Network, error) {
+	return config.ParseNetwork(texts)
+}
+
+// ParseConfig parses a single router configuration.
+func ParseConfig(text string) (*Router, error) { return config.Parse(text) }
+
+// PrintConfigs renders every router's canonical configuration text.
+func PrintConfigs(net *Network) map[string]string { return config.PrintNetwork(net) }
+
+// Diff summarizes the structural difference between two snapshots.
+func Diff(before, after *Network) *DiffStats { return config.Diff(before, after) }
+
+// ParsePolicies parses a policy file (one policy per line; see the
+// policy package for the grammar).
+func ParsePolicies(text string) ([]Policy, error) { return policy.Parse(text) }
+
+// ParseObjectives parses an objective file (one objective per line:
+// RESTRICTION xpath [GROUPBY attr] [WEIGHT n]).
+func ParseObjectives(text string) ([]Objective, error) { return objective.Parse(text) }
+
+// NamedObjectives returns a predefined objective set from the library
+// (Table 2 of the paper): preserve-templates, min-devices, min-pfs,
+// avoid-static, min-lines.
+func NamedObjectives(name string) ([]Objective, error) { return objective.Named(name) }
+
+// NewTopology returns an empty topology to populate with AddRouter,
+// AddLink, and AddSubnet.
+func NewTopology(name string) *Topology { return topology.New(name) }
+
+// ParsePrefix parses "a.b.c.d/len".
+func ParsePrefix(s string) (Prefix, error) { return prefix.Parse(s) }
+
+// Check evaluates policies against configurations on a topology using
+// the concrete control-plane simulator, returning all violations.
+func Check(net *Network, topo *Topology, ps []Policy) []Violation {
+	return simulate.New(net, topo).CheckAll(ps)
+}
+
+// InferReachability computes the reachability policies that currently
+// hold between every pair of subnets (the paper's Minesweeper-based
+// policy inference).
+func InferReachability(net *Network, topo *Topology) []Policy {
+	return simulate.New(net, topo).InferReachability()
+}
+
+// DeploymentPlan is an ordered per-device rollout of synthesized
+// edits, checked for transient policy violations.
+type DeploymentPlan = deploy.Plan
+
+// PlanDeployment orders the edits into per-device steps such that,
+// where possible, no intermediate state violates a policy that both
+// the initial and final configurations satisfy (the safe-deployment
+// extension of the paper's §11 future work).
+func PlanDeployment(net *Network, topo *Topology, edits []Edit, ps []Policy) *DeploymentPlan {
+	return deploy.Build(net, topo, edits, ps)
+}

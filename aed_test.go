@@ -1,0 +1,142 @@
+package aed
+
+import (
+	"strings"
+	"testing"
+)
+
+// lab builds a three-router line network through the public API.
+func lab(t *testing.T) (*Network, *Topology) {
+	t.Helper()
+	topo := NewTopology("lab")
+	topo.AddRouter("r0", "edge")
+	topo.AddRouter("r1", "core")
+	topo.AddRouter("r2", "edge")
+	topo.AddLink("r0", "r1")
+	topo.AddLink("r1", "r2")
+	src, _ := ParsePrefix("10.0.0.0/24")
+	dst, _ := ParsePrefix("10.1.0.0/24")
+	topo.AddSubnet("r0", src)
+	topo.AddSubnet("r2", dst)
+
+	texts := map[string]string{
+		"r0": `hostname r0
+interface eth-r1
+router ospf 10
+ network 10.0.0.0/24
+ neighbor r1
+`,
+		"r1": `hostname r1
+interface eth-r0
+interface eth-r2
+router ospf 10
+ neighbor r0
+ neighbor r2
+`,
+		"r2": `hostname r2
+interface eth-r1
+router ospf 10
+ network 10.1.0.0/24
+ neighbor r1
+`,
+	}
+	net, err := ParseConfigs(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, topo
+}
+
+func TestPublicAPISynthesize(t *testing.T) {
+	net, topo := lab(t)
+	ps, err := ParsePolicies("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := NamedObjectives("min-devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Objectives = objs
+	res, err := Synthesize(net, topo, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatal("unsat")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if len(Check(res.Updated, topo, ps)) != 0 {
+		t.Fatal("public Check disagrees")
+	}
+	if d := Diff(net, res.Updated); d.DevicesChanged == 0 {
+		t.Error("expected changes")
+	}
+	printed := PrintConfigs(res.Updated)
+	if len(printed) != 3 {
+		t.Error("expected 3 configs")
+	}
+}
+
+func TestPublicAPIZeroOptions(t *testing.T) {
+	net, topo := lab(t)
+	ps, _ := ParsePolicies("reach 10.0.0.0/24 -> 10.1.0.0/24\n")
+	res, err := Synthesize(net, topo, ps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat || res.Diff.LinesChanged() != 0 {
+		t.Error("zero-options synthesis on a satisfied policy should be a no-op")
+	}
+}
+
+func TestPublicAPIInfer(t *testing.T) {
+	net, topo := lab(t)
+	ps := InferReachability(net, topo)
+	if len(ps) != 2 {
+		t.Fatalf("inferred %d policies, want 2", len(ps))
+	}
+}
+
+func TestPublicAPIObjectives(t *testing.T) {
+	objs, err := ParseObjectives(`NOMODIFY //Router[name="r1"]
+ELIMINATE //StaticRoute GROUPBY prefix
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatal("want 2 objectives")
+	}
+	if !strings.Contains(objs[0].String(), "NOMODIFY") {
+		t.Error("String rendering broken")
+	}
+}
+
+func TestPublicAPIPlanDeployment(t *testing.T) {
+	net, topo := lab(t)
+	ps, _ := ParsePolicies("block 10.0.0.0/24 -> 10.1.0.0/24\nreach 10.1.0.0/24 -> 10.0.0.0/24\n")
+	opts := DefaultOptions()
+	opts.MinimizeLines = true
+	res, err := Synthesize(net, topo, ps, opts)
+	if err != nil || !res.Sat {
+		t.Fatal("synthesis failed")
+	}
+	plan := PlanDeployment(net, topo, res.Edits, ps)
+	if !plan.Safe || len(plan.Steps) == 0 {
+		t.Fatalf("plan: %s", plan)
+	}
+}
+
+func TestPublicAPIParseConfigRoundTrip(t *testing.T) {
+	r, err := ParseConfig("hostname x\nrouter bgp 65000\n network 10.0.0.0/24\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "x" {
+		t.Error("parse failed")
+	}
+}

@@ -1,0 +1,145 @@
+package aed
+
+// One testing.B benchmark per evaluation table/figure (DESIGN.md §4).
+// Each benchmark drives the same workload as the corresponding
+// internal/bench driver at Quick scale and reports the headline metric
+// through b.ReportMetric, so `go test -bench=. -benchmem` regenerates
+// the paper's rows. cmd/aedbench prints the full tables (use
+// `-scale full` for paper-scale sweeps).
+
+import (
+	"io"
+	"testing"
+
+	"github.com/aed-net/aed/internal/bench"
+)
+
+func BenchmarkFig3Survey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig3(io.Discard)
+	}
+}
+
+func BenchmarkFig9ChangeFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.Fig9(io.Discard, bench.Quick)
+		for _, row := range res.DC {
+			if row.Tool == "aed(min-devices)" {
+				b.ReportMetric(row.PctDevices, "aed-%devices")
+			}
+			if row.Tool == "manual" {
+				b.ReportMetric(row.PctDevices, "manual-%devices")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10FilterObjectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig10(io.Discard, bench.Quick)
+		for _, row := range rows {
+			if row.Tool == "aed" {
+				b.ReportMetric(row.TemplateViolationsPct, "aed-%violations")
+			}
+			if row.Tool == "cpr" {
+				b.ReportMetric(row.TemplateViolationsPct, "cpr-%violations")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11aAEDvsCPR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig11a(io.Discard, bench.Quick)
+		if len(rows) > 0 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(float64(last.AED.Milliseconds()), "aed-ms")
+			b.ReportMetric(float64(last.CPR.Milliseconds()), "cpr-ms")
+		}
+	}
+}
+
+func BenchmarkFig11bAEDvsNetComplete(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig11b(io.Discard, bench.Quick)
+		if len(rows) > 0 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.Speedup, "speedup-x")
+		}
+	}
+}
+
+func BenchmarkFig12PolicyScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig12(io.Discard, bench.Quick)
+		if len(rows) > 0 {
+			b.ReportMetric(float64(rows[len(rows)-1].AED.Milliseconds()), "max-ms")
+		}
+	}
+}
+
+func BenchmarkFig13PolicyClasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig13(io.Discard, bench.Quick)
+		for _, row := range rows {
+			if row.Class == "prefer" {
+				b.ReportMetric(float64(row.AED.Milliseconds()), "prefer-ms")
+			}
+		}
+	}
+}
+
+func BenchmarkFig14SplitVsJoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig14(io.Discard, bench.Quick)
+		if len(rows) > 0 {
+			b.ReportMetric(rows[len(rows)-1].Speedup, "speedup-x")
+		}
+	}
+}
+
+func BenchmarkBoolRankEncoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.BoolRank(io.Discard, bench.Quick)
+		if len(rows) > 0 {
+			b.ReportMetric(rows[len(rows)-1].Speedup, "speedup-x")
+		}
+	}
+}
+
+func BenchmarkPruningOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Pruning(io.Discard, bench.Quick)
+		if len(rows) > 0 {
+			b.ReportMetric(rows[len(rows)-1].Speedup, "speedup-x")
+		}
+	}
+}
+
+// BenchmarkMaxSATStrategies compares the exact MaxSAT search
+// strategies on the same workload (all find the same optimum; they
+// differ only in search time — DESIGN.md §5 ablation 5).
+func BenchmarkMaxSATStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.MaxSATStrategies(io.Discard, bench.Quick)
+		for _, row := range rows {
+			b.ReportMetric(float64(row.Time.Milliseconds()), row.Strategy+"-ms")
+		}
+	}
+}
+
+// BenchmarkAblationSketch measures the value of the delta sketch: AED
+// (incremental, rank metrics, pruning) against the NetComplete-style
+// unbiased configuration of the same encoder (DESIGN.md §5 ablation 1).
+func BenchmarkAblationSketch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig11b(io.Discard, bench.Quick)
+		var total float64
+		for _, r := range rows {
+			total += r.Speedup
+		}
+		if len(rows) > 0 {
+			b.ReportMetric(total/float64(len(rows)), "avg-speedup-x")
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Command aed synthesizes policy-compliant, objective-optimal
+// configuration updates for a network.
+//
+// Usage:
+//
+//	aed -configs DIR -topo FILE -policies FILE [-objectives FILE]
+//	    [-objective NAME] [-min-lines] [-monolithic] [-out DIR]
+//
+// The configs directory holds one file per router in the dialect of
+// the config package. The topology file uses a simple line format:
+//
+//	router <name> [role]
+//	link <a> <b>
+//	subnet <router> <prefix>
+//
+// Policies and objectives use their packages' one-per-line grammars.
+// Updated configurations are written to -out (or printed); the change
+// report goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/deploy"
+	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+func main() {
+	var (
+		configDir  = flag.String("configs", "", "directory of router config files (required)")
+		topoFile   = flag.String("topo", "", "topology file (required)")
+		policyFile = flag.String("policies", "", "policy file (required)")
+		objFile    = flag.String("objectives", "", "objective file")
+		objName    = flag.String("objective", "", "predefined objective set (preserve-templates, min-devices, min-pfs, avoid-static)")
+		minLines   = flag.Bool("min-lines", false, "minimize changed lines (per-delta penalty)")
+		monolithic = flag.Bool("monolithic", false, "solve one joint instance instead of per-destination")
+		outDir     = flag.String("out", "", "directory for updated configs (default: print to stdout)")
+		quiet      = flag.Bool("q", false, "only print the change summary")
+		keepReach  = flag.Bool("keep-reachability", false,
+			"infer the currently-holding reachability policies and preserve them (except pairs the new policies contradict)")
+		plan    = flag.Bool("plan", false, "print a transient-safe per-device deployment order")
+		explain = flag.Bool("explain", false, "on unsat, name a minimal conflicting policy subset")
+	)
+	flag.Parse()
+	if *configDir == "" || *topoFile == "" || *policyFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	net, err := loadConfigs(*configDir)
+	check(err)
+	topo, err := loadTopology(*topoFile)
+	check(err)
+	psText, err := os.ReadFile(*policyFile)
+	check(err)
+	ps, err := policy.Parse(string(psText))
+	check(err)
+
+	if *keepReach {
+		blocked := make(map[string]bool)
+		for _, p := range ps {
+			if p.Kind == policy.Blocking || p.Kind == policy.Isolation {
+				blocked[p.Src.String()+">"+p.Dst.String()] = true
+				if p.Kind == policy.Isolation {
+					blocked[p.Dst.String()+">"+p.Src.String()] = true
+				}
+			}
+		}
+		for _, p := range simulate.New(net, topo).InferReachability() {
+			if !blocked[p.Src.String()+">"+p.Dst.String()] {
+				ps = append(ps, p)
+			}
+		}
+	}
+
+	opts := core.DefaultOptions()
+	opts.MinimizeLines = *minLines
+	opts.Monolithic = *monolithic
+	opts.Explain = *explain
+	if *objFile != "" {
+		text, err := os.ReadFile(*objFile)
+		check(err)
+		objs, err := objective.Parse(string(text))
+		check(err)
+		opts.Objectives = append(opts.Objectives, objs...)
+	}
+	if *objName != "" {
+		objs, err := objective.Named(*objName)
+		check(err)
+		opts.Objectives = append(opts.Objectives, objs...)
+	}
+	// An incremental synthesizer should stay close to the input even
+	// when no objectives are specified.
+	if len(opts.Objectives) == 0 && !opts.MinimizeLines {
+		opts.MinimizeLines = true
+	}
+
+	res, err := core.Synthesize(net, topo, ps, opts)
+	check(err)
+	if !res.Sat {
+		fmt.Fprintf(os.Stderr, "aed: unsatisfiable for destinations: %v\n", res.UnsatDestinations)
+		fmt.Fprintln(os.Stderr, "aed: the requested policies conflict or are unimplementable on this network")
+		for dest, conflict := range res.Conflicts {
+			fmt.Fprintf(os.Stderr, "aed: minimal conflict for %s:\n", dest)
+			for _, p := range conflict {
+				fmt.Fprintf(os.Stderr, "  %s\n", p)
+			}
+		}
+		os.Exit(1)
+	}
+
+	core.SortEdits(res.Edits)
+	fmt.Printf("synthesis complete in %v (%d instances, solver time %v)\n",
+		res.Duration.Round(1e6), len(res.Instances), res.SolveTime.Round(1e6))
+	fmt.Printf("devices changed: %d   lines changed: %d (+%d -%d)\n",
+		res.Diff.DevicesChanged, res.Diff.LinesChanged(), res.Diff.LinesAdded, res.Diff.LinesRemoved)
+	if res.ObjectiveViolations > 0 {
+		fmt.Printf("objective violations (weight): %d\n", res.ObjectiveViolations)
+	}
+	for _, e := range res.Edits {
+		fmt.Printf("  %s\n", e)
+	}
+	if len(res.Violations) != 0 {
+		fmt.Fprintln(os.Stderr, "aed: WARNING: simulator found residual violations:")
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "  %v\n", v)
+		}
+		os.Exit(1)
+	}
+	if *plan && len(res.Edits) > 0 {
+		fmt.Println("\ndeployment plan:")
+		fmt.Print(deploy.Build(net, topo, res.Edits, ps).String())
+	}
+
+	if *quiet {
+		return
+	}
+	printed := config.PrintNetwork(res.Updated)
+	if *outDir != "" {
+		check(os.MkdirAll(*outDir, 0o755))
+		for name, text := range printed {
+			check(os.WriteFile(filepath.Join(*outDir, name+".cfg"), []byte(text), 0o644))
+		}
+		fmt.Printf("updated configurations written to %s\n", *outDir)
+		return
+	}
+	for _, name := range res.Updated.RouterNames() {
+		fmt.Printf("\n===== %s =====\n%s", name, printed[name])
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aed:", err)
+		os.Exit(1)
+	}
+}
+
+func loadConfigs(dir string) (*config.Network, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	texts := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		texts[e.Name()] = string(data)
+	}
+	return config.ParseNetwork(texts)
+}
+
+func loadTopology(path string) (*topology.Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return topology.ParseText(filepath.Base(path), string(data))
+}

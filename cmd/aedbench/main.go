@@ -1,0 +1,68 @@
+// Command aedbench regenerates the paper's evaluation tables and
+// figures (§9) on the synthetic stand-in datasets described in
+// DESIGN.md.
+//
+// Usage:
+//
+//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|all
+//	         [-scale quick|full]
+//
+// Each experiment prints the rows/series the corresponding paper
+// figure reports; EXPERIMENTS.md records the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/aed-net/aed/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which figure to regenerate")
+		scaleFlag  = flag.String("scale", "quick", "quick or full")
+	)
+	flag.Parse()
+
+	scale := bench.Quick
+	if *scaleFlag == "full" {
+		scale = bench.Full
+	} else if *scaleFlag != "quick" {
+		fmt.Fprintln(os.Stderr, "aedbench: -scale must be quick or full")
+		os.Exit(2)
+	}
+
+	runners := map[string]func(){
+		"fig3":       func() { bench.Fig3(os.Stdout) },
+		"fig9":       func() { bench.Fig9(os.Stdout, scale) },
+		"fig10":      func() { bench.Fig10(os.Stdout, scale) },
+		"fig11a":     func() { bench.Fig11a(os.Stdout, scale) },
+		"fig11b":     func() { bench.Fig11b(os.Stdout, scale) },
+		"fig12":      func() { bench.Fig12(os.Stdout, scale) },
+		"fig13":      func() { bench.Fig13(os.Stdout, scale) },
+		"fig14":      func() { bench.Fig14(os.Stdout, scale) },
+		"boolopt":    func() { bench.BoolRank(os.Stdout, scale) },
+		"pruning":    func() { bench.Pruning(os.Stdout, scale) },
+		"strategies": func() { bench.MaxSATStrategies(os.Stdout, scale) },
+	}
+	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies"}
+
+	if *experiment == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			start := time.Now()
+			runners[name]()
+			fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
+	run, ok := runners[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "aedbench: unknown experiment %q (want one of %v)\n", *experiment, order)
+		os.Exit(2)
+	}
+	run()
+}

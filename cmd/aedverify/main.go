@@ -1,0 +1,109 @@
+// Command aedverify checks a policy set against router configurations
+// without synthesizing anything — the verification half of the
+// pipeline (the role Minesweeper plays in the paper), exposed as its
+// own tool.
+//
+// Usage:
+//
+//	aedverify -configs DIR -topo FILE [-policies FILE] [-infer]
+//	          [-dot PREFIX]
+//
+// With -policies, each policy is checked and violations are reported
+// (exit status 1 if any). With -infer, the reachability policies that
+// currently hold are printed in the policy language (usable as the
+// base policy set for a later aed run). With -dot, the forwarding tree
+// toward the given destination prefix is printed in Graphviz format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+func main() {
+	var (
+		configDir  = flag.String("configs", "", "directory of router config files (required)")
+		topoFile   = flag.String("topo", "", "topology file (required)")
+		policyFile = flag.String("policies", "", "policy file to verify")
+		infer      = flag.Bool("infer", false, "print the reachability policies that currently hold")
+		dotDst     = flag.String("dot", "", "print the forwarding tree toward this destination prefix as Graphviz")
+	)
+	flag.Parse()
+	if *configDir == "" || *topoFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	net, err := loadConfigs(*configDir)
+	check(err)
+	topoText, err := os.ReadFile(*topoFile)
+	check(err)
+	topo, err := topology.ParseText(filepath.Base(*topoFile), string(topoText))
+	check(err)
+	sim := simulate.New(net, topo)
+
+	ran := false
+	if *infer {
+		ran = true
+		fmt.Print(policy.Format(sim.InferReachability()))
+	}
+	if *dotDst != "" {
+		ran = true
+		p, err := prefix.Parse(*dotDst)
+		check(err)
+		fmt.Print(sim.DOT(p))
+	}
+	if *policyFile != "" {
+		ran = true
+		text, err := os.ReadFile(*policyFile)
+		check(err)
+		ps, err := policy.Parse(string(text))
+		check(err)
+		violations := sim.CheckAll(ps)
+		fmt.Printf("%d policies checked, %d violated\n", len(ps), len(violations))
+		for _, v := range violations {
+			fmt.Printf("  VIOLATED: %v\n", v)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "aedverify: nothing to do (pass -policies, -infer, or -dot)")
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aedverify:", err)
+		os.Exit(1)
+	}
+}
+
+func loadConfigs(dir string) (*config.Network, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	texts := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		texts[e.Name()] = string(data)
+	}
+	return config.ParseNetwork(texts)
+}

@@ -1,0 +1,89 @@
+// Command topogen generates synthetic topologies, configurations, and
+// policy workloads in the formats consumed by cmd/aed — useful for
+// trying AED without real configurations.
+//
+// Usage:
+//
+//	topogen -kind leafspine|fattree|zoo|line|diamond [-n N] [-seed S]
+//	        [-protocol ospf|bgp] [-role-filters] -out DIR
+//
+// The output directory receives configs/<router>.cfg, topology.txt and
+// policies.txt (the network's inferred reachability policies).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+func main() {
+	var (
+		kind        = flag.String("kind", "leafspine", "leafspine, fattree, zoo, line, diamond")
+		n           = flag.Int("n", 4, "size parameter (leaves / arity / routers)")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		proto       = flag.String("protocol", "ospf", "ospf or bgp")
+		roleFilters = flag.Bool("role-filters", false, "install role-template packet filters")
+		outDir      = flag.String("out", "", "output directory (required)")
+	)
+	flag.Parse()
+	if *outDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var topo *topology.Topology
+	switch *kind {
+	case "leafspine":
+		topo = topology.LeafSpine(*n, (*n+2)/3, 1)
+	case "fattree":
+		topo = topology.FatTree(*n)
+	case "zoo":
+		topo = topology.Zoo(*n, *seed)
+	case "line":
+		topo = topology.Line(*n)
+	case "diamond":
+		topo = topology.Diamond()
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	p := config.OSPF
+	if *proto == "bgp" {
+		p = config.BGP
+	} else if *proto != "ospf" {
+		fmt.Fprintln(os.Stderr, "topogen: -protocol must be ospf or bgp")
+		os.Exit(2)
+	}
+	net := configgen.Generate(topo, configgen.Options{
+		Protocol: p, WithRoleFilters: *roleFilters, Seed: *seed,
+	})
+
+	check(os.MkdirAll(filepath.Join(*outDir, "configs"), 0o755))
+	for name, text := range config.PrintNetwork(net) {
+		check(os.WriteFile(filepath.Join(*outDir, "configs", name+".cfg"), []byte(text), 0o644))
+	}
+	check(os.WriteFile(filepath.Join(*outDir, "topology.txt"), []byte(topology.FormatText(topo)), 0o644))
+
+	sim := simulate.New(net, topo)
+	ps := sim.InferReachability()
+	check(os.WriteFile(filepath.Join(*outDir, "policies.txt"), []byte(policy.Format(ps)), 0o644))
+
+	fmt.Printf("generated %s: %d routers, %d links, %d subnets, %d reachability policies -> %s\n",
+		topo.Name, len(topo.Routers), topo.NumLinks(), len(topo.Subnets), len(ps), *outDir)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}

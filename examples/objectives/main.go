@@ -1,0 +1,90 @@
+// Objective-language tour: express custom management objectives with
+// restrictions, XPath selection, GROUPBY, and weights (paper §7.1,
+// Table 2).
+//
+// Scenario: a WAN operator must open reachability to a new service
+// subnet. Two routers ("r2", "r5") have flaky flash storage, so
+// changing them is risky; the operator also bans static routes.
+//
+// Run with: go run ./examples/objectives
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/aed-net/aed"
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+func main() {
+	topo := topology.Zoo(8, 4)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.BGP})
+
+	// Filter all routes to 10.6.0.0/24 at every adjacency, so the new
+	// service subnet is dark today.
+	for _, r := range net.Routers {
+		f := &config.RouteFilter{Name: "dark"}
+		p, _ := aed.ParsePrefix("10.6.0.0/24")
+		f.Rules = append(f.Rules,
+			&config.RouteRule{Permit: false, Prefix: p},
+			&config.RouteRule{Permit: true}) // permit everything else
+		r.RouteFilters = append(r.RouteFilters, f)
+		for _, proc := range r.Processes {
+			for _, adj := range proc.Adjacencies {
+				adj.InFilter = "dark"
+			}
+		}
+	}
+
+	// New requirement: one office must reach the service subnet.
+	ps, err := aed.ParsePolicies("reach 10.0.0.0/24 -> 10.6.0.0/24\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Custom objectives, straight from the language:
+	//   - avoid the two fragile routers, strongly weighted;
+	//   - never introduce static routes;
+	//   - otherwise touch as few devices as possible.
+	objs, err := aed.ParseObjectives(`
+NOMODIFY //Router[name="r2"] WEIGHT 10
+NOMODIFY //Router[name="r5"] WEIGHT 10
+NOMODIFY //StaticRoute[virtual="true"] GROUPBY prefix WEIGHT 5
+NOMODIFY //Router GROUPBY name
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := aed.DefaultOptions()
+	opts.Objectives = objs
+
+	res, err := aed.Synthesize(net, topo, ps, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Sat {
+		log.Fatal("unsat")
+	}
+	fmt.Printf("solved in %v; %d device(s) changed\n",
+		res.Duration.Round(1e6), res.Diff.DevicesChanged)
+	for _, e := range res.Edits {
+		fmt.Println("  edit:", e)
+	}
+	for name, lines := range res.Diff.PerDevice {
+		if name == "r2" || name == "r5" {
+			fmt.Printf("  WARNING: fragile router %s was modified (%d lines)\n", name, lines)
+		}
+	}
+	for _, r := range res.Updated.Routers {
+		if len(r.StaticRoutes) > 0 {
+			fmt.Printf("  WARNING: %s now has static routes\n", r.Name)
+		}
+	}
+	if vs := aed.Check(res.Updated, topo, ps); len(vs) != 0 {
+		log.Fatalf("violations: %v", vs)
+	}
+	fmt.Println("policy verified; fragile routers untouched, no static routes")
+}

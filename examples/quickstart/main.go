@@ -1,0 +1,111 @@
+// Quickstart: synthesize a blocking policy on a three-router network
+// and print the resulting configuration updates.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/aed-net/aed"
+)
+
+func main() {
+	// Physical topology: r0 - r1 - r2, hosts on r0 and r2.
+	topo := aed.NewTopology("quickstart")
+	topo.AddRouter("r0", "edge")
+	topo.AddRouter("r1", "core")
+	topo.AddRouter("r2", "edge")
+	topo.AddLink("r0", "r1")
+	topo.AddLink("r1", "r2")
+	mustSubnet(topo, "r0", "10.0.0.0/24")
+	mustSubnet(topo, "r2", "10.1.0.0/24")
+
+	// Current configurations: plain OSPF everywhere; both subnets can
+	// talk today.
+	net, err := aed.ParseConfigs(map[string]string{
+		"r0": `hostname r0
+interface eth-r1
+router ospf 10
+ network 10.0.0.0/24
+ neighbor r1
+`,
+		"r1": `hostname r1
+interface eth-r0
+interface eth-r2
+router ospf 10
+ neighbor r0
+ neighbor r2
+`,
+		"r2": `hostname r2
+interface eth-r1
+router ospf 10
+ network 10.1.0.0/24
+ neighbor r2-unused
+`,
+	})
+	if err != nil {
+		// The deliberate typo above ("r2-unused") demonstrates config
+		// validation; fix it and continue.
+		log.Printf("validation caught: %v", err)
+		net, err = aed.ParseConfigs(map[string]string{
+			"r0": "hostname r0\ninterface eth-r1\nrouter ospf 10\n network 10.0.0.0/24\n neighbor r1\n",
+			"r1": "hostname r1\ninterface eth-r0\ninterface eth-r2\nrouter ospf 10\n neighbor r0\n neighbor r2\n",
+			"r2": "hostname r2\ninterface eth-r1\nrouter ospf 10\n network 10.1.0.0/24\n neighbor r1\n",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The new requirement: block 10.0.0.0/24 from reaching 10.1.0.0/24
+	// — while keeping the reverse direction working.
+	ps, err := aed.ParsePolicies(`block 10.0.0.0/24 -> 10.1.0.0/24
+reach 10.1.0.0/24 -> 10.0.0.0/24
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Management objective: touch as few devices as possible.
+	objs, err := aed.NamedObjectives("min-devices")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := aed.DefaultOptions()
+	opts.Objectives = objs
+
+	res, err := aed.Synthesize(net, topo, ps, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Sat {
+		log.Fatalf("policies unimplementable for destinations %v", res.UnsatDestinations)
+	}
+
+	fmt.Printf("solved in %v; %d device(s), %d line(s) changed\n",
+		res.Duration.Round(1e6), res.Diff.DevicesChanged, res.Diff.LinesChanged())
+	for _, e := range res.Edits {
+		fmt.Println("  edit:", e)
+	}
+	if vs := aed.Check(res.Updated, topo, ps); len(vs) != 0 {
+		log.Fatalf("simulator found violations: %v", vs)
+	}
+	fmt.Println("independent simulator check: all policies hold")
+
+	fmt.Println("\nupdated configuration of the changed device(s):")
+	for name, text := range aed.PrintConfigs(res.Updated) {
+		if res.Diff.PerDevice[name] > 0 {
+			fmt.Printf("----- %s -----\n%s", name, text)
+		}
+	}
+}
+
+func mustSubnet(topo *aed.Topology, router, p string) {
+	pfx, err := aed.ParsePrefix(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo.AddSubnet(router, pfx)
+}

@@ -1,0 +1,3 @@
+module github.com/aed-net/aed
+
+go 1.22

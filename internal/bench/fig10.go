@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/cpr"
+	"github.com/aed-net/aed/internal/netcomplete"
+	"github.com/aed-net/aed/internal/objective"
+)
+
+// Fig10Row reports one tool on the filter-objective workloads.
+type Fig10Row struct {
+	Tool string
+	// FiltersAdded is the average number of new packet filters
+	// created per network (Fig. 10a, min-pfs objective).
+	FiltersAdded float64
+	// TemplateViolationsPct is the average share of devices whose
+	// role template is violated after the update (Fig. 10b,
+	// preserve-templates objective).
+	TemplateViolationsPct float64
+	Networks              int
+}
+
+// Fig10 reproduces Figure 10: (a) packet filters added under the
+// min-pfs objective, and (b) template violations under the
+// preserve-templates objective, using synthetic blocking policies
+// (which force filter updates, §9.1.1).
+func Fig10(w io.Writer, scale Scale) []Fig10Row {
+	nNets := 4
+	blockingPerNet := 2
+	if scale == Full {
+		nNets = 10
+		blockingPerNet = 4
+	}
+	fleet := DCFleet(nNets+2, 11)[2:] // skip the tiny 2-router nets
+
+	type acc struct {
+		filters, violations float64
+		nf, nv              int
+	}
+	accs := map[string]*acc{}
+	get := func(tool string) *acc {
+		a := accs[tool]
+		if a == nil {
+			a = &acc{}
+			accs[tool] = a
+		}
+		return a
+	}
+	recordFilters := func(tool string, before, after *config.Network) {
+		a := get(tool)
+		a.filters += float64(countPacketFilters(after) - countPacketFilters(before))
+		a.nf++
+	}
+	recordViolations := func(tool string, before, after *config.Network) {
+		a := get(tool)
+		v := config.TemplateViolations(before, after)
+		a.violations += 100 * float64(v) / float64(len(before.Routers))
+		a.nv++
+	}
+
+	for i, dc := range fleet {
+		blocked := BlockingWorkload(dc.Net, dc.Topo, blockingPerNet, int64(i)+31)
+		if len(blocked) == 0 {
+			continue
+		}
+		ps := append(RemainingBase(dc.Base, blocked), blocked...)
+
+		// CPR and NetComplete have no objective notion: one run each,
+		// measured on both axes.
+		if c, err := cpr.Repair(dc.Net, dc.Topo, ps); err == nil && c.Sat {
+			recordFilters("cpr", dc.Net, c.Updated)
+			recordViolations("cpr", dc.Net, c.Updated)
+		}
+		if n, err := netcomplete.Synthesize(dc.Net, dc.Topo, ps); err == nil && n.Sat && len(n.Violations) == 0 {
+			recordFilters("netcomplete", dc.Net, n.Updated)
+			recordViolations("netcomplete", dc.Net, n.Updated)
+		}
+		// AED: one run per objective, as in the paper's per-objective
+		// panels.
+		runWith := func(name string, sink func(before, after *config.Network)) {
+			objs, err := objective.Named(name)
+			if err != nil {
+				return
+			}
+			opts := core.DefaultOptions()
+			opts.Objectives = objs
+			if r, err := core.Synthesize(dc.Net, dc.Topo, ps, opts); err == nil && r.Sat && len(r.Violations) == 0 {
+				sink(dc.Net, r.Updated)
+			}
+		}
+		runWith("min-pfs", func(b, a *config.Network) { recordFilters("aed", b, a) })
+		runWith("preserve-templates", func(b, a *config.Network) { recordViolations("aed", b, a) })
+	}
+
+	var rows []Fig10Row
+	for _, tool := range []string{"aed", "cpr", "netcomplete"} {
+		a := accs[tool]
+		if a == nil || (a.nf == 0 && a.nv == 0) {
+			continue
+		}
+		row := Fig10Row{Tool: tool, Networks: a.nf}
+		if a.nf > 0 {
+			row.FiltersAdded = a.filters / float64(a.nf)
+		}
+		if a.nv > 0 {
+			row.TemplateViolationsPct = a.violations / float64(a.nv)
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Fprintln(w, "Figure 10 — filter objectives (synthetic blocking policies)")
+	fmt.Fprintln(w, " (a) packet filters added (min-pfs)   (b) template violations (preserve-templates)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12s filters +%.1f    violations %5.1f%%   (n=%d)\n",
+			r.Tool, r.FiltersAdded, r.TemplateViolationsPct, r.Networks)
+	}
+	return rows
+}
+
+func countPacketFilters(n *config.Network) int {
+	total := 0
+	for _, r := range n.Routers {
+		total += len(r.PacketFilters)
+	}
+	return total
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/cpr"
+	"github.com/aed-net/aed/internal/netcomplete"
+	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/policy"
+)
+
+// Fig11aRow is one network-size group of the AED-vs-CPR comparison.
+type Fig11aRow struct {
+	SizeGroup string
+	Routers   int
+	AED       time.Duration
+	CPR       time.Duration
+	Networks  int
+}
+
+// Fig11a reproduces Figure 11a: update-computation time for AED vs CPR
+// on the datacenter fleet, grouped by network size. Expected shape:
+// comparable on small networks; the SMT-based AED grows faster with
+// size than CPR's graph search, but not dramatically.
+func Fig11a(w io.Writer, scale Scale) []Fig11aRow {
+	nNets := 8
+	if scale == Full {
+		nNets = 24
+	}
+	fleet := DCFleet(nNets, 123)
+
+	type acc struct {
+		aed, cpr time.Duration
+		routers  int
+		n        int
+	}
+	groups := map[string]*acc{}
+	order := []string{"<=10", "11-17", ">=18"}
+	groupOf := func(n int) string {
+		switch {
+		case n <= 10:
+			return "<=10"
+		case n <= 17:
+			return "11-17"
+		default:
+			return ">=18"
+		}
+	}
+
+	objs, _ := objective.Named("min-devices")
+	for i, dc := range fleet {
+		blocked := BlockingWorkload(dc.Net, dc.Topo, 2, int64(i)+3)
+		if len(blocked) == 0 {
+			continue
+		}
+		ps := append(RemainingBase(dc.Base, blocked), blocked...)
+
+		opts := core.DefaultOptions()
+		opts.Objectives = objs
+		aedRes, err := core.Synthesize(dc.Net, dc.Topo, ps, opts)
+		if err != nil || !aedRes.Sat {
+			continue
+		}
+		cprRes, err := cpr.Repair(dc.Net, dc.Topo, ps)
+		if err != nil {
+			continue
+		}
+		g := groups[groupOf(len(dc.Net.Routers))]
+		if g == nil {
+			g = &acc{}
+			groups[groupOf(len(dc.Net.Routers))] = g
+		}
+		g.aed += aedRes.Duration
+		g.cpr += cprRes.Duration
+		g.routers += len(dc.Net.Routers)
+		g.n++
+	}
+
+	var rows []Fig11aRow
+	fmt.Fprintln(w, "Figure 11a — time to compute updates: AED vs CPR (DC fleet)")
+	for _, key := range order {
+		g := groups[key]
+		if g == nil || g.n == 0 {
+			continue
+		}
+		row := Fig11aRow{
+			SizeGroup: key, Routers: g.routers / g.n,
+			AED: g.aed / time.Duration(g.n), CPR: g.cpr / time.Duration(g.n),
+			Networks: g.n,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  routers %-6s  AED %10v   CPR %10v   (n=%d)\n",
+			key, row.AED.Round(time.Millisecond), row.CPR.Round(time.Millisecond), row.Networks)
+	}
+	return rows
+}
+
+// Fig11bRow is one Zoo size point of the AED-vs-NetComplete comparison.
+type Fig11bRow struct {
+	Routers     int
+	AED         time.Duration
+	NetComplete time.Duration
+	Speedup     float64
+}
+
+// Fig11b reproduces Figure 11b: time for AED vs NetComplete-style
+// synthesis on Zoo networks (8 base + 8 added reachability policies,
+// min-devices objective). Expected shape: AED 10–100x faster; the gap
+// widens with size because NetComplete's clean-slate, wide-integer
+// search space grows much faster.
+func Fig11b(w io.Writer, scale Scale) []Fig11bRow {
+	sizes := []int{10, 16, 24}
+	if scale == Full {
+		sizes = []int{30, 50, 70, 90, 110, 130, 160}
+	}
+	objs, _ := objective.Named("min-devices")
+
+	var rows []Fig11bRow
+	fmt.Fprintln(w, "Figure 11b — time: AED vs NetComplete (Zoo synthetic)")
+	for i, size := range sizes {
+		zw := ZooWorkload(size, 8, 8, int64(i)*17+3)
+		ps := append(append([]policy.Policy{}, zw.Base...), zw.New...)
+
+		opts := core.DefaultOptions()
+		opts.Objectives = objs
+		aedRes, err := core.Synthesize(zw.Net, zw.Topo, ps, opts)
+		if err != nil || !aedRes.Sat {
+			fmt.Fprintf(w, "  n=%-4d AED failed (%v)\n", size, err)
+			continue
+		}
+		ncRes, err := netcomplete.Synthesize(zw.Net, zw.Topo, ps)
+		if err != nil || !ncRes.Sat {
+			fmt.Fprintf(w, "  n=%-4d NetComplete failed\n", size)
+			continue
+		}
+		row := Fig11bRow{
+			Routers: size, AED: aedRes.Duration, NetComplete: ncRes.Duration,
+			Speedup: float64(ncRes.Duration) / float64(aedRes.Duration),
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  n=%-4d AED %10v   NetComplete %10v   speedup %.1fx\n",
+			size, row.AED.Round(time.Millisecond),
+			row.NetComplete.Round(time.Millisecond), row.Speedup)
+	}
+	return rows
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/policy"
+)
+
+// Fig12Row is one (base, added) point of the policy-scaling sweep.
+type Fig12Row struct {
+	BasePolicies  int
+	AddedPolicies int
+	AED           time.Duration
+}
+
+// Fig12 reproduces Figure 12: AED's synthesis time as a function of
+// the number of added policies, for several base-policy set sizes, on
+// one fixed WAN (70 routers in the paper; smaller at Quick scale).
+// Expected shape: linear in added policies, roughly independent of the
+// base count (base policies only thicken per-destination instances
+// they share a destination with).
+func Fig12(w io.Writer, scale Scale) []Fig12Row {
+	size := 16
+	bases := []int{8, 16, 32}
+	addeds := []int{2, 4, 8}
+	if scale == Full {
+		size = 70
+		bases = []int{64, 128, 256}
+		addeds = []int{8, 16, 32, 64}
+	}
+	objs, _ := objective.Named("min-devices")
+
+	var rows []Fig12Row
+	fmt.Fprintln(w, "Figure 12 — AED time vs number of added policies")
+	for bi, base := range bases {
+		for ai, added := range addeds {
+			zw := ZooWorkload(size, base, added, int64(bi*100+ai)+9)
+			ps := append(append([]policy.Policy{}, zw.Base...), zw.New...)
+			opts := core.DefaultOptions()
+			opts.Objectives = objs
+			res, err := core.Synthesize(zw.Net, zw.Topo, ps, opts)
+			if err != nil || !res.Sat {
+				fmt.Fprintf(w, "  base=%-4d added=%-4d failed\n", base, added)
+				continue
+			}
+			row := Fig12Row{BasePolicies: base, AddedPolicies: added, AED: res.Duration}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "  base=%-4d added=%-4d time %10v\n",
+				base, added, row.AED.Round(time.Millisecond))
+		}
+	}
+	return rows
+}

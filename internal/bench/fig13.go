@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/simulate"
+)
+
+// Fig13Row is one (size group, policy class) cell.
+type Fig13Row struct {
+	SizeGroup string
+	Class     string
+	AED       time.Duration
+	Networks  int
+}
+
+// Fig13 reproduces Figure 13: AED's time to add ~5% new policies of a
+// given class (reachability, waypointing, path preference) on the
+// datacenter fleet, by network size. Expected shape: path preference
+// slowest at larger sizes — it doubles the routing-model constraints
+// (a failure environment per preferred transit, §6.2/§9.2).
+func Fig13(w io.Writer, scale Scale) []Fig13Row {
+	nNets := 8
+	if scale == Full {
+		nNets = 24
+	}
+	fleet := DCFleet(nNets, 77)
+	objs, _ := objective.Named("min-devices")
+
+	classes := []string{"reach", "waypoint", "prefer"}
+	type acc struct {
+		d time.Duration
+		n int
+	}
+	cells := map[string]*acc{}
+	groupOf := func(n int) string {
+		if n <= 15 {
+			return "<=15"
+		}
+		return ">15"
+	}
+
+	for i, dc := range fleet {
+		if len(dc.Base) == 0 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(int64(i) + 55))
+		k := len(dc.Base) / 20
+		if k < 1 {
+			k = 1
+		}
+		for _, class := range classes {
+			newPs := makeClassPolicies(dc, class, k, rng)
+			if len(newPs) == 0 {
+				continue
+			}
+			ps := append(append([]policy.Policy{}, dc.Base...), newPs...)
+			opts := core.DefaultOptions()
+			opts.Objectives = objs
+			res, err := core.Synthesize(dc.Net, dc.Topo, ps, opts)
+			if err != nil || !res.Sat {
+				continue
+			}
+			key := groupOf(len(dc.Net.Routers)) + "|" + class
+			c := cells[key]
+			if c == nil {
+				c = &acc{}
+				cells[key] = c
+			}
+			c.d += res.Duration
+			c.n++
+		}
+	}
+
+	var rows []Fig13Row
+	fmt.Fprintln(w, "Figure 13 — AED time by policy class (adding ~5% new policies)")
+	for _, g := range []string{"<=15", ">15"} {
+		for _, class := range classes {
+			c := cells[g+"|"+class]
+			if c == nil || c.n == 0 {
+				continue
+			}
+			row := Fig13Row{SizeGroup: g, Class: class,
+				AED: c.d / time.Duration(c.n), Networks: c.n}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "  routers %-5s %-9s %10v (n=%d)\n",
+				g, class, row.AED.Round(time.Millisecond), row.Networks)
+		}
+	}
+	return rows
+}
+
+// makeClassPolicies builds k new policies of the class on pairs that
+// the network currently serves, turning them into constraints that
+// require actual synthesis work.
+func makeClassPolicies(dc DCNetwork, class string, k int, rng *rand.Rand) []policy.Policy {
+	sim := simulate.New(dc.Net, dc.Topo)
+	base := append([]policy.Policy{}, dc.Base...)
+	rng.Shuffle(len(base), func(i, j int) { base[i], base[j] = base[j], base[i] })
+	var out []policy.Policy
+	for _, p := range base {
+		if len(out) >= k {
+			break
+		}
+		path, st := sim.Path(p.Src, p.Dst)
+		if st != simulate.Delivered || len(path) < 3 {
+			continue
+		}
+		switch class {
+		case "reach":
+			// A reach policy that requires work: block it first? No —
+			// here we measure solve time with the policy as a
+			// constraint; reuse the pair as a plain reach policy.
+			out = append(out, policy.Policy{Kind: policy.Reachability, Src: p.Src, Dst: p.Dst})
+		case "waypoint":
+			// Waypoint through a transit not currently on the path.
+			dstRouter := path[len(path)-1]
+			cur := path[len(path)-2]
+			for _, nb := range dc.Topo.Neighbors(dstRouter) {
+				if nb != cur && nb != path[0] {
+					out = append(out, policy.Policy{Kind: policy.Waypoint,
+						Src: p.Src, Dst: p.Dst, Via: nb})
+					break
+				}
+			}
+		case "prefer":
+			dstRouter := path[len(path)-1]
+			cur := path[len(path)-2]
+			var alt string
+			for _, nb := range dc.Topo.Neighbors(dstRouter) {
+				if nb != cur && nb != path[0] {
+					alt = nb
+					break
+				}
+			}
+			if alt != "" {
+				out = append(out, policy.Policy{Kind: policy.PathPreference,
+					Src: p.Src, Dst: p.Dst, Via: alt, Avoid: cur})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/objective"
+)
+
+// Fig14Row is one network of the parallel-vs-monolithic comparison.
+type Fig14Row struct {
+	Routers      int
+	Parallel     time.Duration
+	Monolithic   time.Duration
+	Speedup      float64
+	ExtraDevices int // optimality loss: devices changed beyond monolithic
+}
+
+// Fig14 reproduces Figure 14: (a) the speedup from solving one MaxSMT
+// instance per destination instead of one joint instance, and (b) the
+// optimality loss — additional devices changed by the per-destination
+// solutions (min-devices objective). Expected shape: large speedups
+// that grow with network size; at most a device or two of loss.
+//
+// Note on substrate (DESIGN.md §2): this machine is single-core, so
+// the measured speedup comes from the problem-splitting effect (many
+// small instances beat one superlinear joint instance), which is the
+// dominant term in the paper's 10–300x as well; the paper adds up to
+// 10x core-level parallelism on top.
+func Fig14(w io.Writer, scale Scale) []Fig14Row {
+	nNets := 5
+	if scale == Full {
+		nNets = 12
+	}
+	fleet := DCFleet(nNets+2, 99)[2:]
+	objs, _ := objective.Named("min-devices")
+
+	var rows []Fig14Row
+	fmt.Fprintln(w, "Figure 14 — per-destination parallel solving vs one joint instance")
+	for i, dc := range fleet {
+		blocked := BlockingWorkload(dc.Net, dc.Topo, 2, int64(i)+19)
+		if len(blocked) == 0 {
+			continue
+		}
+		ps := append(RemainingBase(dc.Base, blocked), blocked...)
+
+		par := core.DefaultOptions()
+		par.Objectives = objs
+		parRes, err := core.Synthesize(dc.Net, dc.Topo, ps, par)
+		if err != nil || !parRes.Sat {
+			continue
+		}
+		mono := core.DefaultOptions()
+		mono.Objectives = objs
+		mono.Monolithic = true
+		monoRes, err := core.Synthesize(dc.Net, dc.Topo, ps, mono)
+		if err != nil || !monoRes.Sat {
+			continue
+		}
+		row := Fig14Row{
+			Routers:      len(dc.Net.Routers),
+			Parallel:     parRes.Duration,
+			Monolithic:   monoRes.Duration,
+			Speedup:      float64(monoRes.Duration) / float64(parRes.Duration),
+			ExtraDevices: parRes.Diff.DevicesChanged - monoRes.Diff.DevicesChanged,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  routers %-3d  split %10v   joint %10v   speedup %6.1fx   extra devices %+d\n",
+			row.Routers, row.Parallel.Round(time.Millisecond),
+			row.Monolithic.Round(time.Millisecond), row.Speedup, row.ExtraDevices)
+	}
+	return rows
+}

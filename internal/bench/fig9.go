@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/cpr"
+	"github.com/aed-net/aed/internal/manual"
+	"github.com/aed-net/aed/internal/netcomplete"
+	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Fig9Row is one tool's average change footprint.
+type Fig9Row struct {
+	Tool            string
+	PctDevices      float64 // average % of devices changed
+	PctLines        float64 // average % of lines changed
+	SolvedNetworks  int
+	SkippedNetworks int
+}
+
+// Fig9Result holds both panels (real-DC stand-in and Zoo synthetic).
+type Fig9Result struct {
+	DC  []Fig9Row
+	Zoo []Fig9Row
+}
+
+// Fig9 reproduces Figure 9: average percentage of devices and lines
+// changed by Manual, CPR, NetComplete, and AED (min-devices /
+// min-lines) when implementing new policies. The DC panel runs Manual,
+// CPR and AED on the datacenter fleet (NetComplete cannot model its
+// packet filters, as in the paper); the Zoo panel runs CPR,
+// NetComplete and AED on restrictive BGP WANs with 8 base + 8 added
+// reachability policies.
+func Fig9(w io.Writer, scale Scale) Fig9Result {
+	res := Fig9Result{}
+
+	// ---- Panel 1: datacenter fleet, blocking workload ----
+	nNets := 6
+	if scale == Full {
+		nNets = 24
+	}
+	fleet := DCFleet(nNets, 42)
+	type acc struct {
+		devices, lines float64
+		n              int
+	}
+	accs := map[string]*acc{}
+	add := func(tool string, d *config.DiffStats, net *config.Network) {
+		a := accs[tool]
+		if a == nil {
+			a = &acc{}
+			accs[tool] = a
+		}
+		total := len(net.Routers)
+		totalLines := config.TotalLines(net)
+		a.devices += 100 * float64(d.DevicesChanged) / float64(total)
+		a.lines += 100 * float64(d.LinesChanged()) / float64(totalLines)
+		a.n++
+	}
+
+	for i, dc := range fleet {
+		if len(dc.Base) == 0 {
+			continue
+		}
+		blocked := BlockingWorkload(dc.Net, dc.Topo, 2, int64(i)+7)
+		ps := append(RemainingBase(dc.Base, blocked), blocked...)
+
+		if m, err := manual.Update(dc.Net, dc.Topo, ps, int64(i)); err == nil && m.Sat {
+			add("manual", m.Diff, dc.Net)
+		}
+		if c, err := cpr.Repair(dc.Net, dc.Topo, ps); err == nil && c.Sat {
+			add("cpr", c.Diff, dc.Net)
+		}
+		runAED(dc.Net, dc.Topo, ps, "min-devices", func(d *config.DiffStats) {
+			add("aed(min-devices)", d, dc.Net)
+		})
+		runAEDMinLines(dc.Net, dc.Topo, ps, func(d *config.DiffStats) {
+			add("aed(min-lines)", d, dc.Net)
+		})
+	}
+	for _, tool := range []string{"manual", "cpr", "aed(min-devices)", "aed(min-lines)"} {
+		if a := accs[tool]; a != nil && a.n > 0 {
+			res.DC = append(res.DC, Fig9Row{
+				Tool: tool, PctDevices: a.devices / float64(a.n),
+				PctLines: a.lines / float64(a.n), SolvedNetworks: a.n,
+			})
+		}
+	}
+
+	// ---- Panel 2: Zoo synthetic, 8 base + 8 added reach policies ----
+	sizes := []int{10, 16}
+	if scale == Full {
+		sizes = []int{30, 50, 70}
+	}
+	zaccs := map[string]*acc{}
+	zadd := func(tool string, d *config.DiffStats, net *config.Network) {
+		a := zaccs[tool]
+		if a == nil {
+			a = &acc{}
+			zaccs[tool] = a
+		}
+		a.devices += 100 * float64(d.DevicesChanged) / float64(len(net.Routers))
+		a.lines += 100 * float64(d.LinesChanged()) / float64(config.TotalLines(net))
+		a.n++
+	}
+	for i, size := range sizes {
+		zw := ZooWorkload(size, 8, 8, int64(i)*13+5)
+		ps := append(append([]policy.Policy{}, zw.Base...), zw.New...)
+		if c, err := cpr.Repair(zw.Net, zw.Topo, ps); err == nil && c.Sat {
+			zadd("cpr", c.Diff, zw.Net)
+		}
+		if n, err := netcomplete.Synthesize(zw.Net, zw.Topo, ps); err == nil && n.Sat && len(n.Violations) == 0 {
+			zadd("netcomplete", n.Diff, zw.Net)
+		}
+		runAED(zw.Net, zw.Topo, ps, "min-devices", func(d *config.DiffStats) {
+			zadd("aed(min-devices)", d, zw.Net)
+		})
+		runAEDMinLines(zw.Net, zw.Topo, ps, func(d *config.DiffStats) {
+			zadd("aed(min-lines)", d, zw.Net)
+		})
+	}
+	for _, tool := range []string{"cpr", "netcomplete", "aed(min-devices)", "aed(min-lines)"} {
+		if a := zaccs[tool]; a != nil && a.n > 0 {
+			res.Zoo = append(res.Zoo, Fig9Row{
+				Tool: tool, PctDevices: a.devices / float64(a.n),
+				PctLines: a.lines / float64(a.n), SolvedNetworks: a.n,
+			})
+		}
+	}
+
+	fmt.Fprintln(w, "Figure 9 — average % devices / % lines changed")
+	fmt.Fprintln(w, " datacenter fleet (real-DC stand-in):")
+	for _, r := range res.DC {
+		fmt.Fprintf(w, "  %-18s devices %6.1f%%   lines %6.1f%%   (n=%d)\n",
+			r.Tool, r.PctDevices, r.PctLines, r.SolvedNetworks)
+	}
+	fmt.Fprintln(w, " topology-zoo synthetic (8 base + 8 added reach):")
+	for _, r := range res.Zoo {
+		fmt.Fprintf(w, "  %-18s devices %6.1f%%   lines %6.1f%%   (n=%d)\n",
+			r.Tool, r.PctDevices, r.PctLines, r.SolvedNetworks)
+	}
+	return res
+}
+
+// runAED runs AED with a named library objective.
+func runAED(net *config.Network, topo *topology.Topology, ps []policy.Policy,
+	objectiveName string, sink func(*config.DiffStats)) {
+	objs, err := objective.Named(objectiveName)
+	if err != nil {
+		return
+	}
+	opts := core.DefaultOptions()
+	opts.Objectives = objs
+	res, err := core.Synthesize(net, topo, ps, opts)
+	if err == nil && res.Sat && len(res.Violations) == 0 {
+		sink(res.Diff)
+	}
+}
+
+// runAEDMinLines runs AED with the exact min-lines objective.
+func runAEDMinLines(net *config.Network, topo *topology.Topology, ps []policy.Policy,
+	sink func(*config.DiffStats)) {
+	opts := core.MinLinesOptions(core.DefaultOptions())
+	res, err := core.Synthesize(net, topo, ps, opts)
+	if err == nil && res.Sat && len(res.Violations) == 0 {
+		sink(res.Diff)
+	}
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// BoolRankRow compares the boolean rank encoding against wide integer
+// domains for route preferences.
+type BoolRankRow struct {
+	Policies int
+	Rank     time.Duration
+	Wide     time.Duration
+	Speedup  float64
+}
+
+// BoolRank reproduces the §9.3 "Using boolean variables" experiment:
+// path-preference policies on the paper's Figure-1 topology that can
+// only be satisfied by changing local preferences (the configurations
+// pre-assign the higher preference to the *wrong* transit). The rank
+// encoding limits preference values to (2n+1) choices; the wide
+// variant searches a 0..255 domain. Expected shape: rank wins by
+// several-fold (3–10x in the paper).
+func BoolRank(w io.Writer, scale Scale) []BoolRankRow {
+	counts := []int{1, 2}
+	if scale == Full {
+		counts = []int{1, 2, 4}
+	}
+	var rows []BoolRankRow
+	fmt.Fprintln(w, "§9.3 — boolean rank encoding vs wide integer preferences")
+	for _, k := range counts {
+		net, topo, ps := lpWorkload(k)
+
+		run := func(wide bool) (time.Duration, bool) {
+			opts := core.DefaultOptions()
+			opts.Encode.WideIntegers = wide
+			objs, _ := objective.Named("min-devices")
+			opts.Objectives = objs
+			res, err := core.Synthesize(net, topo, ps, opts)
+			if err != nil || !res.Sat || len(res.Violations) != 0 {
+				return 0, false
+			}
+			return res.Duration, true
+		}
+		rankT, ok1 := run(false)
+		wideT, ok2 := run(true)
+		if !ok1 || !ok2 {
+			fmt.Fprintf(w, "  policies=%d failed (rank ok=%v wide ok=%v)\n", k, ok1, ok2)
+			continue
+		}
+		row := BoolRankRow{Policies: k, Rank: rankT, Wide: wideT,
+			Speedup: float64(wideT) / float64(rankT)}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  policies=%d  rank %10v   wide %10v   speedup %.1fx\n",
+			k, rankT.Round(time.Millisecond), wideT.Round(time.Millisecond), row.Speedup)
+	}
+	return rows
+}
+
+// lpWorkload builds the Figure-1 diamond running BGP, with an
+// in-filter on the destination-adjacent router assigning the higher
+// local preference to transit B, plus path-preference policies that
+// demand transit C — satisfiable only by re-ranking preferences.
+func lpWorkload(k int) (*config.Network, *topology.Topology, []policy.Policy) {
+	topo := topology.Diamond()
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.BGP})
+	// D prefers routes from B (lp 200): policies will demand C.
+	d := net.Routers["D"]
+	d.RouteFilters = append(d.RouteFilters, &config.RouteFilter{
+		Name: "prefb",
+		Rules: []*config.RouteRule{
+			{Permit: true, Prefix: prefix.Prefix{}, LocalPref: 200},
+		},
+	})
+	d.Processes[0].Adjacency("B").InFilter = "prefb"
+
+	// Traffic from D-side subnets toward A's subnet must prefer C.
+	srcs := []prefix.Prefix{
+		prefix.MustParse("3.0.0.0/16"),
+		prefix.MustParse("4.0.0.0/16"),
+	}
+	var ps []policy.Policy
+	for i := 0; i < k && i < len(srcs); i++ {
+		ps = append(ps, policy.Policy{
+			Kind: policy.PathPreference,
+			Src:  srcs[i], Dst: prefix.MustParse("1.0.0.0/16"),
+			Via: "C", Avoid: "B",
+		})
+	}
+	return net, topo, ps
+}
+
+// PruningRow compares synthesis time with and without static pruning.
+type PruningRow struct {
+	Routers  int
+	Pruned   time.Duration
+	Unpruned time.Duration
+	Speedup  float64
+}
+
+// Pruning reproduces the §9.3 "Pruning configuration" experiment on
+// the datacenter fleet: dropping policy-irrelevant filter conditionals
+// (and their delta variables) from the encoding. Expected shape: a
+// modest but consistent win (1.2–1.5x in the paper).
+func Pruning(w io.Writer, scale Scale) []PruningRow {
+	nNets := 4
+	if scale == Full {
+		nNets = 10
+	}
+	fleet := DCFleet(nNets+3, 31)[3:]
+	objs, _ := objective.Named("min-devices")
+
+	var rows []PruningRow
+	fmt.Fprintln(w, "§9.3 — static pruning of irrelevant configuration")
+	for i, dc := range fleet {
+		// Extra irrelevant filter rules make pruning matter, emulating
+		// production configs where most rules are unrelated to any
+		// one policy.
+		net := dc.Net.Clone()
+		addIrrelevantRules(net, 12)
+
+		blocked := BlockingWorkload(net, dc.Topo, 2, int64(i)+41)
+		if len(blocked) == 0 {
+			continue
+		}
+		sim := RemainingBase(dc.Base, blocked)
+		ps := append(sim, blocked...)
+
+		run := func(prune bool) (time.Duration, bool) {
+			opts := core.DefaultOptions()
+			opts.Encode.Prune = prune
+			opts.Objectives = objs
+			res, err := core.Synthesize(net, dc.Topo, ps, opts)
+			if err != nil || !res.Sat || len(res.Violations) != 0 {
+				return 0, false
+			}
+			return res.Duration, true
+		}
+		prunedT, ok1 := run(true)
+		unprunedT, ok2 := run(false)
+		if !ok1 || !ok2 {
+			continue
+		}
+		row := PruningRow{Routers: len(net.Routers), Pruned: prunedT,
+			Unpruned: unprunedT, Speedup: float64(unprunedT) / float64(prunedT)}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "  routers %-3d  pruned %10v   unpruned %10v   speedup %.2fx\n",
+			row.Routers, prunedT.Round(time.Millisecond),
+			unprunedT.Round(time.Millisecond), row.Speedup)
+	}
+	return rows
+}
+
+// addIrrelevantRules prepends k deny rules for unused address space to
+// every existing packet filter.
+func addIrrelevantRules(net *config.Network, k int) {
+	for _, r := range net.Routers {
+		for _, f := range r.PacketFilters {
+			var extra []*config.PacketRule
+			for i := 0; i < k; i++ {
+				extra = append(extra, &config.PacketRule{
+					Permit: false,
+					Src:    prefix.Prefix{Addr: uint32(203<<24 | i<<16), Len: 24},
+					Dst:    prefix.Prefix{Addr: uint32(198<<24 | i<<16), Len: 24},
+				})
+			}
+			f.Rules = append(extra, f.Rules...)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// The operator-study numbers of the paper's §3.1 / Figure 3. These
+// are human-subject data (58 operators across interviews and a NANOG/
+// EDUCAUSE survey) and cannot be re-collected by an experiment; we
+// record the published aggregates as a dataset so the figure's rows
+// can be regenerated for reports (see DESIGN.md §2).
+
+// SurveyAutomation is Figure 3a: what share of operators employ each
+// kind of automation when changing configurations.
+var SurveyAutomation = []struct {
+	Practice string
+	Percent  int
+}{
+	{"generate changes from templates", 66},
+	{"deploy changes to routers automatically", 66},
+	{"synthesize changes from high-level specifications", 33},
+}
+
+// SurveyFactors is Figure 3b: the share of operators rating each
+// factor moderately-or-very important for at least one change type,
+// and the share rating it very important where the paper reports it.
+var SurveyFactors = []struct {
+	Factor        string
+	ModeratePlus  int // percent rating moderately or very important
+	VeryImportant int // percent rating very important (-1 = unreported)
+}{
+	{"configuration similarity across devices with similar roles", 97, 90},
+	{"number of devices changed", 89, 38},
+	{"avoiding changes on specific (fragile) routers", 84, 30},
+	{"avoiding certain protocols/features", 92, 61},
+	{"making debugging easier", 95, -1},
+	{"minimizing deployment downtime", 91, -1},
+	{"making future changes easier", 88, -1},
+}
+
+// SurveyNetworkTypes records the §3.1 respondent demographics.
+var SurveyNetworkTypes = []struct {
+	Type    string
+	Percent int
+}{
+	{"enterprise", 41},
+	{"data center", 50},
+	{"service provider", 54},
+	{"research & education", 17},
+}
+
+// Fig3 renders the survey tables.
+func Fig3(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3a — automation usage (share of operators)")
+	for _, row := range SurveyAutomation {
+		fmt.Fprintf(w, "  %-52s %3d%%\n", row.Practice, row.Percent)
+	}
+	fmt.Fprintln(w, "\nFigure 3b — importance of factors beyond policy compliance")
+	for _, row := range SurveyFactors {
+		if row.VeryImportant >= 0 {
+			fmt.Fprintf(w, "  %-52s %3d%% (very: %d%%)\n", row.Factor, row.ModeratePlus, row.VeryImportant)
+		} else {
+			fmt.Fprintf(w, "  %-52s %3d%%\n", row.Factor, row.ModeratePlus)
+		}
+	}
+	fmt.Fprintln(w, "\nRespondent network types")
+	for _, row := range SurveyNetworkTypes {
+		fmt.Fprintf(w, "  %-52s %3d%%\n", row.Type, row.Percent)
+	}
+	fmt.Fprintln(w, "\n(Published aggregates; human-subject data is not re-collectable.)")
+}

@@ -1,0 +1,190 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§9) on the synthetic stand-ins described in DESIGN.md:
+// a fleet of leaf–spine "datacenter" networks replaces the 24
+// proprietary snapshots, and Zoo-like WANs with restrictive BGP
+// configurations replace the NetComplete-generated Topology Zoo
+// dataset. Each figure has one driver that prints the same rows or
+// series the paper reports.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Scale selects experiment sizes: Quick for CI/bench_test.go, Full for
+// the paper-scale parameter sweeps.
+type Scale int
+
+// Experiment scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// DCNetwork is one datacenter-fleet member with its base policy set.
+type DCNetwork struct {
+	Topo *topology.Topology
+	Net  *config.Network
+	Base []policy.Policy // inferred reachability policies (the paper's
+	// Minesweeper-derived policy sets)
+}
+
+// DCFleet builds the datacenter stand-in fleet: n leaf–spine networks
+// between 2 and 24 routers with role-templated filters, each with its
+// inferred base reachability policies.
+func DCFleet(n int, seed int64) []DCNetwork {
+	topos := configgen.DatacenterFleet(n, seed)
+	out := make([]DCNetwork, 0, n)
+	for _, topo := range topos {
+		net := configgen.Generate(topo, configgen.Options{
+			Protocol: config.OSPF, WithRoleFilters: true, Seed: seed,
+		})
+		sim := simulate.New(net, topo)
+		out = append(out, DCNetwork{Topo: topo, Net: net, Base: sim.InferReachability()})
+	}
+	return out
+}
+
+// ZooNetwork is one WAN with restrictive BGP configs supporting
+// exactly its base policies.
+type ZooNetwork struct {
+	Topo *topology.Topology
+	Net  *config.Network
+	Base []policy.Policy // the reachability policies the configs support
+	New  []policy.Policy // additional policies to synthesize
+}
+
+// ZooWorkload builds a Zoo-like network of the given size whose BGP
+// configurations support exactly `base` randomly chosen reachability
+// policies (via per-adjacency route filters that only permit the base
+// destinations), plus `added` new reachability policies to implement.
+// This mirrors the paper's protocol: synthesize for 8 policies, then
+// add 8 more (§9.1).
+func ZooWorkload(size, base, added int, seed int64) ZooNetwork {
+	topo := topology.Zoo(size, seed)
+	rng := rand.New(rand.NewSource(seed + 1000))
+
+	subnets := make([]prefix.Prefix, len(topo.Subnets))
+	for i, s := range topo.Subnets {
+		subnets[i] = s.Prefix
+	}
+
+	pickPolicies := func(k int, avoid map[string]bool) []policy.Policy {
+		var out []policy.Policy
+		guard := 0
+		for len(out) < k && guard < 100*k {
+			guard++
+			src := subnets[rng.Intn(len(subnets))]
+			dst := subnets[rng.Intn(len(subnets))]
+			if src.Equal(dst) {
+				continue
+			}
+			key := src.String() + ">" + dst.String()
+			if avoid[key] {
+				continue
+			}
+			avoid[key] = true
+			out = append(out, policy.Policy{Kind: policy.Reachability, Src: src, Dst: dst})
+		}
+		return out
+	}
+
+	seen := make(map[string]bool)
+	basePs := pickPolicies(base, seen)
+	newPs := pickPolicies(added, seen)
+
+	net := restrictiveBGP(topo, basePs)
+	return ZooNetwork{Topo: topo, Net: net, Base: basePs, New: newPs}
+}
+
+// restrictiveBGP builds BGP configurations where every adjacency's
+// inbound filter permits only the base policies' destination prefixes,
+// so exactly those destinations are routable network-wide (the
+// NetComplete-generated-dataset stand-in).
+func restrictiveBGP(topo *topology.Topology, base []policy.Policy) *config.Network {
+	allowed := map[prefix.Prefix]bool{}
+	for _, p := range base {
+		allowed[p.Dst.Canonical()] = true
+	}
+	var allowedList []prefix.Prefix
+	for p := range allowed {
+		allowedList = append(allowedList, p)
+	}
+	prefix.Sort(allowedList)
+
+	net := config.NewNetwork()
+	for _, name := range topo.Routers {
+		r := &config.Router{Name: name}
+		proc := &config.Process{Protocol: config.BGP, ID: 65000}
+		r.Processes = append(r.Processes, proc)
+
+		filter := &config.RouteFilter{Name: "base_in"}
+		for _, p := range allowedList {
+			filter.Rules = append(filter.Rules, &config.RouteRule{Permit: true, Prefix: p})
+		}
+		// Deny all other host prefixes (10.0.0.0/7 covers the 10.x
+		// and 11.x subnet allocator range); everything else permits
+		// by default.
+		filter.Rules = append(filter.Rules, &config.RouteRule{
+			Permit: false, Prefix: prefix.MustParse("10.0.0.0/7")})
+		r.RouteFilters = append(r.RouteFilters, filter)
+
+		for _, nb := range topo.Neighbors(name) {
+			r.Interfaces = append(r.Interfaces, &config.Interface{Name: "eth-" + nb})
+			proc.Adjacencies = append(proc.Adjacencies, &config.Adjacency{
+				Peer: nb, InFilter: "base_in"})
+		}
+		for i, sn := range topo.SubnetsOf(name) {
+			r.Interfaces = append(r.Interfaces, &config.Interface{
+				Name: fmt.Sprintf("host%d", i)})
+			proc.Originations = append(proc.Originations, &config.Origination{Prefix: sn})
+		}
+		net.Routers[name] = r
+	}
+	return net
+}
+
+// BlockingWorkload picks k blocking policies among currently reachable
+// pairs of a network (used by the min-pfs and template experiments,
+// which need filter updates).
+func BlockingWorkload(net *config.Network, topo *topology.Topology, k int, seed int64) []policy.Policy {
+	sim := simulate.New(net, topo)
+	reach := sim.InferReachability()
+	if len(reach) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(reach), func(i, j int) { reach[i], reach[j] = reach[j], reach[i] })
+	if k > len(reach) {
+		k = len(reach)
+	}
+	out := make([]policy.Policy, 0, k)
+	for _, p := range reach[:k] {
+		out = append(out, policy.Policy{Kind: policy.Blocking, Src: p.Src, Dst: p.Dst})
+	}
+	return out
+}
+
+// RemainingBase returns base policies minus the ones contradicted by
+// the blocking set.
+func RemainingBase(base, blocked []policy.Policy) []policy.Policy {
+	bad := map[string]bool{}
+	for _, b := range blocked {
+		bad[b.Src.String()+">"+b.Dst.String()] = true
+	}
+	var out []policy.Policy
+	for _, p := range base {
+		if !bad[p.Src.String()+">"+p.Dst.String()] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aed-net/aed/internal/prefix"
+)
+
+// sampleB is a config in the spirit of the paper's Figure 2 (router B).
+const sampleB = `hostname B
+!
+interface eth-A
+ ip address 192.168.42.1/24
+!
+interface eth-D
+ ip address 70.70.70.1/24
+ ip access-group b_pfil in
+!
+router ospf 10
+ network 2.0.0.0/16
+ redistribute bgp
+!
+router bgp 50000
+ neighbor A route-map rmap in
+!
+route-filter rmap
+ deny 1.0.0.0/16
+ permit any set local-preference 20
+!
+access-list b_pfil
+ deny ip 3.0.0.0/16 any
+ permit ip any any
+!
+`
+
+func parseB(t *testing.T) *Router {
+	t.Helper()
+	r, err := Parse(sampleB)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return r
+}
+
+func TestParseSample(t *testing.T) {
+	r := parseB(t)
+	if r.Name != "B" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if len(r.Interfaces) != 2 || len(r.Processes) != 2 {
+		t.Fatalf("interfaces=%d processes=%d", len(r.Interfaces), len(r.Processes))
+	}
+	if r.Interfaces[1].FilterIn != "b_pfil" {
+		t.Error("eth-D should have inbound filter b_pfil")
+	}
+	ospf := r.Process(OSPF)
+	if ospf == nil || ospf.ID != 10 {
+		t.Fatal("missing ospf 10")
+	}
+	if len(ospf.Originations) != 1 || ospf.Originations[0].Prefix.String() != "2.0.0.0/16" {
+		t.Error("ospf should originate 2.0.0.0/16")
+	}
+	if len(ospf.Redistribute) != 1 || ospf.Redistribute[0] != BGP {
+		t.Error("ospf should redistribute bgp")
+	}
+	bgp := r.Process(BGP)
+	if bgp == nil || bgp.Adjacency("A") == nil || bgp.Adjacency("A").InFilter != "rmap" {
+		t.Fatal("bgp adjacency to A with rmap in-filter expected")
+	}
+	rf := r.RouteFilter("rmap")
+	if rf == nil || len(rf.Rules) != 2 {
+		t.Fatal("route filter rmap with 2 rules expected")
+	}
+	if rf.Rules[0].Permit || rf.Rules[0].Prefix.String() != "1.0.0.0/16" {
+		t.Error("first rule should deny 1.0.0.0/16")
+	}
+	if !rf.Rules[1].Permit || rf.Rules[1].LocalPref != 20 {
+		t.Error("second rule should permit any with lp 20")
+	}
+	pf := r.PacketFilter("b_pfil")
+	if pf == nil || len(pf.Rules) != 2 {
+		t.Fatal("packet filter with 2 rules expected")
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	r := parseB(t)
+	printed := Print(r)
+	r2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if Print(r2) != printed {
+		t.Error("print/parse/print is not a fixpoint")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"interface eth0\n ip address 1.2.3.4/24\n", // no hostname
+		"hostname X\nrouter eigrp 1\n",
+		"hostname X\nroute-filter f\n banana 1.0.0.0/8\n",
+		"hostname X\naccess-list f\n permit tcp any any\n",
+		"hostname X\n stray indented line\n",
+		"hostname X\nip route 1.0.0.0/8 through Y\n",
+		"hostname X\nrouter bgp abc\n",
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse accepted invalid config:\n%s", text)
+		}
+	}
+}
+
+func TestPacketFilterAllows(t *testing.T) {
+	r := parseB(t)
+	pf := r.PacketFilter("b_pfil")
+	blocked := prefix.MustParse("3.0.0.0/16")
+	ok := prefix.MustParse("5.0.0.0/16")
+	any := prefix.Prefix{}
+	if pf.Allows(blocked, any) {
+		t.Error("3.0.0.0/16 should be denied")
+	}
+	if !pf.Allows(ok, any) {
+		t.Error("5.0.0.0/16 should be permitted")
+	}
+	empty := &PacketFilter{Name: "empty"}
+	if !empty.Allows(blocked, any) {
+		t.Error("empty filter should default-permit")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := NewNetwork()
+	r := parseB(t)
+	n.Routers["B"] = r
+	if err := n.Validate(); err == nil {
+		t.Error("validate should fail: adjacency peer A missing")
+	}
+	a, err := Parse("hostname A\nrouter bgp 100\n neighbor B\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Routers["A"] = a
+	if err := n.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	n := NewNetwork()
+	n.Routers["B"] = parseB(t)
+	a, _ := Parse("hostname A\nrouter bgp 100\n neighbor B\n")
+	n.Routers["A"] = a
+	tree := Tree(n)
+	if len(tree.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(tree.Children))
+	}
+	// Deterministic order: A before B.
+	if tree.Children[0].Attr("name") != "A" {
+		t.Error("routers must be sorted")
+	}
+	adj := tree.Find("B/RoutingProcess[bgp:50000]/Adjacency[A]")
+	if adj == nil {
+		t.Fatal("adjacency node not found by path")
+	}
+	if adj.Attr("inFilter") != "rmap" {
+		t.Error("adjacency attrs missing inFilter")
+	}
+	if adj.RouterOf() != "B" {
+		t.Error("RouterOf wrong")
+	}
+	rule := tree.Find("B/PacketFilter[b_pfil]/Rule[0]")
+	if rule == nil || rule.Attr("action") != "deny" {
+		t.Fatal("packet filter rule node wrong")
+	}
+	if rule.Parent().Type != NodePacketFilter {
+		t.Error("parent pointer wrong")
+	}
+}
+
+func TestTreeLeaves(t *testing.T) {
+	n := NewNetwork()
+	n.Routers["B"] = parseB(t)
+	tree := Tree(n)
+	leaves := tree.Leaves()
+	if len(leaves) == 0 {
+		t.Fatal("no leaves")
+	}
+	for _, l := range leaves {
+		if len(l.Children) != 0 {
+			t.Error("leaf with children")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := NewNetwork()
+	n.Routers["B"] = parseB(t)
+	c := n.Clone()
+	c.Routers["B"].PacketFilters[0].Rules[0].Permit = true
+	if n.Routers["B"].PacketFilters[0].Rules[0].Permit {
+		t.Error("clone shares rule storage with original")
+	}
+	c.Routers["B"].Processes[0].Originations[0].Prefix = prefix.MustParse("9.0.0.0/8")
+	if n.Routers["B"].Processes[0].Originations[0].Prefix.String() == "9.0.0.0/8" {
+		t.Error("clone shares origination storage")
+	}
+}
+
+func TestDiffNoChange(t *testing.T) {
+	n := NewNetwork()
+	n.Routers["B"] = parseB(t)
+	d := Diff(n, n.Clone())
+	if d.DevicesChanged != 0 || d.LinesChanged() != 0 {
+		t.Errorf("no-op diff: %+v", d)
+	}
+}
+
+func TestDiffAddRemoveModify(t *testing.T) {
+	before := NewNetwork()
+	before.Routers["B"] = parseB(t)
+	after := before.Clone()
+	b := after.Routers["B"]
+	// Add a packet filter rule, remove a route filter rule, modify an
+	// origination.
+	pf := b.PacketFilter("b_pfil")
+	pf.Rules = append([]*PacketRule{{Permit: true, Src: prefix.MustParse("7.0.0.0/16")}}, pf.Rules...)
+	rf := b.RouteFilter("rmap")
+	rf.Rules = rf.Rules[:1]
+	d := Diff(before, after)
+	if d.DevicesChanged != 1 {
+		t.Errorf("devices changed = %d, want 1", d.DevicesChanged)
+	}
+	if d.LinesAdded == 0 || d.LinesRemoved == 0 {
+		t.Errorf("expected both adds and removes: %+v", d)
+	}
+	if d.PerDevice["B"] != d.LinesAdded+d.LinesRemoved {
+		t.Errorf("per-device accounting inconsistent: %+v", d)
+	}
+}
+
+func TestDiffMultiDevice(t *testing.T) {
+	before := NewNetwork()
+	before.Routers["B"] = parseB(t)
+	a, _ := Parse("hostname A\nrouter bgp 100\n neighbor B\n")
+	before.Routers["A"] = a
+	after := before.Clone()
+	after.Routers["A"].StaticRoutes = append(after.Routers["A"].StaticRoutes,
+		&StaticRoute{Prefix: prefix.MustParse("8.0.0.0/8"), NextHop: "B"})
+	after.Routers["B"].Processes[0].Originations = nil
+	d := Diff(before, after)
+	if d.DevicesChanged != 2 {
+		t.Errorf("devices = %d, want 2", d.DevicesChanged)
+	}
+}
+
+func TestTemplateViolations(t *testing.T) {
+	// Three routers share a template (same filters); one diverges after.
+	mk := func(name string, extraRule bool) string {
+		s := "hostname " + name + "\naccess-list common\n deny ip 3.0.0.0/16 any\n permit ip any any\n"
+		if extraRule {
+			s = "hostname " + name + "\naccess-list common\n deny ip 3.0.0.0/16 any\n deny ip 4.0.0.0/16 any\n permit ip any any\n"
+		}
+		return s
+	}
+	before := NewNetwork()
+	for _, name := range []string{"r1", "r2", "r3"} {
+		r, err := Parse(mk(name, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before.Routers[name] = r
+	}
+	after := before.Clone()
+	if got := TemplateViolations(before, after); got != 0 {
+		t.Errorf("unchanged: violations = %d, want 0", got)
+	}
+	r3, _ := Parse(mk("r3", true))
+	after.Routers["r3"] = r3
+	if got := TemplateViolations(before, after); got != 1 {
+		t.Errorf("one deviant: violations = %d, want 1", got)
+	}
+}
+
+func TestTemplateViolationsSingleton(t *testing.T) {
+	before := NewNetwork()
+	before.Routers["B"] = parseB(t)
+	after := before.Clone()
+	after.Routers["B"].PacketFilters[0].Rules[0].Permit = true
+	if got := TemplateViolations(before, after); got != 0 {
+		t.Errorf("singleton group cannot violate similarity, got %d", got)
+	}
+}
+
+func TestLineCountAndTotals(t *testing.T) {
+	r := parseB(t)
+	lc := LineCount(r)
+	if lc < 10 {
+		t.Errorf("LineCount = %d, suspiciously small", lc)
+	}
+	n := NewNetwork()
+	n.Routers["B"] = r
+	if TotalLines(n) != lc {
+		t.Error("TotalLines mismatch")
+	}
+	if CountPacketFilterRules(n) != 2 {
+		t.Errorf("pf rules = %d, want 2", CountPacketFilterRules(n))
+	}
+}
+
+func TestParseNetwork(t *testing.T) {
+	texts := map[string]string{
+		"b.cfg": sampleB,
+		"a.cfg": "hostname A\nrouter bgp 100\n neighbor B\n",
+	}
+	n, err := ParseNetwork(texts)
+	if err != nil {
+		t.Fatalf("ParseNetwork: %v", err)
+	}
+	if len(n.Routers) != 2 {
+		t.Error("want 2 routers")
+	}
+	texts["dup.cfg"] = sampleB
+	if _, err := ParseNetwork(texts); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Error("duplicate hostname must be rejected")
+	}
+}
+
+func TestProtoHelpers(t *testing.T) {
+	if BGP.String() != "bgp" || OSPF.String() != "ospf" || Static.String() != "static" {
+		t.Error("Proto.String wrong")
+	}
+	if Static.AdminDistance() >= BGP.AdminDistance() || BGP.AdminDistance() >= OSPF.AdminDistance() {
+		t.Error("AD ordering should be static < bgp < ospf")
+	}
+}
+
+func TestAdjacencyLinkCost(t *testing.T) {
+	a := &Adjacency{}
+	if a.LinkCost() != 1 {
+		t.Error("default cost should be 1")
+	}
+	a.Cost = 5
+	if a.LinkCost() != 5 {
+		t.Error("explicit cost")
+	}
+}

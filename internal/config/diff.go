@@ -1,0 +1,204 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffStats summarizes the difference between two network snapshots
+// using the metrics the paper's evaluation reports: devices changed,
+// lines changed (added + removed leaf lines), and per-device detail.
+type DiffStats struct {
+	DevicesChanged int
+	LinesAdded     int
+	LinesRemoved   int
+	// PerDevice maps router name -> lines changed on that device.
+	PerDevice map[string]int
+	// AddedPaths / RemovedPaths list the syntax-tree leaf paths that
+	// differ, for reporting and template-violation analysis.
+	AddedPaths   []string
+	RemovedPaths []string
+}
+
+// LinesChanged is the total of added and removed lines.
+func (d *DiffStats) LinesChanged() int { return d.LinesAdded + d.LinesRemoved }
+
+// Diff compares two snapshots of the same network structurally. A leaf
+// present only in after counts as an added line, only in before as a
+// removed line; a node whose attributes changed counts as one removed
+// plus one added (the line was rewritten).
+func Diff(before, after *Network) *DiffStats {
+	stats := &DiffStats{PerDevice: make(map[string]int)}
+	bLeaves := leafSet(before)
+	aLeaves := leafSet(after)
+	for path, bline := range bLeaves {
+		if aline, ok := aLeaves[path]; !ok {
+			stats.LinesRemoved++
+			stats.RemovedPaths = append(stats.RemovedPaths, path)
+			stats.PerDevice[routerOfPath(path)]++
+		} else if aline != bline {
+			stats.LinesRemoved++
+			stats.LinesAdded++
+			stats.RemovedPaths = append(stats.RemovedPaths, path)
+			stats.AddedPaths = append(stats.AddedPaths, path)
+			stats.PerDevice[routerOfPath(path)] += 2
+		}
+	}
+	for path := range aLeaves {
+		if _, ok := bLeaves[path]; !ok {
+			stats.LinesAdded++
+			stats.AddedPaths = append(stats.AddedPaths, path)
+			stats.PerDevice[routerOfPath(path)]++
+		}
+	}
+	stats.DevicesChanged = len(stats.PerDevice)
+	sort.Strings(stats.AddedPaths)
+	sort.Strings(stats.RemovedPaths)
+	return stats
+}
+
+// leafSet flattens a network's syntax tree into path -> rendered line.
+// Filter rules are identified by content and occurrence count rather
+// than by positional index, so inserting a rule counts as one added
+// line instead of rewriting every rule it shifts (matching textual
+// diff semantics).
+func leafSet(n *Network) map[string]string {
+	out := make(map[string]string)
+	tree := Tree(n)
+	occ := make(map[string]int)
+	for _, leaf := range tree.Leaves() {
+		if len(leaf.Children) > 0 {
+			continue
+		}
+		path := leaf.Path()
+		if leaf.Type == NodeRule {
+			base := leaf.Parent().Path() + "/Rule{" + leaf.Attr("line") + "}"
+			occ[base]++
+			path = fmt.Sprintf("%s#%d", base, occ[base])
+			out[path] = base
+			continue
+		}
+		out[path] = leafLine(leaf)
+	}
+	return out
+}
+
+// leafLine renders a leaf's identity+attributes deterministically.
+func leafLine(n *Node) string {
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(n.Type)
+	for _, k := range keys {
+		b.WriteString(" ")
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(n.Attrs[k])
+	}
+	return b.String()
+}
+
+func routerOfPath(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// TemplateViolations counts devices whose filter sections deviate from
+// their role template after an update. Devices are grouped by their
+// "before" filter content (the paper's methodology: group
+// configurations based on filter rules in the before snapshot, then
+// compare those segments across snapshots). A group's template is its
+// majority "after" filter content; members differing from it are
+// violations.
+func TemplateViolations(before, after *Network) int {
+	groups := make(map[string][]string) // before-filter-signature -> router names
+	for name, r := range before.Routers {
+		groups[filterSignature(r)] = append(groups[filterSignature(r)], name)
+	}
+	violations := 0
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue // singleton role: nothing to be similar to
+		}
+		// Majority after-signature within the group.
+		counts := make(map[string]int)
+		for _, name := range members {
+			if ar, ok := after.Routers[name]; ok {
+				counts[filterSignature(ar)]++
+			}
+		}
+		best, bestCount := "", 0
+		for sig, c := range counts {
+			if c > bestCount || (c == bestCount && sig < best) {
+				best, bestCount = sig, c
+			}
+		}
+		for _, name := range members {
+			if ar, ok := after.Routers[name]; ok && filterSignature(ar) != best {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+// filterSignature canonically renders a router's filter sections
+// (route filters + packet filters), ignoring device-specific naming of
+// the router itself.
+func filterSignature(r *Router) string {
+	var b strings.Builder
+	names := make([]string, 0, len(r.RouteFilters))
+	byName := make(map[string]*RouteFilter)
+	for _, f := range r.RouteFilters {
+		names = append(names, f.Name)
+		byName[f.Name] = f
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.WriteString("rf " + name + "\n")
+		for _, rule := range byName[name].Rules {
+			b.WriteString(" " + routeRuleString(rule) + "\n")
+		}
+	}
+	pnames := make([]string, 0, len(r.PacketFilters))
+	pByName := make(map[string]*PacketFilter)
+	for _, f := range r.PacketFilters {
+		pnames = append(pnames, f.Name)
+		pByName[f.Name] = f
+	}
+	sort.Strings(pnames)
+	for _, name := range pnames {
+		b.WriteString("pf " + name + "\n")
+		for _, rule := range pByName[name].Rules {
+			b.WriteString(" " + packetRuleString(rule) + "\n")
+		}
+	}
+	return b.String()
+}
+
+// CountPacketFilterRules returns the total number of packet-filter
+// rules in the network (used by the min-pfs experiments).
+func CountPacketFilterRules(n *Network) int {
+	total := 0
+	for _, r := range n.Routers {
+		for _, f := range r.PacketFilters {
+			total += len(f.Rules)
+		}
+	}
+	return total
+}
+
+// TotalLines returns the total canonical line count across routers.
+func TotalLines(n *Network) int {
+	total := 0
+	for _, r := range n.Routers {
+		total += LineCount(r)
+	}
+	return total
+}

@@ -1,0 +1,366 @@
+// Package config models router configurations the way AED reasons
+// about them: as the syntax tree of Figure 4 in the paper, covering the
+// five element classes that dictate forwarding behaviour — routing
+// protocols, routing adjacencies, originated prefixes, route filters,
+// and packet filters — plus interfaces and static routes.
+//
+// The package provides a parser and canonical printer for a
+// Cisco-IOS-like dialect (see Parse), a generic attributed syntax tree
+// used by the objective language's XPath selection and by delta
+// variables (see Tree), and a structural differ that reports the
+// device/line change metrics used throughout the paper's evaluation
+// (see Diff).
+//
+// Dialect simplifications relative to real IOS (documented in
+// DESIGN.md §2): adjacencies name the peer router directly; OSPF
+// adjacencies carry an explicit cost; route maps and prefix lists are
+// merged into named route filters whose rules match a prefix and carry
+// optional set actions.
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aed-net/aed/internal/prefix"
+)
+
+// Proto identifies a routing protocol.
+type Proto int
+
+// Routing protocols understood by the model. RIP is the §11
+// extension point the paper describes: a distance-vector protocol
+// that fits the same receive/select/advertise encoding with hop-count
+// metrics and its own administrative distance.
+const (
+	BGP Proto = iota
+	OSPF
+	RIP
+	Static
+)
+
+// Protocols lists the dynamic routing protocols in administrative-
+// distance order (most preferred first); Static is handled separately.
+var Protocols = []Proto{BGP, OSPF, RIP}
+
+func (p Proto) String() string {
+	switch p {
+	case BGP:
+		return "bgp"
+	case OSPF:
+		return "ospf"
+	case RIP:
+		return "rip"
+	case Static:
+		return "static"
+	}
+	return "unknown"
+}
+
+// AdminDistance returns the default administrative distance used for
+// cross-protocol route selection (Cisco defaults: static 1, eBGP 20,
+// OSPF 110, RIP 120).
+func (p Proto) AdminDistance() int {
+	switch p {
+	case Static:
+		return 1
+	case BGP:
+		return 20
+	case OSPF:
+		return 110
+	case RIP:
+		return 120
+	}
+	return 255
+}
+
+// Network is a parsed set of router configurations.
+type Network struct {
+	Routers map[string]*Router
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{Routers: make(map[string]*Router)}
+}
+
+// RouterNames returns the router names in sorted order.
+func (n *Network) RouterNames() []string {
+	names := make([]string, 0, len(n.Routers))
+	for name := range n.Routers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone deep-copies the network.
+func (n *Network) Clone() *Network {
+	out := NewNetwork()
+	for name, r := range n.Routers {
+		out.Routers[name] = r.Clone()
+	}
+	return out
+}
+
+// Router is one device's configuration.
+type Router struct {
+	Name          string
+	Interfaces    []*Interface
+	Processes     []*Process
+	RouteFilters  []*RouteFilter
+	PacketFilters []*PacketFilter
+	StaticRoutes  []*StaticRoute
+}
+
+// Clone deep-copies the router configuration.
+func (r *Router) Clone() *Router {
+	out := &Router{Name: r.Name}
+	for _, i := range r.Interfaces {
+		c := *i
+		out.Interfaces = append(out.Interfaces, &c)
+	}
+	for _, p := range r.Processes {
+		out.Processes = append(out.Processes, p.Clone())
+	}
+	for _, f := range r.RouteFilters {
+		out.RouteFilters = append(out.RouteFilters, f.Clone())
+	}
+	for _, f := range r.PacketFilters {
+		out.PacketFilters = append(out.PacketFilters, f.Clone())
+	}
+	for _, s := range r.StaticRoutes {
+		c := *s
+		out.StaticRoutes = append(out.StaticRoutes, &c)
+	}
+	return out
+}
+
+// Process finds the routing process with the given protocol, or nil.
+func (r *Router) Process(p Proto) *Process {
+	for _, proc := range r.Processes {
+		if proc.Protocol == p {
+			return proc
+		}
+	}
+	return nil
+}
+
+// RouteFilter finds a route filter by name, or nil.
+func (r *Router) RouteFilter(name string) *RouteFilter {
+	for _, f := range r.RouteFilters {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// PacketFilter finds a packet filter by name, or nil.
+func (r *Router) PacketFilter(name string) *PacketFilter {
+	for _, f := range r.PacketFilters {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Interface finds an interface by name, or nil.
+func (r *Router) Interface(name string) *Interface {
+	for _, i := range r.Interfaces {
+		if i.Name == name {
+			return i
+		}
+	}
+	return nil
+}
+
+// Interface is a router port. Router-to-router ports are named
+// "eth-<peer>" by convention; host-facing ports carry the subnet.
+type Interface struct {
+	Name      string
+	Addr      prefix.Prefix // interface address with mask length
+	FilterIn  string        // packet filter applied to packets arriving here
+	FilterOut string        // packet filter applied to packets leaving here
+}
+
+// Process is a routing-protocol instance on a router.
+type Process struct {
+	Protocol     Proto
+	ID           int
+	Adjacencies  []*Adjacency
+	Originations []*Origination
+	Redistribute []Proto // protocols whose routes this process re-advertises
+}
+
+// Clone deep-copies the process.
+func (p *Process) Clone() *Process {
+	out := &Process{Protocol: p.Protocol, ID: p.ID}
+	for _, a := range p.Adjacencies {
+		c := *a
+		out.Adjacencies = append(out.Adjacencies, &c)
+	}
+	for _, o := range p.Originations {
+		c := *o
+		out.Originations = append(out.Originations, &c)
+	}
+	out.Redistribute = append(out.Redistribute, p.Redistribute...)
+	return out
+}
+
+// Adjacency finds the adjacency toward the named peer, or nil.
+func (p *Process) Adjacency(peer string) *Adjacency {
+	for _, a := range p.Adjacencies {
+		if a.Peer == peer {
+			return a
+		}
+	}
+	return nil
+}
+
+// Originates reports whether the process originates pfx.
+func (p *Process) Originates(pfx prefix.Prefix) bool {
+	for _, o := range p.Originations {
+		if o.Prefix.Equal(pfx) {
+			return true
+		}
+	}
+	return false
+}
+
+// Adjacency is a routing session toward a neighboring router.
+type Adjacency struct {
+	Peer      string // neighbor router name
+	InFilter  string // route filter applied to received advertisements
+	OutFilter string // route filter applied to sent advertisements
+	Cost      int    // link cost contribution (OSPF); 0 means default 1
+}
+
+// LinkCost returns the effective cost of the adjacency.
+func (a *Adjacency) LinkCost() int {
+	if a.Cost <= 0 {
+		return 1
+	}
+	return a.Cost
+}
+
+// Origination declares that a process originates a route for a prefix.
+type Origination struct {
+	Prefix prefix.Prefix
+}
+
+// RouteFilter is a named ordered list of match-action rules applied to
+// route advertisements (the merger of IOS route-maps + prefix-lists).
+type RouteFilter struct {
+	Name  string
+	Rules []*RouteRule
+}
+
+// Clone deep-copies the filter.
+func (f *RouteFilter) Clone() *RouteFilter {
+	out := &RouteFilter{Name: f.Name}
+	for _, r := range f.Rules {
+		c := *r
+		out.Rules = append(out.Rules, &c)
+	}
+	return out
+}
+
+// RouteRule is one match-action entry of a route filter. A rule
+// matches advertisements whose prefix is covered by Prefix. Zero
+// set-values mean "leave unchanged".
+type RouteRule struct {
+	Permit    bool
+	Prefix    prefix.Prefix
+	LocalPref int // BGP local preference to set; 0 = unset
+	Metric    int // metric/cost to set; 0 = unset
+}
+
+// Matches reports whether the rule applies to an advertisement for p.
+func (r *RouteRule) Matches(p prefix.Prefix) bool { return r.Prefix.Covers(p) }
+
+// PacketFilter is a named ordered list of permit/deny rules applied to
+// data packets.
+type PacketFilter struct {
+	Name  string
+	Rules []*PacketRule
+}
+
+// Clone deep-copies the filter.
+func (f *PacketFilter) Clone() *PacketFilter {
+	out := &PacketFilter{Name: f.Name}
+	for _, r := range f.Rules {
+		c := *r
+		out.Rules = append(out.Rules, &c)
+	}
+	return out
+}
+
+// Allows evaluates the filter on a (src, dst) traffic class using
+// first-match semantics; a filter with no matching rule permits.
+func (f *PacketFilter) Allows(src, dst prefix.Prefix) bool {
+	for _, r := range f.Rules {
+		if r.Matches(src, dst) {
+			return r.Permit
+		}
+	}
+	return true
+}
+
+// PacketRule is one entry of a packet filter.
+type PacketRule struct {
+	Permit bool
+	Src    prefix.Prefix // 0.0.0.0/0 = any
+	Dst    prefix.Prefix // 0.0.0.0/0 = any
+}
+
+// Matches reports whether the rule applies to traffic from src to dst.
+// A rule matches when its prefixes overlap the traffic class.
+func (r *PacketRule) Matches(src, dst prefix.Prefix) bool {
+	return r.Src.Overlaps(src) && r.Dst.Overlaps(dst)
+}
+
+// StaticRoute pins a prefix to a next-hop router.
+type StaticRoute struct {
+	Prefix  prefix.Prefix
+	NextHop string // neighbor router name
+}
+
+// Validate performs structural sanity checks on the network: adjacency
+// peers must exist, filter references must resolve, static next hops
+// must exist.
+func (n *Network) Validate() error {
+	for name, r := range n.Routers {
+		if r.Name != name {
+			return fmt.Errorf("config: router %q stored under key %q", r.Name, name)
+		}
+		for _, p := range r.Processes {
+			for _, a := range p.Adjacencies {
+				if _, ok := n.Routers[a.Peer]; !ok {
+					return fmt.Errorf("config: %s %s adjacency to unknown router %q", name, p.Protocol, a.Peer)
+				}
+				if a.InFilter != "" && r.RouteFilter(a.InFilter) == nil {
+					return fmt.Errorf("config: %s references unknown route filter %q", name, a.InFilter)
+				}
+				if a.OutFilter != "" && r.RouteFilter(a.OutFilter) == nil {
+					return fmt.Errorf("config: %s references unknown route filter %q", name, a.OutFilter)
+				}
+			}
+		}
+		for _, i := range r.Interfaces {
+			if i.FilterIn != "" && r.PacketFilter(i.FilterIn) == nil {
+				return fmt.Errorf("config: %s interface %s references unknown packet filter %q", name, i.Name, i.FilterIn)
+			}
+			if i.FilterOut != "" && r.PacketFilter(i.FilterOut) == nil {
+				return fmt.Errorf("config: %s interface %s references unknown packet filter %q", name, i.Name, i.FilterOut)
+			}
+		}
+		for _, s := range r.StaticRoutes {
+			if _, ok := n.Routers[s.NextHop]; !ok {
+				return fmt.Errorf("config: %s static route via unknown router %q", name, s.NextHop)
+			}
+		}
+	}
+	return nil
+}

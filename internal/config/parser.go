@@ -1,0 +1,327 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/aed-net/aed/internal/prefix"
+)
+
+// Parse reads one router's configuration in the package dialect. The
+// dialect is line-oriented; '!' separates stanzas, as in IOS:
+//
+//	hostname B
+//	interface eth-A
+//	 ip address 192.168.42.1/24
+//	 ip access-group b_pfil in
+//	router bgp 50000
+//	 network 2.0.0.0/16
+//	 neighbor A route-map rmap in
+//	 neighbor A cost 2
+//	 redistribute ospf
+//	route-filter rmap
+//	 deny 1.0.0.0/16
+//	 permit 0.0.0.0/0 set local-preference 20
+//	access-list b_pfil
+//	 deny ip 3.0.0.0/16 any
+//	 permit ip any any
+//	ip route 5.0.0.0/16 via C
+func Parse(text string) (*Router, error) {
+	r := &Router{}
+	var curIface *Interface
+	var curProc *Process
+	var curRF *RouteFilter
+	var curPF *PacketFilter
+
+	closeStanza := func() {
+		curIface, curProc, curRF, curPF = nil, nil, nil, nil
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "!" {
+			closeStanza()
+			continue
+		}
+		indented := raw != line // leading whitespace marks stanza body
+		fields := strings.Fields(line)
+		fail := func(format string, args ...interface{}) (*Router, error) {
+			return nil, fmt.Errorf("config: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+
+		if !indented {
+			closeStanza()
+			switch fields[0] {
+			case "hostname":
+				if len(fields) != 2 {
+					return fail("hostname wants one argument")
+				}
+				r.Name = fields[1]
+			case "interface":
+				if len(fields) != 2 {
+					return fail("interface wants one argument")
+				}
+				curIface = &Interface{Name: fields[1]}
+				r.Interfaces = append(r.Interfaces, curIface)
+			case "router":
+				if len(fields) != 3 {
+					return fail("router wants protocol and id")
+				}
+				var proto Proto
+				switch fields[1] {
+				case "bgp":
+					proto = BGP
+				case "ospf":
+					proto = OSPF
+				case "rip":
+					proto = RIP
+				default:
+					return fail("unknown protocol %q", fields[1])
+				}
+				id, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return fail("bad process id %q", fields[2])
+				}
+				curProc = &Process{Protocol: proto, ID: id}
+				r.Processes = append(r.Processes, curProc)
+			case "route-filter":
+				if len(fields) != 2 {
+					return fail("route-filter wants a name")
+				}
+				curRF = &RouteFilter{Name: fields[1]}
+				r.RouteFilters = append(r.RouteFilters, curRF)
+			case "access-list":
+				if len(fields) != 2 {
+					return fail("access-list wants a name")
+				}
+				curPF = &PacketFilter{Name: fields[1]}
+				r.PacketFilters = append(r.PacketFilters, curPF)
+			case "ip":
+				// ip route <prefix> via <router>
+				if len(fields) == 5 && fields[1] == "route" && fields[3] == "via" {
+					p, err := prefix.Parse(fields[2])
+					if err != nil {
+						return fail("bad prefix %q", fields[2])
+					}
+					r.StaticRoutes = append(r.StaticRoutes, &StaticRoute{Prefix: p, NextHop: fields[4]})
+				} else {
+					return fail("unrecognized ip statement")
+				}
+			default:
+				return fail("unrecognized top-level keyword %q", fields[0])
+			}
+			continue
+		}
+
+		// Indented: stanza body.
+		switch {
+		case curIface != nil:
+			switch {
+			case len(fields) == 3 && fields[0] == "ip" && fields[1] == "address":
+				p, err := prefix.Parse(fields[2])
+				if err != nil {
+					return fail("bad address %q", fields[2])
+				}
+				// Keep host bits: store raw address with length.
+				a, err2 := prefix.ParseAddr(strings.Split(fields[2], "/")[0])
+				if err2 == nil {
+					curIface.Addr = prefix.Prefix{Addr: a, Len: p.Len}
+				} else {
+					curIface.Addr = p
+				}
+			case len(fields) == 4 && fields[0] == "ip" && fields[1] == "access-group":
+				switch fields[3] {
+				case "in":
+					curIface.FilterIn = fields[2]
+				case "out":
+					curIface.FilterOut = fields[2]
+				default:
+					return fail("access-group direction must be in/out")
+				}
+			default:
+				return fail("unrecognized interface statement %q", line)
+			}
+		case curProc != nil:
+			switch fields[0] {
+			case "network":
+				if len(fields) != 2 {
+					return fail("network wants a prefix")
+				}
+				p, err := prefix.Parse(fields[1])
+				if err != nil {
+					return fail("bad prefix %q", fields[1])
+				}
+				curProc.Originations = append(curProc.Originations, &Origination{Prefix: p})
+			case "neighbor":
+				if len(fields) < 2 {
+					return fail("neighbor wants a peer")
+				}
+				peer := fields[1]
+				adj := curProc.Adjacency(peer)
+				if adj == nil {
+					adj = &Adjacency{Peer: peer}
+					curProc.Adjacencies = append(curProc.Adjacencies, adj)
+				}
+				switch {
+				case len(fields) == 2:
+					// bare neighbor declaration
+				case len(fields) == 5 && fields[2] == "route-map" && fields[4] == "in":
+					adj.InFilter = fields[3]
+				case len(fields) == 5 && fields[2] == "route-map" && fields[4] == "out":
+					adj.OutFilter = fields[3]
+				case len(fields) == 4 && fields[2] == "cost":
+					c, err := strconv.Atoi(fields[3])
+					if err != nil || c < 0 {
+						return fail("bad cost %q", fields[3])
+					}
+					adj.Cost = c
+				default:
+					return fail("unrecognized neighbor statement %q", line)
+				}
+			case "redistribute":
+				if len(fields) != 2 {
+					return fail("redistribute wants a protocol")
+				}
+				switch fields[1] {
+				case "bgp":
+					curProc.Redistribute = append(curProc.Redistribute, BGP)
+				case "ospf":
+					curProc.Redistribute = append(curProc.Redistribute, OSPF)
+				case "rip":
+					curProc.Redistribute = append(curProc.Redistribute, RIP)
+				case "static":
+					curProc.Redistribute = append(curProc.Redistribute, Static)
+				default:
+					return fail("unknown protocol %q", fields[1])
+				}
+			default:
+				return fail("unrecognized router statement %q", line)
+			}
+		case curRF != nil:
+			rule, err := parseRouteRule(fields)
+			if err != nil {
+				return fail("%v", err)
+			}
+			curRF.Rules = append(curRF.Rules, rule)
+		case curPF != nil:
+			rule, err := parsePacketRule(fields)
+			if err != nil {
+				return fail("%v", err)
+			}
+			curPF.Rules = append(curPF.Rules, rule)
+		default:
+			return fail("indented line outside a stanza: %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if r.Name == "" {
+		return nil, fmt.Errorf("config: missing hostname")
+	}
+	return r, nil
+}
+
+// parseRouteRule parses "permit <prefix> [set local-preference N] [set metric N]"
+// or "deny <prefix>".
+func parseRouteRule(fields []string) (*RouteRule, error) {
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("route rule wants action and prefix")
+	}
+	rule := &RouteRule{}
+	switch fields[0] {
+	case "permit":
+		rule.Permit = true
+	case "deny":
+	default:
+		return nil, fmt.Errorf("route rule action must be permit/deny, got %q", fields[0])
+	}
+	p, err := parsePrefixOrAny(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	rule.Prefix = p
+	rest := fields[2:]
+	for len(rest) > 0 {
+		if len(rest) >= 3 && rest[0] == "set" {
+			val, err := strconv.Atoi(rest[2])
+			if err != nil {
+				return nil, fmt.Errorf("bad set value %q", rest[2])
+			}
+			switch rest[1] {
+			case "local-preference":
+				rule.LocalPref = val
+			case "metric":
+				rule.Metric = val
+			default:
+				return nil, fmt.Errorf("unknown set target %q", rest[1])
+			}
+			rest = rest[3:]
+			continue
+		}
+		return nil, fmt.Errorf("unrecognized route rule suffix %v", rest)
+	}
+	return rule, nil
+}
+
+// parsePacketRule parses "permit ip <src> <dst>" / "deny ip <src> <dst>"
+// where src/dst are prefixes or "any".
+func parsePacketRule(fields []string) (*PacketRule, error) {
+	if len(fields) != 4 || fields[1] != "ip" {
+		return nil, fmt.Errorf("packet rule must be 'permit|deny ip <src> <dst>'")
+	}
+	rule := &PacketRule{}
+	switch fields[0] {
+	case "permit":
+		rule.Permit = true
+	case "deny":
+	default:
+		return nil, fmt.Errorf("packet rule action must be permit/deny")
+	}
+	src, err := parsePrefixOrAny(fields[2])
+	if err != nil {
+		return nil, err
+	}
+	dst, err := parsePrefixOrAny(fields[3])
+	if err != nil {
+		return nil, err
+	}
+	rule.Src, rule.Dst = src, dst
+	return rule, nil
+}
+
+func parsePrefixOrAny(s string) (prefix.Prefix, error) {
+	if s == "any" {
+		return prefix.Prefix{}, nil
+	}
+	return prefix.Parse(s)
+}
+
+// ParseNetwork parses multiple router configurations, supplied as a
+// map from an arbitrary label (e.g. file name) to config text.
+func ParseNetwork(texts map[string]string) (*Network, error) {
+	n := NewNetwork()
+	for label, text := range texts {
+		r, err := Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		if _, dup := n.Routers[r.Name]; dup {
+			return nil, fmt.Errorf("%s: duplicate router %q", label, r.Name)
+		}
+		n.Routers[r.Name] = r
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

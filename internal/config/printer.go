@@ -1,0 +1,136 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a router configuration in the canonical form accepted
+// by Parse. The output is deterministic: stanzas appear in model order
+// and every leaf of the syntax tree maps to exactly one line, which is
+// what makes "lines changed" a well-defined metric.
+func Print(r *Router) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s\n!\n", r.Name)
+	for _, i := range r.Interfaces {
+		fmt.Fprintf(&b, "interface %s\n", i.Name)
+		if i.Addr.Len != 0 || i.Addr.Addr != 0 {
+			// Interface addresses keep their host bits (unlike route
+			// prefixes), so print the raw address.
+			fmt.Fprintf(&b, " ip address %s/%d\n", addrString(rawAddr(i.Addr.Addr)), i.Addr.Len)
+		}
+		if i.FilterIn != "" {
+			fmt.Fprintf(&b, " ip access-group %s in\n", i.FilterIn)
+		}
+		if i.FilterOut != "" {
+			fmt.Fprintf(&b, " ip access-group %s out\n", i.FilterOut)
+		}
+		b.WriteString("!\n")
+	}
+	for _, p := range r.Processes {
+		fmt.Fprintf(&b, "router %s %d\n", p.Protocol, p.ID)
+		for _, o := range p.Originations {
+			fmt.Fprintf(&b, " network %s\n", o.Prefix)
+		}
+		for _, a := range p.Adjacencies {
+			fmt.Fprintf(&b, " neighbor %s\n", a.Peer)
+			if a.InFilter != "" {
+				fmt.Fprintf(&b, " neighbor %s route-map %s in\n", a.Peer, a.InFilter)
+			}
+			if a.OutFilter != "" {
+				fmt.Fprintf(&b, " neighbor %s route-map %s out\n", a.Peer, a.OutFilter)
+			}
+			if a.Cost > 0 {
+				fmt.Fprintf(&b, " neighbor %s cost %d\n", a.Peer, a.Cost)
+			}
+		}
+		for _, rd := range p.Redistribute {
+			fmt.Fprintf(&b, " redistribute %s\n", rd)
+		}
+		b.WriteString("!\n")
+	}
+	for _, f := range r.RouteFilters {
+		fmt.Fprintf(&b, "route-filter %s\n", f.Name)
+		for _, rule := range f.Rules {
+			b.WriteString(" " + routeRuleString(rule) + "\n")
+		}
+		b.WriteString("!\n")
+	}
+	for _, f := range r.PacketFilters {
+		fmt.Fprintf(&b, "access-list %s\n", f.Name)
+		for _, rule := range f.Rules {
+			b.WriteString(" " + packetRuleString(rule) + "\n")
+		}
+		b.WriteString("!\n")
+	}
+	for _, s := range r.StaticRoutes {
+		fmt.Fprintf(&b, "ip route %s via %s\n", s.Prefix, s.NextHop)
+	}
+	return b.String()
+}
+
+// rawAddr adapts a bare 32-bit address to the addrString interface.
+type rawAddr uint32
+
+// First returns the address itself (no masking).
+func (a rawAddr) First() uint32 { return uint32(a) }
+
+func addrString(p interface{ First() uint32 }) string {
+	a := p.First()
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+func routeRuleString(r *RouteRule) string {
+	action := "deny"
+	if r.Permit {
+		action = "permit"
+	}
+	s := fmt.Sprintf("%s %s", action, prefixOrAny(r.Prefix))
+	if r.LocalPref != 0 {
+		s += fmt.Sprintf(" set local-preference %d", r.LocalPref)
+	}
+	if r.Metric != 0 {
+		s += fmt.Sprintf(" set metric %d", r.Metric)
+	}
+	return s
+}
+
+func packetRuleString(r *PacketRule) string {
+	action := "deny"
+	if r.Permit {
+		action = "permit"
+	}
+	return fmt.Sprintf("%s ip %s %s", action, prefixOrAny(r.Src), prefixOrAny(r.Dst))
+}
+
+func prefixOrAny(p interface {
+	IsDefault() bool
+	String() string
+}) string {
+	if p.IsDefault() {
+		return "any"
+	}
+	return p.String()
+}
+
+// PrintNetwork renders all routers, keyed by router name.
+func PrintNetwork(n *Network) map[string]string {
+	out := make(map[string]string, len(n.Routers))
+	for name, r := range n.Routers {
+		out[name] = Print(r)
+	}
+	return out
+}
+
+// LineCount returns the number of configuration lines (excluding
+// stanza separators) in a router's canonical rendering.
+func LineCount(r *Router) int {
+	count := 0
+	for _, line := range strings.Split(Print(r), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && line != "!" {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,192 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/aed-net/aed/internal/prefix"
+)
+
+// randomRouter builds an arbitrary but structurally valid router
+// configuration from a rand source, for property tests.
+func randomRouter(rng *rand.Rand) *Router {
+	r := &Router{Name: pick(rng, "alpha", "beta", "gamma", "delta")}
+	peers := []string{"p0", "p1", "p2"}
+
+	for i := 0; i < rng.Intn(3); i++ {
+		iface := &Interface{
+			Name: pick(rng, "eth-p0", "eth-p1", "host0", "host1"),
+			Addr: randPrefix(rng),
+		}
+		if r.Interface(iface.Name) != nil {
+			continue
+		}
+		r.Interfaces = append(r.Interfaces, iface)
+	}
+	for _, proto := range []Proto{BGP, OSPF, RIP} {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		p := &Process{Protocol: proto, ID: 1 + rng.Intn(65000)}
+		for _, peer := range peers {
+			if rng.Intn(2) == 0 {
+				p.Adjacencies = append(p.Adjacencies, &Adjacency{
+					Peer: peer, Cost: rng.Intn(3),
+				})
+			}
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			p.Originations = append(p.Originations, &Origination{Prefix: randPrefix(rng).Canonical()})
+		}
+		r.Processes = append(r.Processes, p)
+	}
+	for i := 0; i < rng.Intn(2); i++ {
+		f := &RouteFilter{Name: pick(rng, "rf1", "rf2")}
+		if r.RouteFilter(f.Name) != nil {
+			continue
+		}
+		for j := 0; j <= rng.Intn(3); j++ {
+			f.Rules = append(f.Rules, &RouteRule{
+				Permit:    rng.Intn(2) == 0,
+				Prefix:    randPrefix(rng).Canonical(),
+				LocalPref: rng.Intn(3) * 50,
+				Metric:    rng.Intn(2) * 10,
+			})
+		}
+		r.RouteFilters = append(r.RouteFilters, f)
+	}
+	for i := 0; i < rng.Intn(2); i++ {
+		f := &PacketFilter{Name: pick(rng, "pf1", "pf2")}
+		if r.PacketFilter(f.Name) != nil {
+			continue
+		}
+		for j := 0; j <= rng.Intn(3); j++ {
+			f.Rules = append(f.Rules, &PacketRule{
+				Permit: rng.Intn(2) == 0,
+				Src:    randPrefix(rng).Canonical(),
+				Dst:    randPrefix(rng).Canonical(),
+			})
+		}
+		r.PacketFilters = append(r.PacketFilters, f)
+	}
+	for i := 0; i < rng.Intn(2); i++ {
+		r.StaticRoutes = append(r.StaticRoutes, &StaticRoute{
+			Prefix: randPrefix(rng).Canonical(), NextHop: pick(rng, peers...),
+		})
+	}
+	return r
+}
+
+func pick(rng *rand.Rand, xs ...string) string { return xs[rng.Intn(len(xs))] }
+
+func randPrefix(rng *rand.Rand) prefix.Prefix {
+	return prefix.Prefix{Addr: rng.Uint32(), Len: 8 + rng.Intn(25)}
+}
+
+// TestQuickPrintParseFixpoint: for arbitrary routers, Print is
+// invertible by Parse up to canonical form, and printing again is a
+// fixpoint.
+func TestQuickPrintParseFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := randomRouter(rng)
+		text := Print(r)
+		r2, err := Parse(text)
+		if err != nil {
+			t.Logf("seed %d: parse error: %v\n%s", seed, err, text)
+			return false
+		}
+		text2 := Print(r2)
+		if text2 != text {
+			t.Logf("seed %d: not a fixpoint:\n--- first ---\n%s--- second ---\n%s", seed, text, text2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneEqualsDiff: a clone always diffs empty against its
+// original, and Diff is symmetric in total line count.
+func TestQuickCloneEqualsDiff(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNetwork()
+		r := randomRouter(rng)
+		n.Routers[r.Name] = r
+		d := Diff(n, n.Clone())
+		if d.LinesChanged() != 0 || d.DevicesChanged != 0 {
+			return false
+		}
+		// Mutating the clone must register in the diff.
+		c := n.Clone()
+		c.Routers[r.Name].StaticRoutes = append(c.Routers[r.Name].StaticRoutes,
+			&StaticRoute{Prefix: randPrefix(rng).Canonical(), NextHop: "p0"})
+		d2 := Diff(n, c)
+		fwd := d2.LinesAdded
+		d3 := Diff(c, n)
+		return fwd >= 1 && d3.LinesRemoved == fwd && d3.LinesAdded == d2.LinesRemoved
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTreePathsUnique: every node in the syntax tree has a
+// distinct, findable path.
+func TestQuickTreePathsUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNetwork()
+		r := randomRouter(rng)
+		n.Routers[r.Name] = r
+		tree := Tree(n)
+		seen := map[string]bool{}
+		ok := true
+		tree.Walk(func(node *Node) {
+			if node == tree {
+				return
+			}
+			if seen[node.Path()] {
+				t.Logf("seed %d: duplicate path %q", seed, node.Path())
+				ok = false
+			}
+			seen[node.Path()] = true
+			if tree.Find(node.Path()) == nil {
+				t.Logf("seed %d: path %q not findable", seed, node.Path())
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEnsurePathIdempotent: EnsurePath twice returns the same
+// node and does not duplicate children.
+func TestQuickEnsurePathIdempotent(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n := NewNetwork()
+		n.Routers["x"] = &Router{Name: "x"}
+		tree := Tree(n)
+		path := "x/RouteFilter[f" + string(rune('a'+a%3)) + "]/Rule[" + string(rune('0'+b%4)) + "]"
+		n1 := tree.EnsurePath(path)
+		count1 := countNodes(tree)
+		n2 := tree.EnsurePath(path)
+		return n1 == n2 && countNodes(tree) == count1 && n1.Attr("virtual") == "true"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func countNodes(root *Node) int {
+	c := 0
+	root.Walk(func(*Node) { c++ })
+	return c
+}

@@ -1,0 +1,154 @@
+// Package configgen synthesizes initial router configurations for
+// generated topologies. It is the stand-in for two of the paper's data
+// sources (DESIGN.md §2): the 24 proprietary datacenter snapshots
+// (template-structured OSPF/BGP configs on leaf–spine fabrics, with
+// role templates and filters) and the NetComplete-generated BGP
+// configurations for Topology Zoo networks.
+//
+// Generated configurations follow role templates: all routers with the
+// same topology role get structurally identical filter sections, which
+// is what makes the paper's "preserve templates" objective meaningful.
+package configgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Options control generation.
+type Options struct {
+	// Protocol selects the routing protocol family: config.OSPF for
+	// datacenter-style fabrics, config.BGP for WAN/Zoo-style networks.
+	Protocol config.Proto
+	// WithRoleFilters adds a role-templated packet filter to every
+	// router (same rules across a role).
+	WithRoleFilters bool
+	// Seed drives any randomized choices (deterministic per seed).
+	Seed int64
+}
+
+// Generate builds a configuration network for the topology: every
+// router runs the selected protocol, originates its attached subnets,
+// and peers with every physical neighbor.
+func Generate(topo *topology.Topology, opts Options) *config.Network {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	_ = rng
+	net := config.NewNetwork()
+	linkAddr := newLinkAddresser()
+	for _, name := range topo.Routers {
+		r := &config.Router{Name: name}
+		proc := &config.Process{Protocol: opts.Protocol, ID: processID(opts.Protocol)}
+		r.Processes = append(r.Processes, proc)
+		for _, nb := range topo.Neighbors(name) {
+			r.Interfaces = append(r.Interfaces, &config.Interface{
+				Name: "eth-" + nb,
+				Addr: linkAddr.addr(name, nb),
+			})
+			proc.Adjacencies = append(proc.Adjacencies, &config.Adjacency{Peer: nb})
+		}
+		for i, sn := range topo.SubnetsOf(name) {
+			r.Interfaces = append(r.Interfaces, &config.Interface{
+				Name: fmt.Sprintf("host%d", i),
+				Addr: prefix.Prefix{Addr: sn.First() | 1, Len: sn.Len},
+			})
+			proc.Originations = append(proc.Originations, &config.Origination{Prefix: sn})
+		}
+		if opts.WithRoleFilters {
+			addRoleFilter(r, topo.Role[name])
+		}
+		net.Routers[name] = r
+	}
+	return net
+}
+
+// processID returns conventional process numbers.
+func processID(p config.Proto) int {
+	if p == config.BGP {
+		return 65000
+	}
+	return 10
+}
+
+// addRoleFilter installs the role's template packet filter on every
+// router-facing interface (inbound), mirroring how operators copy
+// filters verbatim across devices with the same role (§3.1).
+func addRoleFilter(r *config.Router, role string) {
+	if role == "" {
+		role = "default"
+	}
+	f := &config.PacketFilter{
+		Name: "tmpl_" + role,
+		Rules: []*config.PacketRule{
+			// Template hygiene rules: block two bogon-style ranges.
+			{Permit: false, Src: prefix.MustParse("192.0.2.0/24"), Dst: prefix.Prefix{}},
+			{Permit: false, Src: prefix.MustParse("198.51.100.0/24"), Dst: prefix.Prefix{}},
+			{Permit: true},
+		},
+	}
+	r.PacketFilters = append(r.PacketFilters, f)
+	for _, i := range r.Interfaces {
+		if len(i.Name) > 4 && i.Name[:4] == "eth-" {
+			i.FilterIn = f.Name
+		}
+	}
+}
+
+// linkAddresser allocates /30 point-to-point addresses per link.
+type linkAddresser struct {
+	next  uint32
+	addrs map[[2]string]uint32 // base address per sorted link
+}
+
+func newLinkAddresser() *linkAddresser {
+	return &linkAddresser{next: 0xC0A80000, addrs: make(map[[2]string]uint32)} // 192.168.0.0
+}
+
+func (l *linkAddresser) addr(a, b string) prefix.Prefix {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	base, ok := l.addrs[[2]string{lo, hi}]
+	if !ok {
+		base = l.next
+		l.next += 4
+		l.addrs[[2]string{lo, hi}] = base
+	}
+	off := uint32(1)
+	if a == hi {
+		off = 2
+	}
+	return prefix.Prefix{Addr: base + off, Len: 30}
+}
+
+// Snapshot bundles a generated "before/after" pair, the stand-in for
+// the paper's operator-updated datacenter snapshots: after is before
+// plus manually-styled edits that implement extra policies.
+type Snapshot struct {
+	Topo   *topology.Topology
+	Before *config.Network
+	After  *config.Network
+}
+
+// DatacenterFleet generates n leaf–spine networks of increasing size
+// with role filters, emulating the paper's 24 datacenter networks
+// (2–24 routers each).
+func DatacenterFleet(n int, seed int64) []*topology.Topology {
+	out := make([]*topology.Topology, 0, n)
+	for i := 0; i < n; i++ {
+		// Sizes sweep from tiny (1 leaf, 1 spine) up to ~24 routers.
+		leaves := 1 + i
+		spines := 1 + i/3
+		if leaves+spines > 24 {
+			leaves = 24 - spines
+		}
+		t := topology.LeafSpine(leaves, spines, 1)
+		t.Name = fmt.Sprintf("dc%02d", i)
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package configgen
+
+import (
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+func TestGenerateLeafSpineOSPF(t *testing.T) {
+	topo := topology.LeafSpine(3, 2, 1)
+	net := Generate(topo, Options{Protocol: config.OSPF, WithRoleFilters: true})
+	if err := net.Validate(); err != nil {
+		t.Fatalf("generated network invalid: %v", err)
+	}
+	if len(net.Routers) != 5 {
+		t.Fatalf("routers = %d", len(net.Routers))
+	}
+	leaf := net.Routers["leaf0"]
+	if leaf.Process(config.OSPF) == nil {
+		t.Fatal("leaf must run ospf")
+	}
+	if len(leaf.Process(config.OSPF).Adjacencies) != 2 {
+		t.Error("leaf0 should peer with both spines")
+	}
+	if len(leaf.Process(config.OSPF).Originations) != 1 {
+		t.Error("leaf0 should originate its subnet")
+	}
+	if leaf.PacketFilter("tmpl_leaf") == nil {
+		t.Error("role filter missing")
+	}
+	// Same-role routers have identical filter sections.
+	if len(net.Routers["leaf1"].PacketFilters) != 1 ||
+		net.Routers["leaf1"].PacketFilters[0].Name != "tmpl_leaf" {
+		t.Error("template filter should repeat across leaves")
+	}
+}
+
+func TestGeneratedNetworkRoutes(t *testing.T) {
+	topo := topology.LeafSpine(4, 2, 1)
+	net := Generate(topo, Options{Protocol: config.OSPF})
+	sim := simulate.New(net, topo)
+	ps := sim.InferReachability()
+	// 4 subnets: all 12 ordered pairs must be reachable.
+	if len(ps) != 12 {
+		t.Fatalf("inferred %d policies, want 12:\n%s", len(ps), policy.Format(ps))
+	}
+}
+
+func TestGeneratedBGPZoo(t *testing.T) {
+	topo := topology.Zoo(20, 11)
+	net := Generate(topo, Options{Protocol: config.BGP})
+	if err := net.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	sim := simulate.New(net, topo)
+	ps := sim.InferReachability()
+	want := 20 * 19
+	if len(ps) != want {
+		t.Fatalf("inferred %d policies, want %d (all pairs)", len(ps), want)
+	}
+}
+
+func TestLinkAddressesConsistent(t *testing.T) {
+	topo := topology.Line(3)
+	net := Generate(topo, Options{Protocol: config.OSPF})
+	a := net.Routers["r0"].Interface("eth-r1").Addr
+	b := net.Routers["r1"].Interface("eth-r0").Addr
+	if a.Len != 30 || b.Len != 30 {
+		t.Fatal("link addresses must be /30")
+	}
+	if a.Addr == b.Addr {
+		t.Error("two ends must differ")
+	}
+	// Same /30 network.
+	if (a.Addr &^ 3) != (b.Addr &^ 3) {
+		t.Errorf("ends on different networks: %s vs %s", a, b)
+	}
+}
+
+func TestDatacenterFleet(t *testing.T) {
+	fleet := DatacenterFleet(24, 1)
+	if len(fleet) != 24 {
+		t.Fatalf("fleet = %d", len(fleet))
+	}
+	for _, topo := range fleet {
+		n := len(topo.Routers)
+		if n < 2 || n > 24 {
+			t.Errorf("%s: %d routers outside paper's 2..24 range", topo.Name, n)
+		}
+		if !topo.Connected() {
+			t.Errorf("%s not connected", topo.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	topo := topology.Zoo(10, 5)
+	a := Generate(topo, Options{Protocol: config.BGP, Seed: 3})
+	b := Generate(topo, Options{Protocol: config.BGP, Seed: 3})
+	pa, pb := config.PrintNetwork(a), config.PrintNetwork(b)
+	for name := range pa {
+		if pa[name] != pb[name] {
+			t.Fatalf("generation not deterministic for %s", name)
+		}
+	}
+}

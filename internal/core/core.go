@@ -1,0 +1,284 @@
+// Package core is the AED engine: it orchestrates the full synthesis
+// pipeline of the paper — group policies by destination (§8), build a
+// symbolic sketch and policy constraints per group (§5–6), translate
+// management objectives to soft constraints (§7), solve the MaxSMT
+// instances (in parallel by default), merge the extracted edits, and
+// validate the updated configurations with the concrete simulator.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/encode"
+	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/smt"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Options configure a synthesis run.
+type Options struct {
+	// Objectives are the management objectives to maximize.
+	Objectives []objective.Objective
+	// MinimizeLines adds a unit-weight penalty per delta variable —
+	// the exact min-lines objective (each changed line costs one).
+	MinimizeLines bool
+	// Parallel solves per-destination instances concurrently (§8).
+	// When false with Monolithic false, instances run sequentially
+	// (still split). Default true via DefaultOptions.
+	Parallel bool
+	// Monolithic disables per-destination splitting entirely and
+	// solves one joint MaxSMT problem (the Fig. 14 baseline).
+	Monolithic bool
+	// Workers bounds solver goroutines (0 = GOMAXPROCS).
+	Workers int
+	// Strategy selects the MaxSAT search algorithm.
+	Strategy smt.Strategy
+	// Encode tunes the underlying encoding (pruning, integer widths).
+	Encode encode.Options
+	// Validate re-checks the result with the simulator and reports
+	// violations in Result.Violations. Default true.
+	Validate bool
+	// Explain computes, for each unsatisfiable destination, a minimal
+	// conflicting policy subset (Result.Conflicts). Costs extra solver
+	// calls; off by default.
+	Explain bool
+}
+
+// DefaultOptions returns the paper's fully optimized configuration.
+func DefaultOptions() Options {
+	return Options{
+		Parallel: true,
+		Strategy: smt.LinearDescent,
+		Encode:   encode.DefaultOptions(),
+		Validate: true,
+	}
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	// Updated is the synthesized network (nil when Sat is false).
+	Updated *config.Network
+	// Sat reports whether every instance was satisfiable.
+	Sat bool
+	// UnsatDestinations lists destinations whose instances were
+	// unsatisfiable (conflicting or unimplementable policies).
+	UnsatDestinations []prefix.Prefix
+	// Conflicts explains unsatisfiable destinations: for each, a
+	// minimal mutually-unimplementable policy subset (computed when
+	// Options.Explain is set).
+	Conflicts map[string][]policy.Policy
+	// Edits are the merged configuration changes.
+	Edits []encode.Edit
+	// Diff summarizes the change w.r.t. the input snapshot.
+	Diff *config.DiffStats
+	// ObjectiveViolations counts violated soft-constraint weight
+	// across instances.
+	ObjectiveViolations int
+	// Violations lists policies the updated network still violates
+	// (empty in normal operation; populated only if the symbolic
+	// model and the simulator disagree).
+	Violations []simulate.Violation
+	// Duration is the end-to-end synthesis time; SolveTime the summed
+	// per-instance solver time (= critical path when parallel).
+	Duration  time.Duration
+	SolveTime time.Duration
+	// Instances describes each per-destination problem.
+	Instances []InstanceStats
+}
+
+// InstanceStats reports one per-destination instance.
+type InstanceStats struct {
+	Destination prefix.Prefix
+	Policies    int
+	NumVars     int
+	NumDeltas   int
+	Iterations  int
+	Duration    time.Duration
+	Sat         bool
+}
+
+// Synthesize computes configuration updates for net on topo that
+// satisfy ps and maximally satisfy the objectives.
+func Synthesize(net *config.Network, topo *topology.Topology, ps []policy.Policy, opts Options) (*Result, error) {
+	start := time.Now()
+	ps = policy.SubdividePolicies(policy.Dedup(ps))
+	groups := policy.GroupByDestination(ps)
+	dests := make([]prefix.Prefix, 0, len(groups))
+	for d := range groups {
+		dests = append(dests, d)
+	}
+	prefix.Sort(dests)
+
+	res := &Result{Sat: true}
+	if opts.Monolithic {
+		if err := solveMonolithic(net, topo, groups, dests, opts, res); err != nil {
+			return nil, err
+		}
+	} else if err := solveSplit(net, topo, groups, dests, opts, res); err != nil {
+		return nil, err
+	}
+
+	if res.Sat {
+		res.Updated = encode.Apply(net, res.Edits)
+		res.Diff = config.Diff(net, res.Updated)
+		if opts.Validate {
+			sim := simulate.New(res.Updated, topo)
+			res.Violations = sim.CheckAll(ps)
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// instantiateObjectives builds the desugared instances against the
+// delta-augmented tree.
+func instantiateObjectives(net *config.Network, objs []objective.Objective, deltas []*encode.Delta) []objective.Instance {
+	tree := config.Tree(net)
+	encode.AugmentTree(tree, deltas)
+	return objective.InstantiateAll(objs, tree)
+}
+
+func solveMonolithic(net *config.Network, topo *topology.Topology,
+	groups map[prefix.Prefix][]policy.Policy, dests []prefix.Prefix,
+	opts Options, res *Result) error {
+
+	j := encode.NewJoint(net, topo, opts.Encode)
+	total := 0
+	for _, d := range dests {
+		if err := j.AddGroup(d, groups[d]); err != nil {
+			return err
+		}
+		total += len(groups[d])
+	}
+	j.AddObjectives(instantiateObjectives(net, opts.Objectives, j.Deltas()))
+	if opts.MinimizeLines {
+		j.PenalizeDeltas(1)
+	}
+	r := j.Solve(opts.Strategy)
+	res.SolveTime = r.Duration
+	res.Instances = append(res.Instances, InstanceStats{
+		Policies: total, NumVars: r.NumVars, NumDeltas: r.NumDeltas,
+		Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
+	})
+	if !r.Sat {
+		res.Sat = false
+		res.UnsatDestinations = dests
+		return nil
+	}
+	res.Edits = r.Edits
+	res.ObjectiveViolations = r.ViolatedWeight
+	return nil
+}
+
+func solveSplit(net *config.Network, topo *topology.Topology,
+	groups map[prefix.Prefix][]policy.Policy, dests []prefix.Prefix,
+	opts Options, res *Result) error {
+
+	type outcome struct {
+		dest   prefix.Prefix
+		result *encode.Result
+		err    error
+	}
+	outcomes := make([]outcome, len(dests))
+
+	solveOne := func(i int) {
+		d := dests[i]
+		e := encode.New(net, topo, d, opts.Encode)
+		if err := e.EncodePolicies(groups[d]); err != nil {
+			outcomes[i] = outcome{dest: d, err: err}
+			return
+		}
+		e.AddObjectives(instantiateObjectives(net, opts.Objectives, e.Deltas()))
+		if opts.MinimizeLines {
+			e.PenalizeDeltas(1)
+		}
+		outcomes[i] = outcome{dest: d, result: e.Solve(opts.Strategy)}
+	}
+
+	if opts.Parallel && len(dests) > 1 {
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range dests {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				solveOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range dests {
+			solveOne(i)
+		}
+	}
+
+	var critical time.Duration
+	for i, o := range outcomes {
+		if o.err != nil {
+			return fmt.Errorf("destination %s: %w", o.dest, o.err)
+		}
+		r := o.result
+		res.Instances = append(res.Instances, InstanceStats{
+			Destination: o.dest, Policies: len(groups[dests[i]]),
+			NumVars: r.NumVars, NumDeltas: r.NumDeltas,
+			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
+		})
+		res.SolveTime += r.Duration
+		if r.Duration > critical {
+			critical = r.Duration
+		}
+		if !r.Sat {
+			res.Sat = false
+			res.UnsatDestinations = append(res.UnsatDestinations, o.dest)
+			if opts.Explain {
+				explainer := encode.New(net, topo, o.dest, opts.Encode)
+				conflict, err := explainer.ExplainConflict(groups[o.dest])
+				if err == nil && len(conflict) > 0 {
+					if res.Conflicts == nil {
+						res.Conflicts = make(map[string][]policy.Policy)
+					}
+					res.Conflicts[o.dest.String()] = conflict
+				}
+			}
+			continue
+		}
+		res.Edits = append(res.Edits, r.Edits...)
+		res.ObjectiveViolations += r.ViolatedWeight
+	}
+	return nil
+}
+
+// MinLinesOptions enables the exact min-lines objective on opts: one
+// unit-weight penalty per delta variable, so each changed line counts
+// one violation (the Fig. 9 min-lines configuration).
+func MinLinesOptions(opts Options) Options {
+	opts.MinimizeLines = true
+	return opts
+}
+
+// SortEdits orders edits deterministically for stable reports.
+func SortEdits(edits []encode.Edit) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Router != edits[j].Router {
+			return edits[i].Router < edits[j].Router
+		}
+		if edits[i].Kind != edits[j].Kind {
+			return edits[i].Kind < edits[j].Kind
+		}
+		return edits[i].String() < edits[j].String()
+	})
+}

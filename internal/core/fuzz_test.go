@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// TestSynthesizeRandomized is the end-to-end soundness property: on
+// random topologies with random policy mixes, whenever Synthesize
+// reports Sat the updated configurations must satisfy every policy
+// under the independent simulator — no model/simulator divergence, no
+// cross-instance conflicts from parallel per-destination solving.
+func TestSynthesizeRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	objLib := []string{"", "min-devices", "preserve-templates", "min-pfs"}
+	for iter := 0; iter < 25; iter++ {
+		// Random topology family.
+		var topo *topology.Topology
+		switch rng.Intn(3) {
+		case 0:
+			topo = topology.LeafSpine(2+rng.Intn(3), 1+rng.Intn(2), 1)
+		case 1:
+			topo = topology.Zoo(5+rng.Intn(6), int64(iter))
+		default:
+			topo = topology.Line(3 + rng.Intn(3))
+		}
+		proto := config.OSPF
+		if rng.Intn(2) == 0 {
+			proto = config.BGP
+		}
+		net := configgen.Generate(topo, configgen.Options{
+			Protocol:        proto,
+			WithRoleFilters: rng.Intn(2) == 0,
+			Seed:            int64(iter),
+		})
+		sim := simulate.New(net, topo)
+		base := sim.InferReachability()
+		if len(base) < 2 {
+			continue
+		}
+
+		// Random policy mix: flip some reach policies to blocking,
+		// add a waypoint when the topology offers a transit choice.
+		rng.Shuffle(len(base), func(i, j int) { base[i], base[j] = base[j], base[i] })
+		nBlock := 1 + rng.Intn(2)
+		var ps []policy.Policy
+		for i, p := range base {
+			if i < nBlock {
+				ps = append(ps, policy.Policy{Kind: policy.Blocking, Src: p.Src, Dst: p.Dst})
+			} else {
+				ps = append(ps, p)
+			}
+		}
+
+		opts := DefaultOptions()
+		opts.MinimizeLines = rng.Intn(2) == 0
+		if name := objLib[rng.Intn(len(objLib))]; name != "" {
+			objs, err := objective.Named(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Objectives = objs
+		}
+		if rng.Intn(4) == 0 {
+			opts.Monolithic = true
+		}
+
+		res, err := Synthesize(net, topo, ps, opts)
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", iter, topo.Name, err)
+		}
+		if !res.Sat {
+			// Blocking+reach mixes are always implementable on these
+			// workloads (the blocked pairs were removed from base).
+			t.Fatalf("iter %d (%s): unexpected unsat for %v", iter, topo.Name, res.UnsatDestinations)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("iter %d (%s, monolithic=%v): violations after synthesis: %v",
+				iter, topo.Name, opts.Monolithic, res.Violations)
+		}
+		// The original network object must not have been mutated.
+		if d := config.Diff(net, net.Clone()); d.LinesChanged() != 0 {
+			t.Fatalf("iter %d: input network mutated", iter)
+		}
+	}
+}
+
+// TestSynthesizeIdempotent: running AED on its own output with the
+// same policies must require no further edits.
+func TestSynthesizeIdempotent(t *testing.T) {
+	topo := topology.LeafSpine(3, 2, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF, WithRoleFilters: true})
+	sim := simulate.New(net, topo)
+	base := sim.InferReachability()
+	ps := append([]policy.Policy{
+		{Kind: policy.Blocking, Src: base[0].Src, Dst: base[0].Dst},
+	}, RemoveFromBase(base, base[0])...)
+
+	opts := MinLinesOptions(DefaultOptions())
+	res1, err := Synthesize(net, topo, ps, opts)
+	if err != nil || !res1.Sat || len(res1.Violations) != 0 {
+		t.Fatalf("first run failed: %v", err)
+	}
+	res2, err := Synthesize(res1.Updated, topo, ps, opts)
+	if err != nil || !res2.Sat {
+		t.Fatalf("second run failed: %v", err)
+	}
+	if res2.Diff.LinesChanged() != 0 {
+		t.Errorf("second run should be a no-op, changed %d lines: %v",
+			res2.Diff.LinesChanged(), res2.Edits)
+	}
+}
+
+// RemoveFromBase filters one policy's traffic class out of a base set.
+func RemoveFromBase(base []policy.Policy, gone policy.Policy) []policy.Policy {
+	var out []policy.Policy
+	for _, p := range base {
+		if p.Src.Equal(gone.Src) && p.Dst.Equal(gone.Dst) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+// Package cpr implements a CPR-like baseline (Gember-Jacobson et al.,
+// SOSP 2017): graph-based control-plane repair that computes updates
+// changing the fewest configuration lines. CPR's defining behaviours,
+// reproduced here for the paper's comparisons, are (a) fast repair via
+// a greedy search over a graph model of the control plane rather than
+// an SMT encoding, and (b) blindness to configuration structure and
+// feature-usage objectives: it freely adds per-device filters or
+// static routes, causing the template violations and filter growth
+// the paper's Figures 9–10 report.
+package cpr
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/encode"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Result reports a repair run.
+type Result struct {
+	Updated    *config.Network
+	Sat        bool
+	Edits      []encode.Edit
+	Diff       *config.DiffStats
+	Duration   time.Duration
+	Violations []simulate.Violation
+}
+
+// Repair computes minimal-line updates satisfying ps. It processes
+// violated policies one at a time, choosing for each the candidate
+// repair with the fewest lines that fixes the policy without breaking
+// previously satisfied ones (checked against the simulator, CPR's
+// graph-model stand-in).
+func Repair(net *config.Network, topo *topology.Topology, ps []policy.Policy) (*Result, error) {
+	start := time.Now()
+	cur := net.Clone()
+	var edits []encode.Edit
+
+	for pass := 0; pass < 3; pass++ {
+		sim := simulate.New(cur, topo)
+		violations := sim.CheckAll(ps)
+		if len(violations) == 0 {
+			break
+		}
+		progressed := false
+		for _, v := range violations {
+			cand, err := candidateRepairs(cur, topo, v.Policy)
+			if err != nil {
+				return nil, err
+			}
+			applied := false
+			for _, c := range cand {
+				trial := encode.Apply(cur, c)
+				tsim := simulate.New(trial, topo)
+				if tsim.Check(v.Policy) != nil {
+					continue
+				}
+				// Must not regress other policies.
+				if len(tsim.CheckAll(ps)) > len(violations)-1 {
+					continue
+				}
+				cur = trial
+				edits = append(edits, c...)
+				applied = true
+				progressed = true
+				break
+			}
+			if !applied {
+				continue
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	sim := simulate.New(cur, topo)
+	finalViolations := sim.CheckAll(ps)
+	return &Result{
+		Updated:    cur,
+		Sat:        len(finalViolations) == 0,
+		Edits:      edits,
+		Diff:       config.Diff(net, cur),
+		Duration:   time.Since(start),
+		Violations: finalViolations,
+	}, nil
+}
+
+// candidateRepairs enumerates candidate edit sets for one violated
+// policy, ordered by line count (fewest first). CPR's bias: the
+// cheapest local fix, with no regard for which device is touched or
+// whether a template is broken.
+func candidateRepairs(net *config.Network, topo *topology.Topology, p policy.Policy) ([][]encode.Edit, error) {
+	switch p.Kind {
+	case policy.Blocking, policy.Isolation:
+		return blockCandidates(net, topo, p), nil
+	case policy.Reachability:
+		return reachCandidates(net, topo, p), nil
+	case policy.Waypoint:
+		return waypointCandidates(net, topo, p), nil
+	case policy.PathPreference:
+		return waypointCandidates(net, topo, policy.Policy{
+			Kind: policy.Waypoint, Src: p.Src, Dst: p.Dst, Via: p.Via}), nil
+	}
+	return nil, fmt.Errorf("cpr: unsupported policy kind %v", p.Kind)
+}
+
+// blockCandidates: add a single deny rule at some hop of the current
+// path — the classic min-lines fix. Candidates start at the first hop.
+func blockCandidates(net *config.Network, topo *topology.Topology, p policy.Policy) [][]encode.Edit {
+	sim := simulate.New(net, topo)
+	path, st := sim.Path(p.Src, p.Dst)
+	if st != simulate.Delivered {
+		return nil
+	}
+	var out [][]encode.Edit
+	for i := 0; i+1 < len(path); i++ {
+		from, to := path[i], path[i+1]
+		r := net.Routers[to]
+		if r == nil {
+			continue
+		}
+		iface := r.Interface("eth-" + from)
+		if iface == nil {
+			continue
+		}
+		rule := encode.Edit{Kind: encode.AddPacketRuleFront, Router: to,
+			Src: p.Src, Prefix: p.Dst, Permit: false}
+		if iface.FilterIn != "" {
+			rule.Filter = iface.FilterIn
+			out = append(out, []encode.Edit{rule})
+		} else {
+			// New filter + attach: 2 lines. CPR does not care that
+			// this creates a device-specific filter.
+			name := fmt.Sprintf("cpr_%s_%s", to, iface.Name)
+			rule.Filter = name
+			out = append(out, []encode.Edit{
+				rule,
+				{Kind: encode.AttachPacketFilter, Router: to, Iface: iface.Name, Filter: name},
+			})
+		}
+	}
+	return out
+}
+
+// reachCandidates: remove blocking packet-filter rules along the
+// control-plane path, add permit rules in front of them, or add static
+// routes when no route exists.
+func reachCandidates(net *config.Network, topo *topology.Topology, p policy.Policy) [][]encode.Edit {
+	var out [][]encode.Edit
+	sim := simulate.New(net, topo)
+	path, st := sim.Path(p.Src, p.Dst)
+	switch st {
+	case simulate.Filtered:
+		// Find the filtering hop: last router on path plus its next.
+		hops := sim.NextHops(p.Dst)
+		cur := path[len(path)-1]
+		next := hops[cur]
+		if next != "" {
+			// Permit rule in front of the offending filter(s).
+			if r := net.Routers[next]; r != nil {
+				if iface := r.Interface("eth-" + cur); iface != nil && iface.FilterIn != "" {
+					out = append(out, []encode.Edit{{
+						Kind: encode.AddPacketRuleFront, Router: next,
+						Filter: iface.FilterIn, Src: p.Src, Prefix: p.Dst, Permit: true,
+					}})
+				}
+			}
+			if r := net.Routers[cur]; r != nil {
+				if iface := r.Interface("eth-" + next); iface != nil && iface.FilterOut != "" {
+					out = append(out, []encode.Edit{{
+						Kind: encode.AddPacketRuleFront, Router: cur,
+						Filter: iface.FilterOut, Src: p.Src, Prefix: p.Dst, Permit: true,
+					}})
+				}
+			}
+		}
+	case simulate.NoRoute, simulate.Looped:
+		// Static routes along the shortest physical path: one line per
+		// hop that lacks a route.
+		dstRouter := topo.RouterOfSubnet(p.Dst)
+		srcRouter := topo.RouterOfSubnet(p.Src)
+		if dstRouter == "" || srcRouter == "" {
+			return nil
+		}
+		sp := topo.ShortestPath(srcRouter, dstRouter)
+		if sp == nil {
+			return nil
+		}
+		hops := sim.NextHops(p.Dst)
+		var edits []encode.Edit
+		for i := 0; i+1 < len(sp); i++ {
+			if _, ok := hops[sp[i]]; ok {
+				continue // already has a route
+			}
+			edits = append(edits, encode.Edit{
+				Kind: encode.AddStaticRoute, Router: sp[i],
+				Prefix: p.Dst, Peer: sp[i+1],
+			})
+		}
+		if len(edits) > 0 {
+			out = append(out, edits)
+		}
+		// Alternative: restore adjacency along the path (2 lines per
+		// missing side).
+		var adjEdits []encode.Edit
+		for i := 0; i+1 < len(sp); i++ {
+			a, b := sp[i], sp[i+1]
+			adjEdits = append(adjEdits, missingAdjacencyEdits(net, a, b)...)
+		}
+		if len(adjEdits) > 0 {
+			out = append(out, adjEdits)
+		}
+	}
+	return out
+}
+
+// missingAdjacencyEdits restores a bidirectional adjacency between a
+// and b for a protocol both run.
+func missingAdjacencyEdits(net *config.Network, a, b string) []encode.Edit {
+	ra, rb := net.Routers[a], net.Routers[b]
+	if ra == nil || rb == nil {
+		return nil
+	}
+	for _, proto := range config.Protocols {
+		pa, pb := ra.Process(proto), rb.Process(proto)
+		if pa == nil || pb == nil {
+			continue
+		}
+		var edits []encode.Edit
+		if pa.Adjacency(b) == nil {
+			edits = append(edits, encode.Edit{Kind: encode.AddAdjacency, Router: a, Proto: proto, Peer: b})
+		}
+		if pb.Adjacency(a) == nil {
+			edits = append(edits, encode.Edit{Kind: encode.AddAdjacency, Router: b, Proto: proto, Peer: a})
+		}
+		if len(edits) > 0 {
+			return edits
+		}
+	}
+	return nil
+}
+
+// waypointCandidates: steer the path through the waypoint with static
+// routes along shortest paths src→via→dst.
+func waypointCandidates(net *config.Network, topo *topology.Topology, p policy.Policy) [][]encode.Edit {
+	srcRouter := topo.RouterOfSubnet(p.Src)
+	dstRouter := topo.RouterOfSubnet(p.Dst)
+	if srcRouter == "" || dstRouter == "" || p.Via == "" {
+		return nil
+	}
+	first := topo.ShortestPath(srcRouter, p.Via)
+	second := topo.ShortestPath(p.Via, dstRouter)
+	if first == nil || second == nil {
+		return nil
+	}
+	full := append(first, second[1:]...)
+	seen := map[string]bool{}
+	var edits []encode.Edit
+	for i := 0; i+1 < len(full); i++ {
+		if seen[full[i]] {
+			continue
+		}
+		seen[full[i]] = true
+		edits = append(edits, encode.Edit{
+			Kind: encode.AddStaticRoute, Router: full[i],
+			Prefix: p.Dst, Peer: full[i+1],
+		})
+	}
+	if len(edits) == 0 {
+		return nil
+	}
+	return [][]encode.Edit{edits}
+}

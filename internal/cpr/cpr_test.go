@@ -1,0 +1,130 @@
+package cpr
+
+import (
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+func testNet(t *testing.T) (*config.Network, *topology.Topology) {
+	t.Helper()
+	topo := topology.LeafSpine(3, 2, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF, WithRoleFilters: true})
+	return net, topo
+}
+
+func TestRepairBlocking(t *testing.T) {
+	net, topo := testNet(t)
+	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	res, err := Repair(net, topo, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatalf("violations remain: %v", res.Violations)
+	}
+	if res.Diff.LinesChanged() == 0 {
+		t.Error("expected at least one edit")
+	}
+	// CPR minimizes lines: a single deny rule on the existing filter.
+	if res.Diff.LinesChanged() > 2 {
+		t.Errorf("CPR changed %d lines, expected minimal (<=2)", res.Diff.LinesChanged())
+	}
+}
+
+func TestRepairReachFiltered(t *testing.T) {
+	net, topo := testNet(t)
+	// Block the class first, then ask CPR to restore it.
+	blocked, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	res1, err := Repair(net, topo, blocked)
+	if err != nil || !res1.Sat {
+		t.Fatal("setup block failed")
+	}
+	ps, _ := policy.Parse("reach 10.0.0.0/24 -> 10.1.0.0/24\n")
+	res2, err := Repair(res1.Updated, topo, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Sat {
+		t.Fatalf("violations remain: %v", res2.Violations)
+	}
+}
+
+func TestRepairReachNoRoute(t *testing.T) {
+	net, topo := testNet(t)
+	// Remove leaf1's origination so 10.1/24 is unreachable.
+	leaf1 := net.Routers["leaf1"]
+	leaf1.Process(config.OSPF).Originations = nil
+	ps, _ := policy.Parse("reach 10.0.0.0/24 -> 10.1.0.0/24\n")
+	sim := simulate.New(net, topo)
+	if len(sim.CheckAll(ps)) == 0 {
+		t.Fatal("precondition failed")
+	}
+	res, err := Repair(net, topo, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatalf("violations remain: %v", res.Violations)
+	}
+}
+
+func TestRepairPreservesOtherPolicies(t *testing.T) {
+	net, topo := testNet(t)
+	sim := simulate.New(net, topo)
+	base := sim.InferReachability()
+	target := policy.Policy{Kind: policy.Blocking,
+		Src: base[0].Src, Dst: base[0].Dst}
+	var ps []policy.Policy
+	for _, p := range base {
+		if p.Src.Equal(target.Src) && p.Dst.Equal(target.Dst) {
+			continue
+		}
+		ps = append(ps, p)
+	}
+	ps = append(ps, target)
+	res, err := Repair(net, topo, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatalf("violations remain: %v", res.Violations)
+	}
+}
+
+func TestRepairWaypoint(t *testing.T) {
+	net, topo := testNet(t)
+	ps := []policy.Policy{{
+		Kind: policy.Waypoint,
+		Src:  topo.SubnetsOf("leaf0")[0],
+		Dst:  topo.SubnetsOf("leaf1")[0],
+		Via:  "spine1",
+	}}
+	sim := simulate.New(net, topo)
+	if sim.Check(ps[0]) == nil {
+		t.Skip("waypoint already satisfied by tie-break")
+	}
+	res, err := Repair(net, topo, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatalf("violations remain: %v", res.Violations)
+	}
+}
+
+func TestRepairNothingToDo(t *testing.T) {
+	net, topo := testNet(t)
+	ps, _ := policy.Parse("reach 10.0.0.0/24 -> 10.1.0.0/24\n")
+	res, err := Repair(net, topo, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat || res.Diff.LinesChanged() != 0 {
+		t.Error("satisfied policy should need no edits")
+	}
+}

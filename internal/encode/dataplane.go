@@ -1,0 +1,285 @@
+package encode
+
+import (
+	"fmt"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/smt"
+)
+
+// pfAllow encodes whether packets of the (src, dst) traffic class are
+// allowed across the directed hop u→v: u's outbound filter on its
+// eth-v interface and v's inbound filter on its eth-u interface both
+// permit. Existing matching rules get removal and action-flip deltas;
+// v's inbound side additionally gets a potential new (src,dst) rule —
+// the construct AED uses to implement blocking policies (Fig. 7).
+func (e *Encoder) pfAllow(src prefix.Prefix, u, v string) *smt.Formula {
+	key := src.String() + "|" + u + ">" + v
+	if f, ok := e.pfAllowCache[key]; ok {
+		return f
+	}
+	ur := e.net.Routers[u]
+	vr := e.net.Routers[v]
+	out := smt.TrueF
+	if ur != nil {
+		if iface := ur.Interface("eth-" + v); iface != nil && iface.FilterOut != "" {
+			out = smt.And(out, e.packetFilterChain(ur, iface.FilterOut, src, "", false))
+		}
+	}
+	if vr != nil {
+		iface := vr.Interface("eth-" + u)
+		filterName := ""
+		ifaceName := "eth-" + u
+		if iface != nil {
+			filterName = iface.FilterIn
+		}
+		out = smt.And(out, e.packetFilterChain(vr, filterName, src, ifaceName, true))
+	}
+	e.pfAllowCache[key] = out
+	return out
+}
+
+// packetFilterChain encodes one packet filter's first-match outcome
+// for the (src, e.dst) class. When inbound, a potential new
+// class-specific rule (and, if needed, a new filter attachment) is
+// modeled.
+func (e *Encoder) packetFilterChain(r *config.Router, filterName string, src prefix.Prefix, ifaceName string, inbound bool) *smt.Formula {
+	var f *config.PacketFilter
+	name := filterName
+	if filterName != "" {
+		f = r.PacketFilter(filterName)
+	} else {
+		name = fmt.Sprintf("aed_pf_%s_%s", r.Name, ifaceName)
+	}
+	// A named filter attached to several interfaces is one object: its
+	// chain (including the potential added rule and that rule's action)
+	// must be shared, or the model could behave differently per
+	// interface while extraction emits a single physical rule.
+	cacheKey := fmt.Sprintf("%s|%s|%s|%v", r.Name, name, src, inbound)
+	if cached, ok := e.pfChainCache[cacheKey]; ok {
+		return cached
+	}
+
+	type link struct {
+		matched *smt.Formula
+		allow   *smt.Formula
+	}
+	var chain []link
+
+	if inbound {
+		addD := e.reg.get(
+			fmt.Sprintf("add_%s_pFil_%s_%s_%s", r.Name, name, src, e.dst),
+			DeltaAdd,
+			fmt.Sprintf("%s/PacketFilter[%s]/Rule[new:%s>%s]", r.Name, name, src, e.dst),
+			Edit{Kind: AddPacketRuleFront, Router: r.Name, Filter: name, Src: src, Prefix: e.dst},
+		)
+		allowD := e.Ctx.BoolVar(fmt.Sprintf("%s_pFil_%s_%s_%s_allow", r.Name, name, src, e.dst))
+		addD.ValueOf = func(m *smt.Model, ed *Edit) { ed.Permit = m.Bool(allowD) }
+		e.reg.getAux(addD.Name+"_deny", DeltaAdd, addD.Path, "deny",
+			smt.And(addD.Bool, smt.Not(allowD)))
+		chain = append(chain, link{matched: addD.Bool, allow: allowD})
+		if filterName == "" {
+			// Attaching a brand-new filter to the interface. The
+			// delta's path is the virtual filter itself so structural
+			// objectives over (virtual) PacketFilter subtrees cover it.
+			attach := e.reg.get(
+				fmt.Sprintf("add_%s_pFilAttach_%s", r.Name, ifaceName),
+				DeltaAdd,
+				fmt.Sprintf("%s/PacketFilter[%s]", r.Name, name),
+				Edit{Kind: AttachPacketFilter, Router: r.Name, Iface: ifaceName, Filter: name},
+			)
+			e.Ctx.Assert(smt.Implies(addD.Bool, attach.Bool))
+		}
+	}
+
+	if f != nil {
+		for i, rule := range f.Rules {
+			matches := rule.Matches(src, e.dst)
+			if e.opts.Prune && !matches {
+				continue
+			}
+			if e.opts.Split && e.coversOtherSubnet(rule.Dst) {
+				// Broad rule (matches other destinations' traffic):
+				// fixed in split mode; the prepended class-specific
+				// rule can still override it.
+				chain = append(chain, link{
+					matched: smt.Const(matches),
+					allow:   smt.Const(rule.Permit),
+				})
+				continue
+			}
+			rmD := e.reg.get(
+				fmt.Sprintf("rm_%s_pFil_%s_%d", r.Name, f.Name, i),
+				DeltaRemove,
+				fmt.Sprintf("%s/PacketFilter[%s]/Rule[%d]", r.Name, f.Name, i),
+				Edit{Kind: RemovePacketRule, Router: r.Name, Filter: f.Name, RuleIndex: i},
+			)
+			flipD := e.reg.get(
+				fmt.Sprintf("mod_%s_pFil_%s_%d_allow", r.Name, f.Name, i),
+				DeltaModify,
+				fmt.Sprintf("%s/PacketFilter[%s]/Rule[%d]", r.Name, f.Name, i),
+				Edit{Kind: FlipPacketRuleAction, Router: r.Name, Filter: f.Name, RuleIndex: i},
+			)
+			matchedF := smt.And(smt.Const(matches), smt.Not(rmD.Bool))
+			var allowF *smt.Formula
+			if rule.Permit {
+				allowF = smt.Not(flipD.Bool)
+			} else {
+				allowF = flipD.Bool
+			}
+			chain = append(chain, link{matched: matchedF, allow: allowF})
+		}
+	}
+
+	allow := smt.TrueF
+	notEarlier := smt.TrueF
+	for _, lnk := range chain {
+		cond := smt.And(notEarlier, lnk.matched)
+		allow = smt.And(allow, smt.Implies(cond, lnk.allow))
+		notEarlier = smt.And(notEarlier, smt.Not(lnk.matched))
+	}
+	e.pfChainCache[cacheKey] = allow
+	return allow
+}
+
+// reachable returns (building on first use) the formula "traffic of
+// class (src, dst) injected at router start is delivered to the
+// destination router" in environment v. Well-foundedness comes from
+// controlFwd's acyclicity (cost equations exclude loops), so the
+// mutually recursive reach definitions are consistent only for real
+// forwarding paths.
+func (e *Encoder) reachable(v *env, src prefix.Prefix, start string) *smt.Formula {
+	e.buildReach(v, src)
+	return v.reach[src.String()+"|"+start]
+}
+
+// buildReach defines reach variables for every router for the class.
+func (e *Encoder) buildReach(v *env, src prefix.Prefix) {
+	tag := src.String()
+	if _, ok := v.reach[tag+"|"+e.dstRouter]; ok {
+		return
+	}
+	suffix := ""
+	if v.failed != "" {
+		suffix = "@fail_" + v.failed
+	}
+	routers := e.net.RouterNames()
+	vars := make(map[string]*smt.Formula, len(routers))
+	for _, name := range routers {
+		vars[name] = e.Ctx.BoolVar(fmt.Sprintf("reach_%s_%s%s", tag, name, suffix))
+		v.reach[tag+"|"+name] = vars[name]
+	}
+	for _, name := range routers {
+		if name == e.dstRouter {
+			// Delivered on arrival (the destination subnet hangs off
+			// this router). A failed destination delivers nothing.
+			if v.failed == name {
+				e.Ctx.Assert(smt.Not(vars[name]))
+			} else {
+				e.Ctx.Assert(vars[name])
+			}
+			continue
+		}
+		var hops []*smt.Formula
+		for _, peer := range e.topo.Neighbors(name) {
+			fwd := v.controlFwd[name+">"+peer]
+			if fwd == nil {
+				continue
+			}
+			dataFwd := smt.And(fwd, e.pfAllow(src, name, peer))
+			hops = append(hops, smt.And(dataFwd, vars[peer]))
+		}
+		e.Ctx.Assert(smt.Iff(vars[name], smt.Or(hops...)))
+	}
+}
+
+// hopBound returns the formula "the delivered path of class (src,dst)
+// from router start uses at most k hops" in environment v, encoding
+// exact per-router hop distances along the forwarding function (§6.2
+// path-length constraints). The distance of the destination router is
+// 0; every delivered router's distance is its next hop's plus one.
+func (e *Encoder) hopBound(v *env, src prefix.Prefix, start string, k int) *smt.Formula {
+	e.buildReach(v, src)
+	tag := src.String()
+	suffix := ""
+	if v.failed != "" {
+		suffix = "@fail_" + v.failed
+	}
+	routers := e.net.RouterNames()
+	maxD := len(routers)
+	dist := make(map[string]*smt.NatVar, len(routers))
+	for _, name := range routers {
+		dist[name] = e.Ctx.NatVarOf(fmt.Sprintf("hopdist_%s_%s%s_k%d", tag, name, suffix, k), maxD)
+	}
+	e.Ctx.Assert(dist[e.dstRouter].EqConstNat(0))
+	for _, name := range routers {
+		if name == e.dstRouter {
+			continue
+		}
+		reachU := v.reach[tag+"|"+name]
+		for _, peer := range e.topo.Neighbors(name) {
+			fwd := v.controlFwd[name+">"+peer]
+			if fwd == nil || fwd == smt.FalseF {
+				continue
+			}
+			dataFwd := smt.And(fwd, e.pfAllow(src, name, peer))
+			reachV := v.reach[tag+"|"+peer]
+			e.Ctx.Assert(smt.Implies(
+				smt.And(reachU, dataFwd, reachV),
+				smt.NatEqOffset(dist[name], dist[peer], 1)))
+		}
+	}
+	return dist[start].LeConst(k)
+}
+
+// visits returns the formula "the forwarding path of class (src,dst)
+// from router start traverses router via" in environment v.
+func (e *Encoder) visits(v *env, src prefix.Prefix, start, via string) *smt.Formula {
+	tag := src.String() + "|" + start
+	if _, ok := v.vis[tag+"|"+via]; !ok {
+		e.buildVisits(v, src, start)
+	}
+	f := v.vis[tag+"|"+via]
+	if f == nil {
+		return smt.FalseF
+	}
+	return f
+}
+
+// buildVisits defines on-path variables rooted at start: vis[u] ⇔
+// u == start ∨ ∃w: vis[w] ∧ dataFwd(w→u). The controlFwd graph is
+// acyclic, so the fixpoint is unique.
+func (e *Encoder) buildVisits(v *env, src prefix.Prefix, start string) {
+	tag := src.String() + "|" + start
+	suffix := ""
+	if v.failed != "" {
+		suffix = "@fail_" + v.failed
+	}
+	routers := e.net.RouterNames()
+	vars := make(map[string]*smt.Formula, len(routers))
+	for _, name := range routers {
+		vars[name] = e.Ctx.BoolVar(fmt.Sprintf("vis_%s_%s%s", tag, name, suffix))
+		v.vis[tag+"|"+name] = vars[name]
+	}
+	for _, name := range routers {
+		if name == start {
+			e.Ctx.Assert(vars[name])
+			continue
+		}
+		var ins []*smt.Formula
+		for _, w := range e.topo.Neighbors(name) {
+			fwd := v.controlFwd[w+">"+name]
+			if fwd == nil {
+				continue
+			}
+			// Traffic does not continue past the destination router.
+			if w == e.dstRouter {
+				continue
+			}
+			dataFwd := smt.And(fwd, e.pfAllow(src, w, name))
+			ins = append(ins, smt.And(vars[w], dataFwd))
+		}
+		e.Ctx.Assert(smt.Iff(vars[name], smt.Or(ins...)))
+	}
+}

@@ -1,0 +1,121 @@
+package encode
+
+import (
+	"github.com/aed-net/aed/internal/smt"
+)
+
+// DeltaKind classifies a delta variable by what it does to the syntax
+// tree, which is what objective restrictions key on (§7.2): NOMODIFY
+// forbids any kind, ELIMINATE wants removals true and additions false.
+type DeltaKind int
+
+// Delta kinds.
+const (
+	// DeltaRemove removes an existing node when true.
+	DeltaRemove DeltaKind = iota
+	// DeltaAdd adds a potential node when true.
+	DeltaAdd
+	// DeltaModify changes an attribute of an existing node when true
+	// (e.g. flipping a rule action or re-ranking a preference).
+	DeltaModify
+)
+
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaRemove:
+		return "rm"
+	case DeltaAdd:
+		return "add"
+	case DeltaModify:
+		return "mod"
+	}
+	return "?"
+}
+
+// Delta is one delta variable: a boolean whose truth means "this
+// syntax-tree change happens", the node path it affects, and the edit
+// to apply when it is true. AED keeps the variable ↔ tree-node mapping
+// explicit (paper §5.1) so objectives can quantify change impact.
+type Delta struct {
+	Bool *smt.Formula
+	Kind DeltaKind
+	// Path is the syntax-tree path of the affected node. For adds it
+	// is the path the node would occupy.
+	Path string
+	// Name is the paper-style delta name, e.g. "rm_B_rFilA_1".
+	Name string
+	// Edit materializes the change. For deltas with a value component
+	// (LP re-ranks), ValueOf fills Edit fields from the model.
+	Edit    Edit
+	ValueOf func(m *smt.Model, e *Edit)
+	// Aux marks value-choice companions of a structural delta (the
+	// added rule's action, a preference's chosen rank). They carry no
+	// edit of their own but participate in objective constraints so
+	// EQUATE makes update *content* identical, not just update
+	// presence.
+	Aux bool
+	// SlotSuffix disambiguates deltas sharing a path when matching
+	// corresponding positions across EQUATE group members.
+	SlotSuffix string
+}
+
+// registry accumulates deltas during encoding, deduplicating by name:
+// per-destination instances of the same structural delta (e.g. the
+// same rm_adjacency) share one variable.
+type registry struct {
+	ctx    *smt.Context
+	byName map[string]*Delta
+	list   []*Delta
+}
+
+func newRegistry(ctx *smt.Context) *registry {
+	return &registry{ctx: ctx, byName: make(map[string]*Delta)}
+}
+
+// get returns the existing delta with this name, or creates it.
+func (r *registry) get(name string, kind DeltaKind, path string, edit Edit) *Delta {
+	if d, ok := r.byName[name]; ok {
+		return d
+	}
+	d := &Delta{
+		Bool: r.ctx.BoolVar(name),
+		Kind: kind,
+		Path: path,
+		Name: name,
+		Edit: edit,
+	}
+	r.byName[name] = d
+	r.list = append(r.list, d)
+	return d
+}
+
+// all returns every registered delta in creation order.
+func (r *registry) all() []*Delta { return r.list }
+
+// getAux registers a value-choice companion delta bound to an
+// existing formula (no new variable is allocated).
+func (r *registry) getAux(name string, kind DeltaKind, path, slotSuffix string, f *smt.Formula) *Delta {
+	if d, ok := r.byName[name]; ok {
+		return d
+	}
+	d := &Delta{Bool: f, Kind: kind, Path: path, Name: name, Aux: true, SlotSuffix: slotSuffix}
+	r.byName[name] = d
+	r.list = append(r.list, d)
+	return d
+}
+
+// Extract returns the edits for all deltas set true in the model.
+func Extract(m *smt.Model, deltas []*Delta) []Edit {
+	var out []Edit
+	for _, d := range deltas {
+		if d.Aux || !m.Bool(d.Bool) {
+			continue
+		}
+		e := d.Edit
+		if d.ValueOf != nil {
+			d.ValueOf(m, &e)
+		}
+		out = append(out, e)
+	}
+	return out
+}

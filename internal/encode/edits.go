@@ -1,0 +1,248 @@
+// Package encode builds AED's symbolic sketch: delta variables for
+// every current and potential syntax-tree node (paper §5), constraints
+// tying protocol parameters to deltas (§5.2), the routing-algorithm
+// model (§6.1, Appendix A), policy constraints (§6.2), and the
+// translation of management-objective instances into weighted soft
+// constraints (§7.2). It also implements the paper's three
+// optimization strategies (§8): pruning irrelevant conditionals,
+// per-destination problem instances, and boolean rank encoding of
+// route metrics.
+package encode
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/prefix"
+)
+
+// EditKind enumerates concrete configuration edits extracted from a
+// solved model. Every delta variable corresponds to one Edit.
+type EditKind int
+
+// Edit kinds, one per delta-variable family.
+const (
+	RemoveAdjacency EditKind = iota
+	AddAdjacency
+	RemoveOrigination
+	AddOrigination
+	RemoveRouteRule
+	FlipRouteRuleAction
+	SetRouteRuleLP
+	AddRouteRuleFront
+	AttachInFilter // create a route filter and attach it to an adjacency
+	RemovePacketRule
+	FlipPacketRuleAction
+	AddPacketRuleFront
+	AttachPacketFilter // create a packet filter and attach it to an interface
+	RemoveStaticRoute
+	AddStaticRoute
+)
+
+func (k EditKind) String() string {
+	names := [...]string{
+		"rm-adjacency", "add-adjacency", "rm-origination", "add-origination",
+		"rm-route-rule", "flip-route-rule", "set-route-rule-lp", "add-route-rule",
+		"attach-in-filter", "rm-packet-rule", "flip-packet-rule", "add-packet-rule",
+		"attach-packet-filter", "rm-static", "add-static",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "unknown"
+}
+
+// Edit is one concrete configuration change. Fields are used according
+// to Kind; unused fields are zero.
+type Edit struct {
+	Kind   EditKind
+	Router string
+	// Proto/Peer identify a process adjacency (adjacency and
+	// origination edits; Peer also names static next hops).
+	Proto config.Proto
+	Peer  string
+	// Filter names a route/packet filter; RuleIndex indexes into its
+	// rules for removals/flips/sets.
+	Filter    string
+	RuleIndex int
+	// Prefix is the origination/static/rule match prefix; Src the
+	// packet-rule source.
+	Prefix prefix.Prefix
+	Src    prefix.Prefix
+	// Permit is the action for added/flipped rules; LocalPref the
+	// value for SetRouteRuleLP / AddRouteRuleFront.
+	Permit    bool
+	LocalPref int
+	// Iface is the interface for AttachPacketFilter.
+	Iface string
+}
+
+// String renders the edit for reports.
+func (e Edit) String() string {
+	switch e.Kind {
+	case RemoveAdjacency, AddAdjacency:
+		return fmt.Sprintf("%s %s %s neighbor %s", e.Kind, e.Router, e.Proto, e.Peer)
+	case RemoveOrigination, AddOrigination:
+		return fmt.Sprintf("%s %s %s %s", e.Kind, e.Router, e.Proto, e.Prefix)
+	case RemoveRouteRule, FlipRouteRuleAction:
+		return fmt.Sprintf("%s %s %s[%d]", e.Kind, e.Router, e.Filter, e.RuleIndex)
+	case SetRouteRuleLP:
+		return fmt.Sprintf("%s %s %s[%d] lp=%d", e.Kind, e.Router, e.Filter, e.RuleIndex, e.LocalPref)
+	case AddRouteRuleFront:
+		return fmt.Sprintf("%s %s %s %s permit=%v lp=%d", e.Kind, e.Router, e.Filter, e.Prefix, e.Permit, e.LocalPref)
+	case AttachInFilter:
+		return fmt.Sprintf("%s %s %s<-%s filter %s", e.Kind, e.Router, e.Proto, e.Peer, e.Filter)
+	case RemovePacketRule, FlipPacketRuleAction:
+		return fmt.Sprintf("%s %s %s[%d]", e.Kind, e.Router, e.Filter, e.RuleIndex)
+	case AddPacketRuleFront:
+		return fmt.Sprintf("%s %s %s %s->%s permit=%v", e.Kind, e.Router, e.Filter, e.Src, e.Prefix, e.Permit)
+	case AttachPacketFilter:
+		return fmt.Sprintf("%s %s iface %s filter %s", e.Kind, e.Router, e.Iface, e.Filter)
+	case RemoveStaticRoute, AddStaticRoute:
+		return fmt.Sprintf("%s %s %s via %s", e.Kind, e.Router, e.Prefix, e.Peer)
+	}
+	return "edit?"
+}
+
+// Apply executes edits against a clone of net and returns the updated
+// network. Rule indices in modify/remove edits refer to the *input*
+// configuration, so application is staged: in-place modifications
+// first (indices stable), then indexed removals in descending order
+// per filter (earlier removals do not shift later ones), and only then
+// rule additions — which prepend and would otherwise shift every
+// index.
+func Apply(net *config.Network, edits []Edit) *config.Network {
+	out := net.Clone()
+	var removals, additions []Edit
+	for _, e := range edits {
+		switch e.Kind {
+		case RemoveRouteRule, RemovePacketRule:
+			removals = append(removals, e)
+		case AddRouteRuleFront, AddPacketRuleFront:
+			additions = append(additions, e)
+		default:
+			applyOne(out, e)
+		}
+	}
+	sort.Slice(removals, func(i, j int) bool {
+		a, b := removals[i], removals[j]
+		if a.Router != b.Router {
+			return a.Router < b.Router
+		}
+		if a.Filter != b.Filter {
+			return a.Filter < b.Filter
+		}
+		return a.RuleIndex > b.RuleIndex
+	})
+	for _, e := range removals {
+		applyOne(out, e)
+	}
+	for _, e := range additions {
+		applyOne(out, e)
+	}
+	return out
+}
+
+func applyOne(net *config.Network, e Edit) {
+	r := net.Routers[e.Router]
+	if r == nil {
+		return
+	}
+	switch e.Kind {
+	case RemoveAdjacency:
+		if p := r.Process(e.Proto); p != nil {
+			for i, a := range p.Adjacencies {
+				if a.Peer == e.Peer {
+					p.Adjacencies = append(p.Adjacencies[:i], p.Adjacencies[i+1:]...)
+					break
+				}
+			}
+		}
+	case AddAdjacency:
+		if p := r.Process(e.Proto); p != nil && p.Adjacency(e.Peer) == nil {
+			p.Adjacencies = append(p.Adjacencies, &config.Adjacency{Peer: e.Peer})
+		}
+	case RemoveOrigination:
+		if p := r.Process(e.Proto); p != nil {
+			for i, o := range p.Originations {
+				if o.Prefix.Equal(e.Prefix) {
+					p.Originations = append(p.Originations[:i], p.Originations[i+1:]...)
+					break
+				}
+			}
+		}
+	case AddOrigination:
+		if p := r.Process(e.Proto); p != nil && !p.Originates(e.Prefix) {
+			p.Originations = append(p.Originations, &config.Origination{Prefix: e.Prefix})
+		}
+	case RemoveRouteRule:
+		if f := r.RouteFilter(e.Filter); f != nil && e.RuleIndex < len(f.Rules) {
+			f.Rules = append(f.Rules[:e.RuleIndex], f.Rules[e.RuleIndex+1:]...)
+		}
+	case FlipRouteRuleAction:
+		if f := r.RouteFilter(e.Filter); f != nil && e.RuleIndex < len(f.Rules) {
+			f.Rules[e.RuleIndex].Permit = !f.Rules[e.RuleIndex].Permit
+		}
+	case SetRouteRuleLP:
+		if f := r.RouteFilter(e.Filter); f != nil && e.RuleIndex < len(f.Rules) {
+			f.Rules[e.RuleIndex].LocalPref = e.LocalPref
+		}
+	case AddRouteRuleFront:
+		f := r.RouteFilter(e.Filter)
+		if f == nil {
+			f = &config.RouteFilter{Name: e.Filter}
+			r.RouteFilters = append(r.RouteFilters, f)
+		}
+		f.Rules = append([]*config.RouteRule{{
+			Permit: e.Permit, Prefix: e.Prefix, LocalPref: e.LocalPref,
+		}}, f.Rules...)
+	case AttachInFilter:
+		if p := r.Process(e.Proto); p != nil {
+			if a := p.Adjacency(e.Peer); a != nil && a.InFilter == "" {
+				a.InFilter = e.Filter
+				if r.RouteFilter(e.Filter) == nil {
+					r.RouteFilters = append(r.RouteFilters, &config.RouteFilter{Name: e.Filter})
+				}
+			}
+		}
+	case RemovePacketRule:
+		if f := r.PacketFilter(e.Filter); f != nil && e.RuleIndex < len(f.Rules) {
+			f.Rules = append(f.Rules[:e.RuleIndex], f.Rules[e.RuleIndex+1:]...)
+		}
+	case FlipPacketRuleAction:
+		if f := r.PacketFilter(e.Filter); f != nil && e.RuleIndex < len(f.Rules) {
+			f.Rules[e.RuleIndex].Permit = !f.Rules[e.RuleIndex].Permit
+		}
+	case AddPacketRuleFront:
+		f := r.PacketFilter(e.Filter)
+		if f == nil {
+			f = &config.PacketFilter{Name: e.Filter}
+			r.PacketFilters = append(r.PacketFilters, f)
+		}
+		f.Rules = append([]*config.PacketRule{{
+			Permit: e.Permit, Src: e.Src, Dst: e.Prefix,
+		}}, f.Rules...)
+	case AttachPacketFilter:
+		if i := r.Interface(e.Iface); i != nil && i.FilterIn == "" {
+			i.FilterIn = e.Filter
+			if r.PacketFilter(e.Filter) == nil {
+				r.PacketFilters = append(r.PacketFilters, &config.PacketFilter{Name: e.Filter})
+			}
+		}
+	case AddStaticRoute:
+		for _, s := range r.StaticRoutes {
+			if s.Prefix.Equal(e.Prefix) && s.NextHop == e.Peer {
+				return
+			}
+		}
+		r.StaticRoutes = append(r.StaticRoutes, &config.StaticRoute{Prefix: e.Prefix, NextHop: e.Peer})
+	case RemoveStaticRoute:
+		for i, s := range r.StaticRoutes {
+			if s.Prefix.Equal(e.Prefix) && s.NextHop == e.Peer {
+				r.StaticRoutes = append(r.StaticRoutes[:i], r.StaticRoutes[i+1:]...)
+				break
+			}
+		}
+	}
+}

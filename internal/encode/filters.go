@@ -1,0 +1,336 @@
+package encode
+
+import (
+	"fmt"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/smt"
+)
+
+// originationFormula encodes whether router r's process p originates a
+// route covering the instance's destination (paper Fig. 6): each
+// existing matching origination survives unless removed, and the
+// destination router may add a new origination for exactly dst.
+func (e *Encoder) originationFormula(r *config.Router, p *config.Process) *smt.Formula {
+	out := smt.FalseF
+	for _, o := range p.Originations {
+		if !o.Prefix.Covers(e.dst) {
+			continue
+		}
+		if e.opts.Split && e.coversOtherSubnet(o.Prefix) {
+			// Removing a covering aggregate would strand other
+			// destinations; keep it fixed in split mode.
+			out = smt.TrueF
+			continue
+		}
+		d := e.reg.get(
+			fmt.Sprintf("rm_%s_%s_Orig_%s", r.Name, p.Protocol, o.Prefix),
+			DeltaRemove,
+			fmt.Sprintf("%s/RoutingProcess[%s:%d]/Origination[%s]", r.Name, p.Protocol, p.ID, o.Prefix),
+			Edit{Kind: RemoveOrigination, Router: r.Name, Proto: p.Protocol, Prefix: o.Prefix},
+		)
+		out = smt.Or(out, smt.Not(d.Bool))
+	}
+	// Potential origination of exactly dst, only at the router owning
+	// the destination subnet (originating elsewhere would blackhole).
+	if r.Name == e.dstRouter && !p.Originates(e.dst) {
+		d := e.reg.get(
+			fmt.Sprintf("add_%s_%s_Orig_%s", r.Name, p.Protocol, e.dst),
+			DeltaAdd,
+			fmt.Sprintf("%s/RoutingProcess[%s:%d]/Origination[%s]", r.Name, p.Protocol, p.ID, e.dst),
+			Edit{Kind: AddOrigination, Router: r.Name, Proto: p.Protocol, Prefix: e.dst},
+		)
+		out = smt.Or(out, d.Bool)
+	}
+	return out
+}
+
+// adjacencySide encodes whether router r's process p has its side of
+// the adjacency toward peer configured (paper §5.2 "Routing protocols
+// and adjacencies"): existing ⇒ ¬rm delta; absent ⇒ add delta.
+func (e *Encoder) adjacencySide(r *config.Router, p *config.Process, peer string) *smt.Formula {
+	cacheKey := fmt.Sprintf("%s|%s|%s", r.Name, p.Protocol, peer)
+	if f, ok := e.adjSide[cacheKey]; ok {
+		return f
+	}
+	path := fmt.Sprintf("%s/RoutingProcess[%s:%d]/Adjacency[%s]", r.Name, p.Protocol, p.ID, peer)
+	var f *smt.Formula
+	if p.Adjacency(peer) != nil {
+		if e.opts.Split {
+			// Removing an adjacency affects every destination, so a
+			// per-destination instance may not do it; denying the
+			// destination's route with a filter achieves the same
+			// effect prefix-specifically.
+			f = smt.TrueF
+			e.adjSide[cacheKey] = f
+			return f
+		}
+		d := e.reg.get(
+			fmt.Sprintf("rm_%s_%s_Adj_%s", r.Name, p.Protocol, peer),
+			DeltaRemove, path,
+			Edit{Kind: RemoveAdjacency, Router: r.Name, Proto: p.Protocol, Peer: peer},
+		)
+		f = smt.Not(d.Bool)
+	} else {
+		d := e.reg.get(
+			fmt.Sprintf("add_%s_%s_Adj_%s", r.Name, p.Protocol, peer),
+			DeltaAdd, path,
+			Edit{Kind: AddAdjacency, Router: r.Name, Proto: p.Protocol, Peer: peer},
+		)
+		f = d.Bool
+	}
+	e.adjSide[cacheKey] = f
+	return f
+}
+
+// routeFilterAllow encodes the allow/deny outcome of the route filter
+// applied by router r on the adjacency (outbound direction when
+// inbound=false). It covers rule removal and action-flip deltas plus a
+// potential added dst-specific deny/permit rule (Fig. 5). Returns the
+// symbolic allow formula.
+func (e *Encoder) routeFilterAllow(r *config.Router, adj *config.Adjacency, self, other string, inbound bool) *smt.Formula {
+	var filterName string
+	dir := "out"
+	if adj != nil {
+		if inbound {
+			filterName = adj.InFilter
+			dir = "in"
+		} else {
+			filterName = adj.OutFilter
+		}
+	}
+	allow, _ := e.filterChain(r, filterName, self, other, dir, false)
+	return allow
+}
+
+// routeFilterInbound encodes the inbound filter of r's process p for
+// advertisements from peer, returning (allow, lp). The lp IntVar
+// carries the symbolic local preference after the filter (default 100
+// when no set action applies). Inbound filters support the full delta
+// family: rule removal, action flips, lp re-ranking, new rule
+// addition, and attaching a brand-new filter where none exists.
+func (e *Encoder) routeFilterInbound(r *config.Router, p *config.Process, peer string) (*smt.Formula, *smt.IntVar) {
+	adj := p.Adjacency(peer)
+	if adj == nil {
+		// A potential new adjacency starts unfiltered: allow all,
+		// default preference.
+		allow, lp := e.filterChain(r, "", r.Name, peer, "newadj", true)
+		return allow, lp
+	}
+	filterName := adj.InFilter
+	newName := filterName
+	if newName == "" {
+		// Potential new filter attached to this adjacency.
+		newName = fmt.Sprintf("aed_%s_from_%s", r.Name, peer)
+	}
+	allow, lp := e.filterChain(r, filterName, r.Name, peer, "in", true)
+
+	// If there is no in-filter today, adding one requires both the
+	// attach edit and the rule edit; the filterChain's add-rule delta
+	// covers the rule. We gate the new-rule behaviour on the attach
+	// delta when the filter did not exist.
+	if filterName == "" && adj != nil {
+		// The attach delta lives at the virtual filter's own path so
+		// structural objectives over (virtual) RouteFilter subtrees
+		// govern it.
+		attach := e.reg.get(
+			fmt.Sprintf("add_%s_%s_InFilter_%s", r.Name, p.Protocol, peer),
+			DeltaAdd,
+			fmt.Sprintf("%s/RouteFilter[%s]", r.Name, newName),
+			Edit{Kind: AttachInFilter, Router: r.Name, Proto: p.Protocol, Peer: peer, Filter: newName},
+		)
+		// The chain's add-rule delta for the virtual filter must imply
+		// the attach (rule without filter is meaningless).
+		addRule := e.reg.byName[e.addRuleName(r.Name, newName)]
+		if addRule != nil {
+			e.Ctx.Assert(smt.Implies(addRule.Bool, attach.Bool))
+		}
+	}
+	return allow, lp
+}
+
+func (e *Encoder) addRuleName(router, filter string) string {
+	return fmt.Sprintf("add_%s_rFil_%s_new_%s", router, filter, e.dst)
+}
+
+// filterChain encodes a route filter's first-match evaluation for the
+// instance destination. When withLP is true it returns an IntVar for
+// the resulting local preference; otherwise lp is nil.
+//
+// Chain order (Fig. 5): the potential new dst-specific rule first,
+// then existing rules in order (each skippable via its rm delta, its
+// action flippable via an allow delta, its lp re-rankable), then the
+// default (permit, lp 100).
+func (e *Encoder) filterChain(r *config.Router, filterName, self, other, dir string, withLP bool) (*smt.Formula, *smt.IntVar) {
+	var f *config.RouteFilter
+	name := filterName
+	if filterName != "" {
+		f = r.RouteFilter(filterName)
+	} else {
+		name = fmt.Sprintf("aed_%s_from_%s", self, other)
+	}
+	// One symbolic object per logical filter: a named filter applied on
+	// several adjacencies shares its rule deltas AND its symbolic rule
+	// contents, or the model could assign it contradictory behaviours
+	// per adjacency.
+	cacheKey := fmt.Sprintf("%s|%s|%s|%v", r.Name, name, dir, withLP)
+	if c, ok := e.rfChainCache[cacheKey]; ok {
+		return c.allow, c.lp
+	}
+
+	type link struct {
+		matched *smt.Formula // this rule applies (given no earlier rule did)
+		allow   *smt.Formula
+		lp      *smt.IntVar // nil = keep default
+		lpConst int         // used when lp == nil and lpConst != 0
+	}
+	var chain []link
+
+	// Potential new rule, specific to dst. Only for inbound chains
+	// (outbound deny rules are expressible too, so allow both; the
+	// tag includes direction to keep variables distinct).
+	if dir == "in" {
+		addD := e.reg.get(
+			e.addRuleName(r.Name, name),
+			DeltaAdd,
+			fmt.Sprintf("%s/RouteFilter[%s]/Rule[new:%s]", r.Name, name, e.dst),
+			Edit{Kind: AddRouteRuleFront, Router: r.Name, Filter: name, Prefix: e.dst},
+		)
+		allowD := e.Ctx.BoolVar(fmt.Sprintf("%s_rFil_%s_new_%s_allow", r.Name, name, e.dst))
+		var lpVar *smt.IntVar
+		if withLP {
+			lpVar = e.Ctx.IntVarOf(fmt.Sprintf("%s_rFil_%s_new_%s_lp", r.Name, name, e.dst), e.lpDomain)
+		}
+		// Extraction: the added rule's action and lp come from the model.
+		addD.ValueOf = func(m *smt.Model, ed *Edit) {
+			ed.Permit = m.Bool(allowD)
+			if lpVar != nil {
+				if lp := m.Int(lpVar); lp != 100 && ed.Permit {
+					ed.LocalPref = lp
+				}
+			}
+		}
+		// Value-choice companions so EQUATE matches rule content, not
+		// just rule presence. Gated on the add so they are false (and
+		// free) when no rule is added.
+		e.reg.getAux(addD.Name+"_deny", DeltaAdd, addD.Path, "deny",
+			smt.And(addD.Bool, smt.Not(allowD)))
+		if lpVar != nil {
+			for _, lp := range e.lpDomain {
+				if lp == 100 {
+					continue
+				}
+				e.reg.getAux(fmt.Sprintf("%s_lp%d", addD.Name, lp), DeltaAdd,
+					addD.Path, fmt.Sprintf("lp=%d", lp),
+					smt.And(addD.Bool, allowD, lpVar.EqConst(lp)))
+			}
+		}
+		chain = append(chain, link{matched: addD.Bool, allow: allowD, lp: lpVar})
+	}
+
+	if f != nil {
+		for i, rule := range f.Rules {
+			matches := rule.Matches(e.dst)
+			if e.opts.Prune && !matches {
+				// Pruned: this conditional cannot affect dst.
+				continue
+			}
+			if e.opts.Split && e.coversOtherSubnet(rule.Prefix) {
+				// The rule also filters other destinations' routes, so
+				// a per-destination instance must treat it as fixed;
+				// the prepended dst-specific rule can still override.
+				lnk := link{
+					matched: smt.Const(matches),
+					allow:   smt.Const(rule.Permit),
+					lpConst: rule.LocalPref,
+				}
+				chain = append(chain, lnk)
+				continue
+			}
+			rmD := e.reg.get(
+				fmt.Sprintf("rm_%s_rFil_%s_%d", r.Name, f.Name, i),
+				DeltaRemove,
+				fmt.Sprintf("%s/RouteFilter[%s]/Rule[%d]", r.Name, f.Name, i),
+				Edit{Kind: RemoveRouteRule, Router: r.Name, Filter: f.Name, RuleIndex: i},
+			)
+			flipD := e.reg.get(
+				fmt.Sprintf("mod_%s_rFil_%s_%d_allow", r.Name, f.Name, i),
+				DeltaModify,
+				fmt.Sprintf("%s/RouteFilter[%s]/Rule[%d]", r.Name, f.Name, i),
+				Edit{Kind: FlipRouteRuleAction, Router: r.Name, Filter: f.Name, RuleIndex: i},
+			)
+			matchedF := smt.And(smt.Const(matches), smt.Not(rmD.Bool))
+			// allow = original action XOR flip.
+			var allowF *smt.Formula
+			if rule.Permit {
+				allowF = smt.Not(flipD.Bool)
+			} else {
+				allowF = flipD.Bool
+			}
+			lnk := link{matched: matchedF, allow: allowF}
+			if withLP && rule.Permit {
+				cur := rule.LocalPref
+				if cur == 0 {
+					cur = 100
+				}
+				lpVar := e.Ctx.IntVarOf(fmt.Sprintf("%s_rFil_%s_%d_lp", r.Name, f.Name, i), e.lpDomain)
+				// lp change is itself a (modify) delta with a derived
+				// change indicator.
+				lpD := e.reg.get(
+					fmt.Sprintf("mod_%s_rFil_%s_%d_lp", r.Name, f.Name, i),
+					DeltaModify,
+					fmt.Sprintf("%s/RouteFilter[%s]/Rule[%d]", r.Name, f.Name, i),
+					Edit{Kind: SetRouteRuleLP, Router: r.Name, Filter: f.Name, RuleIndex: i},
+				)
+				e.Ctx.Assert(smt.Iff(lpD.Bool, smt.Not(lpVar.EqConst(cur))))
+				lpD.ValueOf = func(m *smt.Model, ed *Edit) { ed.LocalPref = m.Int(lpVar) }
+				// Value companions: EQUATE must match the chosen rank,
+				// not just the fact of a change.
+				for _, lp := range e.lpDomain {
+					if lp == cur {
+						continue
+					}
+					e.reg.getAux(fmt.Sprintf("%s_is%d", lpD.Name, lp), DeltaModify,
+						lpD.Path, fmt.Sprintf("lp=%d", lp), lpVar.EqConst(lp))
+				}
+				lnk.lp = lpVar
+			} else if rule.LocalPref != 0 {
+				lnk.lpConst = rule.LocalPref
+			}
+			chain = append(chain, lnk)
+		}
+	}
+
+	// Fold the chain into (allow, lp).
+	allow := smt.TrueF // default: no matching rule permits
+	var lpOut *smt.IntVar
+	if withLP {
+		lpOut = e.Ctx.IntVarOf(fmt.Sprintf("lpOut_%s_%s_%s_%s", r.Name, name, other, dir), e.lpDomain)
+	}
+	// Build from the back: notMatchedPrefix tracks "no earlier rule
+	// matched".
+	notEarlier := smt.TrueF
+	defaultCase := smt.TrueF
+	for _, lnk := range chain {
+		cond := smt.And(notEarlier, lnk.matched)
+		allowCase := smt.Implies(cond, lnk.allow)
+		allow = smt.And(allow, allowCase)
+		if withLP {
+			switch {
+			case lnk.lp != nil:
+				e.Ctx.Assert(smt.Implies(cond, smt.IntEq(lpOut, lnk.lp, 0, 0)))
+			case lnk.lpConst != 0:
+				e.Ctx.Assert(smt.Implies(cond, lpOut.EqConst(lnk.lpConst)))
+			default:
+				e.Ctx.Assert(smt.Implies(cond, lpOut.EqConst(100)))
+			}
+		}
+		defaultCase = smt.And(defaultCase, smt.Not(cond))
+		notEarlier = smt.And(notEarlier, smt.Not(lnk.matched))
+	}
+	if withLP {
+		e.Ctx.Assert(smt.Implies(defaultCase, lpOut.EqConst(100)))
+	}
+	e.rfChainCache[cacheKey] = rfChain{allow: allow, lp: lpOut}
+	return allow, lpOut
+}

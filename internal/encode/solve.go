@@ -1,0 +1,51 @@
+package encode
+
+import (
+	"time"
+
+	"github.com/aed-net/aed/internal/smt"
+)
+
+// Result is the outcome of solving one per-destination instance.
+type Result struct {
+	// Sat reports whether the hard constraints (policies + sketch +
+	// routing model) were satisfiable. When false the requested
+	// policies are unimplementable on this network (paper §11 "SMT
+	// output for special cases").
+	Sat bool
+	// Edits are the extracted configuration changes.
+	Edits []Edit
+	// SatisfiedWeight/ViolatedWeight summarize soft-constraint
+	// (management objective) satisfaction.
+	SatisfiedWeight int
+	ViolatedWeight  int
+	ViolatedLabels  []string
+	// Iterations counts MaxSAT search steps; Duration the solve time.
+	Iterations int
+	Duration   time.Duration
+	// Problem size, for the scalability experiments.
+	NumVars   int
+	NumDeltas int
+}
+
+// Solve maximizes objective satisfaction subject to the hard
+// constraints and extracts edits from the optimum.
+func (e *Encoder) Solve(strategy smt.Strategy) *Result {
+	start := time.Now()
+	res := e.Ctx.Maximize(strategy)
+	out := &Result{
+		Iterations: res.Iterations,
+		Duration:   time.Since(start),
+		NumVars:    e.Ctx.NumSATVars(),
+		NumDeltas:  len(e.reg.all()),
+	}
+	if res.Model == nil {
+		return out
+	}
+	out.Sat = true
+	out.SatisfiedWeight = res.SatisfiedWeight
+	out.ViolatedWeight = res.ViolatedWeight
+	out.ViolatedLabels = res.Violated
+	out.Edits = Extract(res.Model, e.reg.all())
+	return out
+}

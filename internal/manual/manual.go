@@ -1,0 +1,181 @@
+// Package manual simulates operator-style hand-written configuration
+// updates, the "actual updates" baseline of the paper's Figure 9. The
+// dataset there compares AED against before/after snapshots produced
+// by operators working with limited automation; since those snapshots
+// are proprietary, we emulate the documented characteristics of manual
+// changes: per-device edits performed along the whole forwarding path
+// (not just at the minimal point), occasional defensive duplication
+// (mirroring an edit on a peer device), and bookkeeping lines, while
+// staying policy-correct.
+package manual
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/encode"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Result reports a simulated manual update.
+type Result struct {
+	Updated  *config.Network
+	Sat      bool
+	Diff     *config.DiffStats
+	Duration time.Duration
+}
+
+// Update produces an operator-style update implementing ps on net.
+// Deterministic for a given seed.
+func Update(net *config.Network, topo *topology.Topology, ps []policy.Policy, seed int64) (*Result, error) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed))
+	cur := net.Clone()
+
+	for _, p := range ps {
+		sim := simulate.New(cur, topo)
+		if sim.Check(p) == nil {
+			continue
+		}
+		var edits []encode.Edit
+		switch p.Kind {
+		case policy.Blocking, policy.Isolation:
+			edits = manualBlock(cur, topo, p, rng)
+		case policy.Reachability:
+			edits = manualReach(cur, topo, p)
+		case policy.Waypoint:
+			edits = manualWaypoint(cur, topo, p)
+		default:
+			continue
+		}
+		cur = encode.Apply(cur, edits)
+	}
+
+	sim := simulate.New(cur, topo)
+	return &Result{
+		Updated:  cur,
+		Sat:      len(sim.CheckAll(ps)) == 0,
+		Diff:     config.Diff(net, cur),
+		Duration: time.Since(start),
+	}, nil
+}
+
+// manualBlock emulates the operator habit of installing the deny on
+// every ingress along the path "to be safe", rather than at one
+// pinch point.
+func manualBlock(net *config.Network, topo *topology.Topology, p policy.Policy, rng *rand.Rand) []encode.Edit {
+	sim := simulate.New(net, topo)
+	path, st := sim.Path(p.Src, p.Dst)
+	if st != simulate.Delivered {
+		return nil
+	}
+	var edits []encode.Edit
+	for i := 0; i+1 < len(path); i++ {
+		from, to := path[i], path[i+1]
+		// Operators often skip some hops; with probability ~0.5 this
+		// hop also gets the deny (the first hop always does, so the
+		// policy holds).
+		if i > 0 && rng.Intn(2) == 0 {
+			continue
+		}
+		r := net.Routers[to]
+		if r == nil {
+			continue
+		}
+		iface := r.Interface("eth-" + from)
+		if iface == nil {
+			continue
+		}
+		rule := encode.Edit{Kind: encode.AddPacketRuleFront, Router: to,
+			Src: p.Src, Prefix: p.Dst, Permit: false}
+		if iface.FilterIn != "" {
+			rule.Filter = iface.FilterIn
+			edits = append(edits, rule)
+		} else {
+			name := fmt.Sprintf("manual_%s_%s", to, iface.Name)
+			rule.Filter = name
+			edits = append(edits, rule,
+				encode.Edit{Kind: encode.AttachPacketFilter, Router: to, Iface: iface.Name, Filter: name})
+		}
+	}
+	return edits
+}
+
+// manualReach unblocks filtered traffic by adding permit rules on each
+// filtering device along the path and pins statics when no route
+// exists.
+func manualReach(net *config.Network, topo *topology.Topology, p policy.Policy) []encode.Edit {
+	sim := simulate.New(net, topo)
+	path, st := sim.Path(p.Src, p.Dst)
+	var edits []encode.Edit
+	switch st {
+	case simulate.Filtered:
+		hops := sim.NextHops(p.Dst)
+		cur := path[len(path)-1]
+		next := hops[cur]
+		if next == "" {
+			return nil
+		}
+		if r := net.Routers[next]; r != nil {
+			if iface := r.Interface("eth-" + cur); iface != nil && iface.FilterIn != "" {
+				edits = append(edits, encode.Edit{
+					Kind: encode.AddPacketRuleFront, Router: next,
+					Filter: iface.FilterIn, Src: p.Src, Prefix: p.Dst, Permit: true,
+				})
+			}
+		}
+		// Defensive duplication: operators mirror the permit on the
+		// sending side too, even when unnecessary.
+		if r := net.Routers[cur]; r != nil {
+			if iface := r.Interface("eth-" + next); iface != nil && iface.FilterOut != "" {
+				edits = append(edits, encode.Edit{
+					Kind: encode.AddPacketRuleFront, Router: cur,
+					Filter: iface.FilterOut, Src: p.Src, Prefix: p.Dst, Permit: true,
+				})
+			}
+		}
+	case simulate.NoRoute, simulate.Looped:
+		srcRouter := topo.RouterOfSubnet(p.Src)
+		dstRouter := topo.RouterOfSubnet(p.Dst)
+		sp := topo.ShortestPath(srcRouter, dstRouter)
+		// Manual habit: pin statics along the whole path, not only
+		// where routes are missing.
+		for i := 0; i+1 < len(sp); i++ {
+			edits = append(edits, encode.Edit{
+				Kind: encode.AddStaticRoute, Router: sp[i], Prefix: p.Dst, Peer: sp[i+1],
+			})
+		}
+	}
+	return edits
+}
+
+// manualWaypoint pins statics along src→via→dst.
+func manualWaypoint(net *config.Network, topo *topology.Topology, p policy.Policy) []encode.Edit {
+	srcRouter := topo.RouterOfSubnet(p.Src)
+	dstRouter := topo.RouterOfSubnet(p.Dst)
+	if srcRouter == "" || dstRouter == "" {
+		return nil
+	}
+	first := topo.ShortestPath(srcRouter, p.Via)
+	second := topo.ShortestPath(p.Via, dstRouter)
+	if first == nil || second == nil {
+		return nil
+	}
+	full := append(first, second[1:]...)
+	seen := map[string]bool{}
+	var edits []encode.Edit
+	for i := 0; i+1 < len(full); i++ {
+		if seen[full[i]] {
+			continue
+		}
+		seen[full[i]] = true
+		edits = append(edits, encode.Edit{
+			Kind: encode.AddStaticRoute, Router: full[i], Prefix: p.Dst, Peer: full[i+1],
+		})
+	}
+	return edits
+}

@@ -1,0 +1,72 @@
+package manual
+
+import (
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+func testNet(t *testing.T) (*config.Network, *topology.Topology) {
+	t.Helper()
+	topo := topology.LeafSpine(4, 2, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF, WithRoleFilters: true})
+	return net, topo
+}
+
+func TestManualBlockingIsCorrectButVerbose(t *testing.T) {
+	net, topo := testNet(t)
+	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\nblock 10.2.0.0/24 -> 10.3.0.0/24\n")
+	res, err := Update(net, topo, ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatal("manual update must still satisfy the policies")
+	}
+	if res.Diff.LinesChanged() == 0 {
+		t.Fatal("expected edits")
+	}
+}
+
+func TestManualDeterministicPerSeed(t *testing.T) {
+	net, topo := testNet(t)
+	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	a, _ := Update(net, topo, ps, 7)
+	b, _ := Update(net, topo, ps, 7)
+	if a.Diff.LinesChanged() != b.Diff.LinesChanged() {
+		t.Error("same seed must give same update")
+	}
+}
+
+func TestManualReachRepair(t *testing.T) {
+	net, topo := testNet(t)
+	// Pre-block, then manually restore.
+	blockPs, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	blocked, err := Update(net, topo, blockPs, 3)
+	if err != nil || !blocked.Sat {
+		t.Fatal("setup failed")
+	}
+	ps, _ := policy.Parse("reach 10.0.0.0/24 -> 10.1.0.0/24\n")
+	res, err := Update(blocked.Updated, topo, ps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatal("manual reach repair failed")
+	}
+}
+
+func TestManualNoOpWhenSatisfied(t *testing.T) {
+	net, topo := testNet(t)
+	ps, _ := policy.Parse("reach 10.0.0.0/24 -> 10.1.0.0/24\n")
+	res, err := Update(net, topo, ps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diff.LinesChanged() != 0 {
+		t.Error("nothing to do, nothing should change")
+	}
+}

@@ -1,0 +1,40 @@
+package netcomplete
+
+import (
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/simulate"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+func TestSynthesizeSatisfiesPolicies(t *testing.T) {
+	topo := topology.LeafSpine(2, 1, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF, WithRoleFilters: true})
+	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\nreach 10.1.0.0/24 -> 10.0.0.0/24\n")
+	res, err := Synthesize(net, topo, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatal("unsat")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestSynthesizeBGPDataset(t *testing.T) {
+	topo := topology.Zoo(15, 4)
+	net := SynthesizeBGP(topo, nil)
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim := simulate.New(net, topo)
+	ps := sim.InferReachability()
+	if len(ps) != 15*14 {
+		t.Errorf("full reachability expected, got %d policies", len(ps))
+	}
+}

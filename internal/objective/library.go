@@ -1,0 +1,63 @@
+package objective
+
+import "fmt"
+
+// Library returns the predefined objective sets of the paper's Table 2,
+// keyed by the short names the evaluation uses. A named entry can
+// expand to several objectives; e.g. preserve-templates equates both
+// filter families across same-named instances and discourages
+// attaching brand-new filters (which would break device similarity
+// even though no existing subtree changes).
+func Library() map[string][]Objective {
+	mk := func(ss ...string) []Objective {
+		out := make([]Objective, 0, len(ss))
+		for _, s := range ss {
+			o, err := ParseOne(s)
+			if err != nil {
+				panic(fmt.Sprintf("objective library: %v", err))
+			}
+			out = append(out, o)
+		}
+		return out
+	}
+	return map[string][]Objective{
+		"preserve-templates": mk(
+			`EQUATE //PacketFilter GROUPBY name`,
+			`EQUATE //RouteFilter GROUPBY name`,
+			`NOMODIFY //RouteFilter[virtual="true"] GROUPBY name`,
+			`NOMODIFY //PacketFilter[virtual="true"] GROUPBY name`,
+		),
+		"min-devices": mk(`NOMODIFY //Router GROUPBY name`),
+		"min-pfs": mk(`ELIMINATE //PacketFilter/Rule GROUPBY line`,
+			`NOMODIFY //PacketFilter[virtual="true"] GROUPBY name`),
+		"avoid-static": mk(`ELIMINATE //StaticRoute GROUPBY prefix`,
+			`NOMODIFY //StaticRoute[virtual="true"] GROUPBY prefix`),
+		// min-lines: one NOMODIFY per leaf is expressed by weighting
+		// every router's subtree; the core engine refines this by
+		// penalizing each delta individually (see core.MinLines).
+		"min-lines": mk(`NOMODIFY //Router`),
+	}
+}
+
+// Named returns the library objective set for a short name.
+func Named(name string) ([]Objective, error) {
+	os, ok := Library()[name]
+	if !ok {
+		return nil, fmt.Errorf("objective: unknown predefined objective %q", name)
+	}
+	return os, nil
+}
+
+// AvoidRouters builds NOMODIFY objectives for specific devices (the
+// "avoid changing devices with HW/SW issues" row of Table 2).
+func AvoidRouters(names ...string) []Objective {
+	var out []Objective
+	for _, n := range names {
+		o, err := ParseOne(fmt.Sprintf(`NOMODIFY //Router[name="%s"] WEIGHT 10`, n))
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, o)
+	}
+	return out
+}

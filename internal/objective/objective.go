@@ -1,0 +1,198 @@
+package objective
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/aed-net/aed/internal/config"
+)
+
+// Restriction is the action an objective applies to selected subtrees
+// (paper §7.1).
+type Restriction int
+
+// Supported restrictions.
+const (
+	// NoModify: no delta variable under the subtree may be set.
+	NoModify Restriction = iota
+	// Eliminate: remove-deltas for existing nodes are set and
+	// add-deltas are unset, eliminating the subtree.
+	Eliminate
+	// Equate: subtrees in the same group must receive identical
+	// updates (configuration similarity).
+	Equate
+	// Modify: the negation of NoModify — prefer changing these
+	// subtrees (the "prefer changes" extension mentioned in §7.1).
+	Modify
+)
+
+func (r Restriction) String() string {
+	switch r {
+	case NoModify:
+		return "NOMODIFY"
+	case Eliminate:
+		return "ELIMINATE"
+	case Equate:
+		return "EQUATE"
+	case Modify:
+		return "MODIFY"
+	}
+	return "UNKNOWN"
+}
+
+// Objective is one parsed management objective.
+type Objective struct {
+	Restriction Restriction
+	Path        *XPath
+	// GroupBy, when non-empty, fans the objective out into one
+	// objective per distinct value of this attribute among selected
+	// nodes (syntactic sugar, desugared by Instantiate).
+	GroupBy string
+	Weight  int // default 1
+}
+
+// String renders the objective in the language's source form.
+func (o Objective) String() string {
+	s := o.Restriction.String() + " " + o.Path.String()
+	if o.GroupBy != "" {
+		s += " GROUPBY " + o.GroupBy
+	}
+	if o.Weight > 1 {
+		s += fmt.Sprintf(" WEIGHT %d", o.Weight)
+	}
+	return s
+}
+
+// ParseOne parses a single objective line:
+//
+//	NOMODIFY //Router[name="B"]
+//	EQUATE //PacketFilter GROUPBY name
+//	ELIMINATE //RoutingProcess[type="static"]/Origination WEIGHT 5
+func ParseOne(line string) (Objective, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Objective{}, fmt.Errorf("objective: want '<RESTRICTION> <xpath> ...', got %q", line)
+	}
+	o := Objective{Weight: 1}
+	switch strings.ToUpper(fields[0]) {
+	case "NOMODIFY":
+		o.Restriction = NoModify
+	case "ELIMINATE":
+		o.Restriction = Eliminate
+	case "EQUATE":
+		o.Restriction = Equate
+	case "MODIFY":
+		o.Restriction = Modify
+	default:
+		return Objective{}, fmt.Errorf("objective: unknown restriction %q", fields[0])
+	}
+	x, err := ParseXPath(fields[1])
+	if err != nil {
+		return Objective{}, err
+	}
+	o.Path = x
+	rest := fields[2:]
+	for len(rest) > 0 {
+		switch strings.ToUpper(rest[0]) {
+		case "GROUPBY":
+			if len(rest) < 2 {
+				return Objective{}, fmt.Errorf("objective: GROUPBY wants an attribute")
+			}
+			o.GroupBy = rest[1]
+			rest = rest[2:]
+		case "WEIGHT":
+			if len(rest) < 2 {
+				return Objective{}, fmt.Errorf("objective: WEIGHT wants a number")
+			}
+			w, err := strconv.Atoi(rest[1])
+			if err != nil || w <= 0 {
+				return Objective{}, fmt.Errorf("objective: bad weight %q", rest[1])
+			}
+			o.Weight = w
+			rest = rest[2:]
+		default:
+			return Objective{}, fmt.Errorf("objective: unexpected token %q", rest[0])
+		}
+	}
+	return o, nil
+}
+
+// Parse reads an objective file: one objective per line, '#' comments.
+func Parse(text string) ([]Objective, error) {
+	var out []Objective
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		o, err := ParseOne(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, o)
+	}
+	return out, sc.Err()
+}
+
+// Instance is a desugared objective: a restriction over a concrete set
+// of subtree roots. EQUATE instances additionally carry group members
+// to be made consistent.
+type Instance struct {
+	Restriction Restriction
+	Weight      int
+	Label       string
+	// Roots are the selected subtree roots the restriction applies to.
+	Roots []*config.Node
+}
+
+// Instantiate desugars the objective against a syntax tree: GROUPBY
+// fans out into one Instance per attribute value; without GROUPBY a
+// single Instance covers all selected nodes.
+func (o Objective) Instantiate(tree *config.Node) []Instance {
+	nodes := o.Path.Select(tree)
+	if len(nodes) == 0 {
+		return nil
+	}
+	if o.GroupBy == "" {
+		return []Instance{{
+			Restriction: o.Restriction,
+			Weight:      o.Weight,
+			Label:       o.String(),
+			Roots:       nodes,
+		}}
+	}
+	groups := make(map[string][]*config.Node)
+	for _, n := range nodes {
+		groups[n.Attr(o.GroupBy)] = append(groups[n.Attr(o.GroupBy)], n)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Instance
+	for _, k := range keys {
+		out = append(out, Instance{
+			Restriction: o.Restriction,
+			Weight:      o.Weight,
+			Label:       fmt.Sprintf("%s %s [%s=%s]", o.Restriction, o.Path, o.GroupBy, k),
+			Roots:       groups[k],
+		})
+	}
+	return out
+}
+
+// InstantiateAll desugars a list of objectives.
+func InstantiateAll(os []Objective, tree *config.Node) []Instance {
+	var out []Instance
+	for _, o := range os {
+		out = append(out, o.Instantiate(tree)...)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package objective
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+)
+
+func testTree(t *testing.T) *config.Node {
+	t.Helper()
+	texts := map[string]string{
+		"A": `hostname A
+router bgp 100
+ neighbor B
+access-list internal
+ deny ip 3.0.0.0/16 any
+ permit ip any any
+`,
+		"B": `hostname B
+router bgp 100
+ neighbor A
+router ospf 10
+ network 2.0.0.0/16
+access-list internal
+ deny ip 3.0.0.0/16 any
+ permit ip any any
+ip route 9.0.0.0/8 via A
+`,
+	}
+	net, err := config.ParseNetwork(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return config.Tree(net)
+}
+
+func TestXPathAnywhere(t *testing.T) {
+	tree := testTree(t)
+	x, err := ParseXPath(`//PacketFilter[name="internal"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := x.Select(tree)
+	if len(nodes) != 2 {
+		t.Fatalf("selected %d nodes, want 2", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.Type != config.NodePacketFilter || n.Attr("name") != "internal" {
+			t.Errorf("wrong node selected: %s", n.Path())
+		}
+	}
+}
+
+func TestXPathChildSteps(t *testing.T) {
+	tree := testTree(t)
+	x, err := ParseXPath(`//Router[name="B"]/RoutingProcess[type="ospf"]/Origination`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := x.Select(tree)
+	if len(nodes) != 1 || nodes[0].Attr("prefix") != "2.0.0.0/16" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestXPathRootAnchored(t *testing.T) {
+	tree := testTree(t)
+	x, err := ParseXPath(`/Router`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(x.Select(tree)); got != 2 {
+		t.Fatalf("selected %d routers, want 2", got)
+	}
+	// Root-anchored rule selection matches nothing (rules are deep).
+	x2, _ := ParseXPath(`/Rule`)
+	if got := len(x2.Select(tree)); got != 0 {
+		t.Errorf("anchored /Rule should select nothing, got %d", got)
+	}
+}
+
+func TestXPathMultiplePredicates(t *testing.T) {
+	tree := testTree(t)
+	x, err := ParseXPath(`//Rule[action="deny"][src="3.0.0.0/16"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(x.Select(tree)); got != 2 {
+		t.Fatalf("selected %d deny rules, want 2", got)
+	}
+}
+
+func TestXPathErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Router",
+		"//",
+		"//Router[name=B]",
+		"//Router[name]",
+		"//Router[name=\"B\"",
+		"//[name=\"B\"]",
+	}
+	for _, s := range bad {
+		if _, err := ParseXPath(s); err == nil {
+			t.Errorf("ParseXPath(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	o, err := ParseOne(`EQUATE //PacketFilter GROUPBY name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Restriction != Equate || o.GroupBy != "name" || o.Weight != 1 {
+		t.Errorf("parsed = %+v", o)
+	}
+	if o.String() != "EQUATE //PacketFilter GROUPBY name" {
+		t.Errorf("String = %q", o.String())
+	}
+	o2, err := ParseOne(`NOMODIFY //Router[name="B"] WEIGHT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Weight != 10 {
+		t.Error("weight not parsed")
+	}
+	if !strings.Contains(o2.String(), "WEIGHT 10") {
+		t.Error("weight not rendered")
+	}
+}
+
+func TestParseObjectiveErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROB //Router",
+		"NOMODIFY",
+		"NOMODIFY Router",
+		"NOMODIFY //Router GROUPBY",
+		"NOMODIFY //Router WEIGHT x",
+		"NOMODIFY //Router WEIGHT 0",
+		"NOMODIFY //Router EXTRA",
+	}
+	for _, s := range bad {
+		if _, err := ParseOne(s); err == nil {
+			t.Errorf("ParseOne(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseMulti(t *testing.T) {
+	os, err := Parse(`# objectives
+NOMODIFY //Router GROUPBY name
+ELIMINATE //StaticRoute GROUPBY prefix
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(os) != 2 {
+		t.Fatalf("parsed %d objectives", len(os))
+	}
+	if _, err := Parse("BOGUS //x"); err == nil {
+		t.Error("bad file should fail with line info")
+	}
+}
+
+func TestInstantiateGroupBy(t *testing.T) {
+	tree := testTree(t)
+	o, _ := ParseOne(`NOMODIFY //Router GROUPBY name`)
+	insts := o.Instantiate(tree)
+	if len(insts) != 2 {
+		t.Fatalf("instances = %d, want 2 (one per router)", len(insts))
+	}
+	// Deterministic order by group key.
+	if insts[0].Roots[0].Attr("name") != "A" || insts[1].Roots[0].Attr("name") != "B" {
+		t.Error("instances should be sorted by group value")
+	}
+	for _, in := range insts {
+		if in.Restriction != NoModify || in.Weight != 1 || len(in.Roots) != 1 {
+			t.Errorf("bad instance: %+v", in)
+		}
+	}
+}
+
+func TestInstantiateNoGroup(t *testing.T) {
+	tree := testTree(t)
+	o, _ := ParseOne(`EQUATE //PacketFilter`)
+	insts := o.Instantiate(tree)
+	if len(insts) != 1 || len(insts[0].Roots) != 2 {
+		t.Fatalf("want one instance over both filters, got %+v", insts)
+	}
+}
+
+func TestInstantiateEmptySelection(t *testing.T) {
+	tree := testTree(t)
+	o, _ := ParseOne(`NOMODIFY //Router[name="Z"]`)
+	if insts := o.Instantiate(tree); insts != nil {
+		t.Errorf("empty selection should instantiate to nil, got %v", insts)
+	}
+}
+
+func TestInstantiateAll(t *testing.T) {
+	tree := testTree(t)
+	os, _ := Parse("NOMODIFY //Router GROUPBY name\nELIMINATE //StaticRoute\n")
+	insts := InstantiateAll(os, tree)
+	if len(insts) != 3 {
+		t.Fatalf("instances = %d, want 3", len(insts))
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib := Library()
+	for _, name := range []string{"preserve-templates", "min-devices", "min-pfs", "avoid-static", "min-lines"} {
+		if os, ok := lib[name]; !ok || len(os) == 0 {
+			t.Errorf("library missing %q", name)
+		}
+	}
+	if os, err := Named("min-devices"); err != nil || len(os) != 1 {
+		t.Errorf("Named(min-devices) = %v, %v", os, err)
+	}
+	if _, err := Named("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+	// preserve-templates must also cover potential (virtual) filters.
+	found := false
+	for _, o := range lib["preserve-templates"] {
+		if o.Restriction == NoModify {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("preserve-templates should discourage new filters")
+	}
+}
+
+func TestAvoidRouters(t *testing.T) {
+	os := AvoidRouters("B", "C")
+	if len(os) != 2 || os[0].Weight != 10 {
+		t.Fatalf("AvoidRouters = %+v", os)
+	}
+	tree := testTree(t)
+	insts := os[0].Instantiate(tree)
+	if len(insts) != 1 || insts[0].Roots[0].Attr("name") != "B" {
+		t.Error("AvoidRouters should select router B")
+	}
+}
+
+func TestTableTwoEncodings(t *testing.T) {
+	// Every Table-2 objective must parse and instantiate on a tree
+	// containing the relevant constructs.
+	tree := testTree(t)
+	rows := []string{
+		`EQUATE //PacketFilter GROUPBY name`,
+		`NOMODIFY //Router GROUPBY name`,
+		`NOMODIFY //Router[name="B"]`,
+		`ELIMINATE //StaticRoute GROUPBY prefix`,
+	}
+	for _, row := range rows {
+		o, err := ParseOne(row)
+		if err != nil {
+			t.Fatalf("%q: %v", row, err)
+		}
+		if insts := o.Instantiate(tree); len(insts) == 0 {
+			t.Errorf("%q selected nothing", row)
+		}
+	}
+}

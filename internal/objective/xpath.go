@@ -1,0 +1,168 @@
+// Package objective implements AED's management-objective language
+// (paper §7): objectives are restrictions (NOMODIFY, ELIMINATE,
+// EQUATE, and the "prefer changes" extension MODIFY) applied to syntax
+// subtrees selected by an XPath-like expression, optionally fanned out
+// per attribute value with GROUPBY and weighted with WEIGHT.
+package objective
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aed-net/aed/internal/config"
+)
+
+// XPath is a parsed path expression over the configuration syntax
+// tree. The supported grammar is the fragment AED uses:
+//
+//	expr  := ("//" | "/") step ( "/" step )*
+//	step  := NodeType ( "[" attr "=" '"' value '"' "]" )*
+//
+// A leading "//" matches the first step anywhere in the tree; a
+// leading "/" anchors it at the root's children. Subsequent steps
+// match direct children.
+type XPath struct {
+	anywhere bool
+	steps    []step
+	src      string
+}
+
+type step struct {
+	nodeType string
+	preds    []pred
+}
+
+type pred struct {
+	attr  string
+	value string
+}
+
+// ParseXPath parses the XPath fragment described on XPath.
+func ParseXPath(s string) (*XPath, error) {
+	x := &XPath{src: s}
+	rest := s
+	switch {
+	case strings.HasPrefix(rest, "//"):
+		x.anywhere = true
+		rest = rest[2:]
+	case strings.HasPrefix(rest, "/"):
+		rest = rest[1:]
+	default:
+		return nil, fmt.Errorf("xpath: %q must start with / or //", s)
+	}
+	if rest == "" {
+		return nil, fmt.Errorf("xpath: %q has no steps", s)
+	}
+	for _, part := range splitSteps(rest) {
+		st, err := parseStep(part)
+		if err != nil {
+			return nil, fmt.Errorf("xpath %q: %w", s, err)
+		}
+		x.steps = append(x.steps, st)
+	}
+	return x, nil
+}
+
+// splitSteps splits on '/' outside bracketed predicates, so values
+// containing slashes (e.g. prefixes like "3.0.0.0/16") survive.
+func splitSteps(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			if depth > 0 {
+				depth--
+			}
+		case '/':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func parseStep(s string) (step, error) {
+	st := step{}
+	name := s
+	for {
+		open := strings.IndexByte(name, '[')
+		if open < 0 {
+			break
+		}
+		closeIdx := strings.IndexByte(name, ']')
+		if closeIdx < open {
+			return st, fmt.Errorf("unbalanced predicate in step %q", s)
+		}
+		predSrc := name[open+1 : closeIdx]
+		name = name[:open] + name[closeIdx+1:]
+		eq := strings.IndexByte(predSrc, '=')
+		if eq < 0 {
+			return st, fmt.Errorf("predicate %q must be attr=\"value\"", predSrc)
+		}
+		attr := strings.TrimSpace(predSrc[:eq])
+		val := strings.TrimSpace(predSrc[eq+1:])
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return st, fmt.Errorf("predicate value %q must be double-quoted", val)
+		}
+		st.preds = append(st.preds, pred{attr: attr, value: val[1 : len(val)-1]})
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return st, fmt.Errorf("step %q missing node type", s)
+	}
+	st.nodeType = name
+	return st, nil
+}
+
+// String returns the source expression.
+func (x *XPath) String() string { return x.src }
+
+func (st step) matches(n *config.Node) bool {
+	if n.Type != st.nodeType {
+		return false
+	}
+	for _, p := range st.preds {
+		if n.Attr(p.attr) != p.value {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns the nodes of the tree matched by the expression, in
+// tree order.
+func (x *XPath) Select(root *config.Node) []*config.Node {
+	var firstMatches []*config.Node
+	if x.anywhere {
+		root.Walk(func(n *config.Node) {
+			if x.steps[0].matches(n) {
+				firstMatches = append(firstMatches, n)
+			}
+		})
+	} else {
+		for _, c := range root.Children {
+			if x.steps[0].matches(c) {
+				firstMatches = append(firstMatches, c)
+			}
+		}
+	}
+	cur := firstMatches
+	for _, st := range x.steps[1:] {
+		var next []*config.Node
+		for _, n := range cur {
+			for _, c := range n.Children {
+				if st.matches(c) {
+					next = append(next, c)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}

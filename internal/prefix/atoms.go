@@ -1,0 +1,72 @@
+package prefix
+
+// Atoms computes packet equivalence classes for a set of possibly
+// overlapping prefixes. The result is a set of disjoint prefixes whose
+// union equals the union of the inputs, such that every input prefix is
+// exactly a union of atoms. This mirrors the Deltanet-style atom
+// subdivision AED cites for handling partially overlapping policy
+// traffic classes (§6.2, footnote 4).
+//
+// The construction recursively splits any prefix that partially covers
+// another: if p strictly covers q, p is replaced by its two halves and
+// the split recurses until no proper-containment pairs remain.
+func Atoms(inputs []Prefix) []Prefix {
+	work := Dedup(inputs)
+	var atoms []Prefix
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		// Split p if it strictly covers any other pending or emitted
+		// prefix; its halves re-enter the queue and recurse. A prefix
+		// strictly covered by p that was already emitted as an atom
+		// stays emitted: p's split descendants shrink until they
+		// either equal it or become disjoint from it.
+		split := false
+		for _, q := range work {
+			if p.Covers(q) && !p.Equal(q) {
+				split = true
+				break
+			}
+		}
+		if !split {
+			for _, q := range atoms {
+				if p.Covers(q) && !p.Equal(q) {
+					split = true
+					break
+				}
+			}
+		}
+		if split {
+			lo, hi := p.Halves()
+			work = append(work, lo, hi)
+		} else {
+			atoms = append(atoms, p)
+		}
+	}
+	return Dedup(atoms)
+}
+
+// CoveringAtoms returns the subset of atoms covered by p. It assumes
+// atoms came from Atoms() over a set including p, so each atom is
+// either inside p or disjoint from it.
+func CoveringAtoms(p Prefix, atoms []Prefix) []Prefix {
+	var out []Prefix
+	for _, a := range atoms {
+		if p.Covers(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Disjoint reports whether every pair of prefixes in ps is disjoint.
+func Disjoint(ps []Prefix) bool {
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			if ps[i].Overlaps(ps[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// runRandomCheck cross-checks the CDCL solver against brute-force
+// enumeration on random 3-SAT instances, shrinking any failure.
+func runRandomCheck(t *testing.T, seed int64, iters int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for iter := 0; iter < iters; iter++ {
+		n := 4 + rng.Intn(9)
+		m := int(4.3 * float64(n))
+		cnf := make([][]Lit, m)
+		for i := range cnf {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = NewLit(Var(1+rng.Intn(n)), rng.Intn(2) == 1)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := brute(n, cnf)
+		if (got == Sat) != want {
+			min := shrink(n, cnf)
+			t.Fatalf("seed %d iter %d: solver=%v brute=%v\nshrunk=%v", seed, iter, got, want, min)
+		}
+	}
+}
+
+// shrink removes clauses while the solver/brute-force disagreement
+// persists, to produce a minimal repro.
+func shrink(n int, cnf [][]Lit) [][]Lit {
+	cur := cnf
+	for {
+		reduced := false
+		for i := range cur {
+			cand := append(append([][]Lit{}, cur[:i]...), cur[i+1:]...)
+			s := New()
+			for v := 0; v < n; v++ {
+				s.NewVar()
+			}
+			for _, cl := range cand {
+				s.AddClause(cl...)
+			}
+			if (s.Solve() == Sat) != brute(n, cand) {
+				cur = cand
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			return cur
+		}
+	}
+}
+
+func TestRandomCrossCheckMoreSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		runRandomCheck(t, seed, 120)
+	}
+}
+
+// impliedBy reports whether clause cl is logically implied by cnf over
+// n variables (cnf ∧ ¬cl unsatisfiable, checked by enumeration).
+func impliedBy(n int, cnf [][]Lit, cl []Lit) bool {
+	withNeg := append([][]Lit{}, cnf...)
+	for _, l := range cl {
+		withNeg = append(withNeg, []Lit{l.Neg()})
+	}
+	return !brute(n, withNeg)
+}
+
+// TestLearnedClausesSound is a regression test for a bug where seen
+// flags of literals dropped by clause minimization were never cleared,
+// poisoning subsequent conflict analyses and producing unsound learned
+// clauses. Every clause learned on this instance must be implied by
+// the input formula.
+func TestLearnedClausesSound(t *testing.T) {
+	spec := [][]int{
+		{12, 6, 2}, {-12, 1, 11}, {12, -10, 3}, {-10, 1, 1}, {-7, -3, -2},
+		{-8, -12, 7}, {-3, 7, -3}, {-2, -8, 5}, {-3, -12, -12}, {11, 8, 7},
+		{-7, -5, -6}, {-11, -12, 4}, {-3, -5, 10}, {-4, 6, -11}, {12, 1, 3},
+		{-2, 8, -9}, {4, 2, -9}, {-3, 8, -6}, {-10, 3, -7}, {9, -6, -11},
+		{-8, 5, 9}, {-4, 2, -9},
+	}
+	var cnf [][]Lit
+	for _, c := range spec {
+		cl := make([]Lit, len(c))
+		for i, v := range c {
+			if v < 0 {
+				cl[i] = NegLit(Var(-v))
+			} else {
+				cl[i] = PosLit(Var(v))
+			}
+		}
+		cnf = append(cnf, cl)
+	}
+	const n = 12
+	s := New()
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	var bad []Lit
+	s.onLearn = func(cl []Lit) {
+		if bad == nil && !impliedBy(n, cnf, cl) {
+			bad = append([]Lit(nil), cl...)
+		}
+	}
+	for _, cl := range cnf {
+		s.AddClause(cl...)
+	}
+	got := s.Solve()
+	if bad != nil {
+		t.Fatalf("unsound learned clause: %v (solve=%v)", bad, got)
+	}
+	if got != Sat {
+		t.Fatalf("solve=%v want Sat", got)
+	}
+}
+
+// TestMinimizationSound verifies clause minimization never weakens a
+// sound clause into an unsound one on random instances.
+func TestMinimizationSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 40; iter++ {
+		n := 6 + rng.Intn(6)
+		m := int(4.2 * float64(n))
+		cnf := make([][]Lit, m)
+		for i := range cnf {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = NewLit(Var(1+rng.Intn(n)), rng.Intn(2) == 1)
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for i := 0; i < n; i++ {
+			s.NewVar()
+		}
+		s.onMinimize = func(pre, post []Lit) {
+			if impliedBy(n, cnf, pre) && !impliedBy(n, cnf, post) {
+				t.Fatalf("iter %d: minimization broke soundness: %v -> %v", iter, pre, post)
+			}
+			if len(post) > len(pre) {
+				t.Fatalf("iter %d: minimization grew clause", iter)
+			}
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		s.Solve()
+	}
+}

@@ -1,0 +1,109 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into a fresh
+// solver. It returns the solver and the variable count from the
+// problem line. The standard format:
+//
+//	c comment
+//	p cnf <vars> <clauses>
+//	1 -2 3 0
+//	...
+//
+// Literal k maps to variable Var(k) with negative numbers negated.
+// The clause count in the problem line is advisory; the actual clauses
+// are read to EOF.
+func ParseDIMACS(r io.Reader) (*Solver, int, error) {
+	s := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	nVars := 0
+	sawProblem := false
+	var clause []Lit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, 0, fmt.Errorf("dimacs: line %d: bad problem line %q", lineNo, line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, 0, fmt.Errorf("dimacs: line %d: bad variable count", lineNo)
+			}
+			nVars = n
+			for i := 0; i < n; i++ {
+				s.NewVar()
+			}
+			sawProblem = true
+			continue
+		}
+		if !sawProblem {
+			return nil, 0, fmt.Errorf("dimacs: line %d: clause before problem line", lineNo)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, 0, fmt.Errorf("dimacs: line %d: bad literal %q", lineNo, tok)
+			}
+			if v == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			abs := v
+			if abs < 0 {
+				abs = -abs
+			}
+			if abs > nVars {
+				return nil, 0, fmt.Errorf("dimacs: line %d: literal %d exceeds declared %d vars", lineNo, v, nVars)
+			}
+			clause = append(clause, NewLit(Var(abs), v < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(clause) > 0 {
+		s.AddClause(clause...) // final clause without trailing 0
+	}
+	if !sawProblem {
+		return nil, 0, fmt.Errorf("dimacs: missing problem line")
+	}
+	return s, nVars, nil
+}
+
+// WriteDIMACS renders a CNF (as variable count + clauses of Lits) in
+// DIMACS format.
+func WriteDIMACS(w io.Writer, nVars int, clauses [][]Lit) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", nVars, len(clauses)); err != nil {
+		return err
+	}
+	for _, cl := range clauses {
+		for _, l := range cl {
+			v := int(l.Var())
+			if l.Sign() {
+				v = -v
+			}
+			if _, err := fmt.Fprintf(w, "%d ", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "0"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSSat(t *testing.T) {
+	in := `c a satisfiable instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	s, n, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("vars = %d", n)
+	}
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+	// -1 forces v1 false, so clause (1 -2) forces v2 false, so (2 3)
+	// forces v3 true.
+	if s.ModelValue(1) || s.ModelValue(2) || !s.ModelValue(3) {
+		t.Error("model wrong")
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	in := "p cnf 1 2\n1 0\n-1 0\n"
+	s, _, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("want unsat")
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	// Clauses may span lines and the final 0 may be omitted at EOF.
+	in := "p cnf 3 1\n1\n2 3"
+	s, _, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClauses() != 1 {
+		t.Fatalf("clauses = %d", s.NumClauses())
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"1 2 0\n",                 // clause before problem line
+		"p cnf x 1\n1 0\n",        // bad var count
+		"p dnf 2 1\n1 0\n",        // wrong format tag
+		"p cnf 2 1\n1 banana 0\n", // bad literal
+		"p cnf 2 1\n5 0\n",        // literal out of range
+		"",                        // empty
+	}
+	for _, in := range bad {
+		if _, _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted bad input %q", in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	clauses := [][]Lit{
+		{PosLit(1), NegLit(2)},
+		{PosLit(2), PosLit(3)},
+		{NegLit(1)},
+	}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, 3, clauses); err != nil {
+		t.Fatal(err)
+	}
+	s, n, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || s.NumClauses() != 2 {
+		// The unit clause (-1) propagates at the root rather than
+		// being stored; two stored clauses remain.
+		t.Fatalf("n=%d clauses=%d", n, s.NumClauses())
+	}
+	if s.Solve() != Sat {
+		t.Fatal("want sat")
+	}
+}

@@ -1,0 +1,638 @@
+package sat
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrBudget is returned by Solve when the conflict budget is exhausted.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit // cached literal; if true the clause is satisfied
+}
+
+type varInfo struct {
+	reason *clause // antecedent clause, nil for decisions
+	level  int32   // decision level at which the variable was assigned
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+// A Solver is not safe for concurrent use; AED's per-destination
+// parallelism uses one Solver per goroutine.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learned clauses
+
+	watches  [][]watcher // watches[lit] = clauses watching lit
+	assigns  []Tribool   // assigns[var]
+	vardata  []varInfo   // vardata[var]
+	activity []float64   // VSIDS activity per variable
+	polarity []bool      // saved phases: last assigned sign per variable
+	seen     []bool      // scratch for conflict analysis
+
+	heap     *varHeap // VSIDS order
+	trail    []Lit
+	trailLim []int // decision-level boundaries in trail
+	qhead    int
+
+	varInc    float64
+	claInc    float64
+	numVars   int
+	ok        bool  // false once a top-level conflict is derived
+	conflictC []Lit // final conflict clause in assumption terms
+
+	// Budget limits a single Solve call; 0 means unlimited.
+	Budget int64
+
+	model []Tribool // assignment snapshot from the last Sat result
+
+	// onLearn, if set, observes every learned clause (testing hook).
+	onLearn func([]Lit)
+	// onMinimize, if set, observes (pre, post) minimization clauses.
+	onMinimize func(pre, post []Lit)
+	// debugChain, if set, observes each resolution step in analyze.
+	debugChain func(clause []Lit, pivot Lit)
+
+	Stats Stats
+}
+
+// New returns an empty solver with no variables or clauses.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	// Index 0 is reserved so Var and Lit arithmetic stays simple.
+	s.watches = make([][]watcher, 2)
+	s.assigns = make([]Tribool, 1)
+	s.vardata = make([]varInfo, 1)
+	s.activity = make([]float64, 1)
+	s.polarity = make([]bool, 1)
+	s.seen = make([]bool, 1)
+	s.heap = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar allocates and returns a fresh variable.
+func (s *Solver) NewVar() Var {
+	s.numVars++
+	v := Var(s.numVars)
+	s.watches = append(s.watches, nil, nil)
+	s.assigns = append(s.assigns, Undef)
+	s.vardata = append(s.vardata, varInfo{})
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true) // default phase: false (sign=true)
+	s.seen = append(s.seen, false)
+	s.heap.insert(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NumClauses returns the number of problem clauses currently held.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Value returns the current assignment of v (Undef if unassigned).
+func (s *Solver) Value(v Var) Tribool { return s.assigns[v] }
+
+// litValue evaluates a literal under the current assignment.
+func (s *Solver) litValue(l Lit) Tribool {
+	t := s.assigns[l.Var()]
+	if l.Sign() {
+		return t.Not()
+	}
+	return t
+}
+
+// AddClause adds a clause over the given literals. It returns false if
+// the solver is already in an unsatisfiable state (adding is a no-op
+// then). Duplicate literals are removed; tautologies are dropped.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause called at non-root decision level")
+	}
+	// Normalize: sort, dedup, drop false lits, detect tautology/satisfied.
+	ls := make([]Lit, len(lits))
+	copy(ls, lits)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if l == prev {
+			continue
+		}
+		if l == prev.Neg() && prev != -1 {
+			return true // tautology: x ∨ ¬x
+		}
+		switch s.litValue(l) {
+		case True:
+			return true // already satisfied at root
+		case False:
+			prev = l
+			continue // drop root-false literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	w0, w1 := c.lits[0], c.lits[1]
+	s.watches[w0.Neg()] = append(s.watches[w0.Neg()], watcher{c, w1})
+	s.watches[w1.Neg()] = append(s.watches[w1.Neg()], watcher{c, w0})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.litValue(l) {
+	case True:
+		return true
+	case False:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = False
+	} else {
+		s.assigns[v] = True
+	}
+	s.polarity[v] = l.Sign()
+	s.vardata[v] = varInfo{reason: from, level: int32(s.decisionLevel())}
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; it returns the conflicting clause
+// or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; clauses watching ¬p must react
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if confl != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.litValue(w.blocker) == True {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure c.lits[0] is the other watched literal.
+			falseLit := p.Neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == True {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nl := c.lits[1].Neg()
+					s.watches[nl] = append(s.watches[nl], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.litValue(first) == False {
+				confl = c
+				s.qhead = len(s.trail)
+			} else if !s.enqueue(first, c) {
+				confl = c
+				s.qhead = len(s.trail)
+			}
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		if s.debugChain != nil {
+			s.debugChain(confl.lits, p)
+		}
+		s.bumpClause(confl)
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.vardata[v].level == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.vardata[v].level) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk back the trail to the next marked literal.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.vardata[v].reason
+	}
+	learnt[0] = p.Neg()
+
+	// Clause minimization: drop literals implied by the rest.
+	mark := make(map[Var]bool, len(learnt))
+	for _, l := range learnt[1:] {
+		mark[l.Var()] = true
+	}
+	// Note: seen flags must be cleared for every pre-minimization
+	// literal, not just the survivors, or stale flags poison the next
+	// conflict analysis.
+	pre := append([]Lit(nil), learnt...)
+	mini := learnt[:1]
+	for _, l := range learnt[1:] {
+		if !s.redundant(l, mark) {
+			mini = append(mini, l)
+		}
+	}
+	learnt = mini
+	if s.onMinimize != nil {
+		s.onMinimize(pre, learnt)
+	}
+
+	// Compute backtrack level = second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.vardata[learnt[i].Var()].level > s.vardata[learnt[maxI].Var()].level {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.vardata[learnt[1].Var()].level)
+	}
+	for _, l := range pre {
+		s.seen[l.Var()] = false
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal l in a learned clause is implied by
+// the remaining marked literals (local, non-recursive minimization: l is
+// redundant if its reason exists and all reason literals are marked or
+// at level 0).
+func (s *Solver) redundant(l Lit, mark map[Var]bool) bool {
+	r := s.vardata[l.Var()].reason
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if s.vardata[q.Var()].level == 0 {
+			continue
+		}
+		if !mark[q.Var()] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) backtrack(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = Undef
+		s.vardata[v].reason = nil
+		if !s.heap.inHeap(v) {
+			s.heap.insert(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heap.inHeap(v) {
+		s.heap.decrease(v)
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+const (
+	varDecay = 1.0 / 0.95
+	claDecay = 1.0 / 0.999
+)
+
+// pickBranchVar selects an unassigned variable by VSIDS activity.
+func (s *Solver) pickBranchVar() Var {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assigns[v] == Undef {
+			return v
+		}
+	}
+	return 0
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// scaled by base.
+func luby(base int64, i int64) int64 {
+	// Find the finite subsequence containing index i, then its value.
+	var k uint = 1
+	for (int64(1)<<k)-1 < i {
+		k++
+	}
+	for (int64(1)<<k)-1 != i {
+		i -= (int64(1) << (k - 1)) - 1
+		k = 1
+		for (int64(1)<<k)-1 < i {
+			k++
+		}
+	}
+	return base << (k - 1)
+}
+
+// reduceDB removes roughly half of the learned clauses, keeping the
+// most active and all binary/locked clauses.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity > s.learnts[j].activity
+	})
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		if len(c.lits) <= 2 || s.locked(c) || i < limit {
+			keep = append(keep, c)
+		} else {
+			s.detach(c)
+			s.Stats.Deleted++
+		}
+	}
+	s.learnts = keep
+}
+
+// locked reports whether c is the reason of an assigned variable.
+func (s *Solver) locked(c *clause) bool {
+	l := c.lits[0]
+	return s.litValue(l) == True && s.vardata[l.Var()].reason == c
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, w := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+		ws := s.watches[w]
+		for i, x := range ws {
+			if x.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// Solve searches for a model under the given assumption literals. On
+// Unsat, Conflict() returns the subset of assumptions responsible.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.Stats.SolveCalls++
+	s.conflictC = nil
+	if !s.ok {
+		return Unsat
+	}
+	defer s.backtrack(0)
+
+	maxLearnts := float64(len(s.clauses))/3 + 500
+	var restartN int64 = 1
+	conflictsAtStart := s.Stats.Conflicts
+
+	for {
+		budget := luby(100, restartN)
+		restartN++
+		st := s.search(assumptions, budget, &maxLearnts)
+		if st == Sat {
+			s.model = make([]Tribool, len(s.assigns))
+			copy(s.model, s.assigns)
+		}
+		if st != Unknown {
+			return st
+		}
+		if s.Budget > 0 && s.Stats.Conflicts-conflictsAtStart >= s.Budget {
+			return Unknown
+		}
+		s.Stats.Restarts++
+		s.backtrack(0)
+	}
+}
+
+// search runs CDCL until a result, a restart budget expiry (Unknown),
+// or completion.
+func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *float64) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			if s.onLearn != nil {
+				s.onLearn(learnt)
+			}
+			// Never backtrack past the assumptions.
+			s.backtrack(btLevel)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], nil) {
+					s.ok = false
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.Stats.Learned++
+			s.varInc *= varDecay
+			s.claInc *= claDecay
+			if float64(len(s.learnts)) > *maxLearnts {
+				*maxLearnts *= 1.3
+				s.reduceDB()
+			}
+			continue
+		}
+		if conflicts >= budget {
+			return Unknown
+		}
+		// Assumption decisions first.
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case True:
+				// Already implied: open an empty decision level so the
+				// level↔assumption indexing stays aligned.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case False:
+				s.conflictC = s.analyzeFinal(a, assumptions)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, nil)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(NewLit(v, s.polarity[v]), nil)
+	}
+}
+
+// analyzeFinal computes the subset of assumptions that imply ¬a, i.e. a
+// final conflict clause over assumption literals.
+func (s *Solver) analyzeFinal(a Lit, assumptions []Lit) []Lit {
+	out := []Lit{a.Neg()}
+	if s.decisionLevel() == 0 {
+		return out
+	}
+	isAssumption := make(map[Lit]bool, len(assumptions))
+	for _, l := range assumptions {
+		isAssumption[l] = true
+	}
+	seen := make(map[Var]bool)
+	seen[a.Var()] = true
+	for i := len(s.trail) - 1; i >= 0; i-- {
+		v := s.trail[i].Var()
+		if !seen[v] {
+			continue
+		}
+		r := s.vardata[v].reason
+		if r == nil {
+			if isAssumption[s.trail[i]] && s.trail[i].Var() != a.Var() {
+				out = append(out, s.trail[i].Neg())
+			}
+		} else {
+			for _, q := range r.lits {
+				if s.vardata[q.Var()].level > 0 {
+					seen[q.Var()] = true
+				}
+			}
+		}
+		delete(seen, v)
+	}
+	return out
+}
+
+// Conflict returns the final conflict clause from the last Unsat Solve
+// under assumptions: the negations of a responsible assumption subset.
+func (s *Solver) Conflict() []Lit { return s.conflictC }
+
+// Model returns the satisfying assignment captured by the last Sat
+// result. The returned slice is indexed by Var (index 0 unused).
+// Variables created after that Solve call report Undef.
+func (s *Solver) Model() []Tribool {
+	m := make([]Tribool, len(s.assigns))
+	copy(m, s.model)
+	return m
+}
+
+// ModelValue returns the value of v in the last model (false if the
+// variable was unassigned or the last Solve was not Sat).
+func (s *Solver) ModelValue(v Var) bool {
+	return int(v) < len(s.model) && s.model[v] == True
+}
+
+// Okay reports whether the solver is still consistent at the root
+// level (no empty clause derived).
+func (s *Solver) Okay() bool { return s.ok }

@@ -1,0 +1,123 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver used as the decision engine beneath AED's MaxSMT layer. It
+// provides two-watched-literal propagation, first-UIP conflict analysis
+// with clause minimization, VSIDS branching, phase saving, Luby
+// restarts, learned-clause database reduction, incremental solving
+// under assumptions, and final-conflict (core) extraction.
+//
+// The solver is deliberately self-contained (stdlib only): the paper's
+// artifact delegated to Z3, which has no maintained Go bindings, so this
+// package is the substitution that makes the whole system reproducible
+// in pure Go (see DESIGN.md §2).
+package sat
+
+import "fmt"
+
+// Var identifies a boolean variable. Valid variables are >= 1;
+// variable 0 is reserved.
+type Var int
+
+// Lit is a literal: a variable or its negation. Internally a literal
+// is 2*v for the positive polarity and 2*v+1 for the negative, which
+// makes negation a single XOR and array indexing direct.
+type Lit int32
+
+// NewLit builds a literal from a variable and a sign. sign=false gives
+// the positive literal v, sign=true gives ¬v.
+func NewLit(v Var, sign bool) Lit {
+	l := Lit(v) << 1
+	if sign {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return NewLit(v, false) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return NewLit(v, true) }
+
+// Var returns the variable underlying l.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Sign reports whether l is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Neg returns the negation of l.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// String renders l as "v3" or "~v3".
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("~v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+// Tribool is a three-valued truth assignment.
+type Tribool int8
+
+// Truth values of a Tribool.
+const (
+	Undef Tribool = iota
+	True
+	False
+)
+
+// Not negates a defined Tribool and leaves Undef unchanged.
+func (t Tribool) Not() Tribool {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Undef
+}
+
+func (t Tribool) String() string {
+	switch t {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	}
+	return "undef"
+}
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solver outcomes.
+const (
+	// Unknown means the solver was interrupted by budget limits.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Stats counts solver work; useful in benchmarks and for the paper's
+// optimization-strategy experiments.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learned      int64
+	Deleted      int64
+	SolveCalls   int64
+}

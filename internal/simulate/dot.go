@@ -1,0 +1,51 @@
+package simulate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/aed-net/aed/internal/prefix"
+)
+
+// DOT renders the physical topology with the forwarding tree toward
+// dst overlaid (solid edges = forwarding next hops, dashed = unused
+// physical links), in Graphviz format. Useful for debugging synthesis
+// results and in reports.
+func (s *Simulator) DOT(dst prefix.Prefix) string {
+	hops := s.NextHops(dst)
+	dstRouter := s.Topo.RouterOfSubnet(dst)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph forwarding {\n")
+	fmt.Fprintf(&b, "  label=%q;\n", "forwarding toward "+dst.String())
+	fmt.Fprintf(&b, "  node [shape=box];\n")
+
+	names := append([]string(nil), s.Topo.Routers...)
+	sort.Strings(names)
+	for _, r := range names {
+		attrs := ""
+		if r == dstRouter {
+			attrs = ` style=filled fillcolor=lightblue`
+		} else if s.DisabledRouters[r] {
+			attrs = ` style=filled fillcolor=lightgray`
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", r, r, attrs)
+	}
+	used := make(map[[2]string]bool)
+	for r, nh := range hops {
+		if nh == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q [penwidth=2];\n", r, nh)
+		used[[2]string{r, nh}] = true
+	}
+	for _, l := range s.Topo.Links() {
+		if used[[2]string{l[0], l[1]}] || used[[2]string{l[1], l[0]}] {
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q [dir=none style=dashed color=gray];\n", l[0], l[1])
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}

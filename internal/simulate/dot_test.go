@@ -1,0 +1,51 @@
+package simulate
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+func TestDOTRendering(t *testing.T) {
+	topo := topology.LeafSpine(2, 1, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF})
+	s := New(net, topo)
+	out := s.DOT(prefix.MustParse("10.1.0.0/24"))
+	if !strings.HasPrefix(out, "digraph forwarding {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not graphviz:\n%s", out)
+	}
+	// The destination router is highlighted and the forwarding edges
+	// toward it are present.
+	if !strings.Contains(out, "lightblue") {
+		t.Error("destination router should be highlighted")
+	}
+	if !strings.Contains(out, `"leaf0" -> "spine0" [penwidth=2]`) {
+		t.Errorf("missing forwarding edge:\n%s", out)
+	}
+	if !strings.Contains(out, `"spine0" -> "leaf1" [penwidth=2]`) {
+		t.Errorf("missing forwarding edge toward dest:\n%s", out)
+	}
+}
+
+func TestDOTDisabledRouter(t *testing.T) {
+	topo := topology.Diamond()
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF})
+	s := New(net, topo)
+	s.DisabledRouters["B"] = true
+	out := s.DOT(prefix.MustParse("3.0.0.0/16"))
+	if !strings.Contains(out, `"B" [label="B" style=filled fillcolor=lightgray]`) {
+		t.Errorf("disabled router should be gray:\n%s", out)
+	}
+	if strings.Contains(out, `"B" -> `) && strings.Contains(out, "penwidth") {
+		// B must not forward; only dashed physical edges may touch it.
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, `"B" ->`) && strings.Contains(line, "penwidth") {
+				t.Errorf("disabled router forwards: %s", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package simulate
+
+import (
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// TestRIPBasicRouting: RIP behaves as a distance-vector IGP with
+// hop-count metric (the paper's §11 extension point).
+func TestRIPBasicRouting(t *testing.T) {
+	topo := topology.Line(4)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.RIP})
+	s := New(net, topo)
+	dst := prefix.MustParse("10.1.0.0/24") // on r3
+	routes := s.Routes(dst)
+	if len(routes) != 4 {
+		t.Fatalf("routes: %v", routes)
+	}
+	if routes["r0"].Cost != 3 || routes["r0"].NextHop != "r1" {
+		t.Errorf("r0 route = %+v, want cost 3 via r1", routes["r0"])
+	}
+	if routes["r0"].Proto != config.RIP || routes["r0"].AD != 120 {
+		t.Errorf("r0 proto/AD = %v/%d", routes["r0"].Proto, routes["r0"].AD)
+	}
+	ps := s.InferReachability()
+	if len(ps) != 2 {
+		t.Errorf("inferred %d policies, want 2", len(ps))
+	}
+	_ = policy.Format(ps)
+}
+
+// TestRIPLosesToOSPF: administrative distance prefers OSPF (110) over
+// RIP (120) when both protocols hold a route.
+func TestRIPLosesToOSPF(t *testing.T) {
+	topo := topology.New("pair")
+	topo.AddRouter("a", "")
+	topo.AddRouter("b", "")
+	topo.AddLink("a", "b")
+	topo.AddSubnet("b", prefix.MustParse("10.9.0.0/24"))
+	texts := map[string]string{
+		"a": `hostname a
+router ospf 10
+ neighbor b
+router rip 1
+ neighbor b
+`,
+		"b": `hostname b
+router ospf 10
+ network 10.9.0.0/24
+ neighbor a
+router rip 1
+ network 10.9.0.0/24
+ neighbor a
+`,
+	}
+	net, err := config.ParseNetwork(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(net, topo)
+	routes := s.Routes(prefix.MustParse("10.9.0.0/24"))
+	if routes["a"].Proto != config.OSPF {
+		t.Errorf("a should prefer OSPF over RIP: %+v", routes["a"])
+	}
+}
+
+// TestRIPRedistribution: RIP routes redistributed into BGP cross an
+// AS-style boundary.
+func TestRIPRedistribution(t *testing.T) {
+	topo := topology.New("line3")
+	topo.AddRouter("A", "")
+	topo.AddRouter("B", "")
+	topo.AddRouter("C", "")
+	topo.AddLink("A", "B")
+	topo.AddLink("B", "C")
+	topo.AddSubnet("A", prefix.MustParse("10.0.0.0/24"))
+	topo.AddSubnet("C", prefix.MustParse("10.2.0.0/24"))
+	texts := map[string]string{
+		"A": "hostname A\nrouter bgp 100\n neighbor B\n",
+		"B": `hostname B
+router bgp 200
+ neighbor A
+ redistribute rip
+router rip 1
+ neighbor C
+`,
+		"C": "hostname C\nrouter rip 1\n network 10.2.0.0/24\n neighbor B\n",
+	}
+	net, err := config.ParseNetwork(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(net, topo)
+	path, st := s.Path(prefix.MustParse("10.0.0.0/24"), prefix.MustParse("10.2.0.0/24"))
+	if st != Delivered || len(path) != 3 {
+		t.Fatalf("path = %v (%v)", path, st)
+	}
+}

@@ -1,0 +1,544 @@
+// Package simulate is a concrete control-plane simulator: it computes
+// the converged routes and forwarding behaviour implied by a set of
+// router configurations on a physical topology, mirroring the
+// semantics AED encodes symbolically in internal/encode.
+//
+// The simulator plays two roles from the paper's evaluation: it is the
+// stand-in for Minesweeper's policy inference (checking reachability
+// between every pair of subnets, §9 "Dataset"), and it independently
+// validates that configurations synthesized by AED or the baselines
+// actually satisfy the requested policies.
+package simulate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Route is a converged routing-table entry for one destination prefix.
+type Route struct {
+	Proto     config.Proto
+	NextHop   string // next-hop router; "" for locally originated
+	LocalPref int    // BGP local preference (default 100)
+	Cost      int    // accumulated path cost
+	AD        int    // administrative distance
+}
+
+// better reports whether a is preferred over b within the same
+// protocol (BGP: highest lp then lowest cost; others: lowest cost).
+func better(p config.Proto, a, b Route) bool {
+	if p == config.BGP {
+		if a.LocalPref != b.LocalPref {
+			return a.LocalPref > b.LocalPref
+		}
+	}
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	// Deterministic tie-break on next hop keeps runs reproducible.
+	return a.NextHop < b.NextHop
+}
+
+// Simulator evaluates a configuration snapshot on a topology.
+type Simulator struct {
+	Net  *config.Network
+	Topo *topology.Topology
+
+	// DisabledRouters simulates failures: routers listed here neither
+	// forward nor advertise (used by path-preference checking).
+	DisabledRouters map[string]bool
+}
+
+// New returns a simulator over the given snapshot.
+func New(net *config.Network, topo *topology.Topology) *Simulator {
+	return &Simulator{Net: net, Topo: topo, DisabledRouters: map[string]bool{}}
+}
+
+// procKey identifies a process instance.
+type procKey struct {
+	router string
+	proto  config.Proto
+}
+
+const defaultLP = 100
+
+// Routes computes, for each router, the best route toward dst after
+// convergence (per-destination fixpoint iteration of receive → select
+// → advertise, exactly the loop the paper's Appendix A encodes).
+// Routers with no route are absent from the result.
+func (s *Simulator) Routes(dst prefix.Prefix) map[string]Route {
+	// Per-process best routes.
+	procBest := make(map[procKey]*Route)
+
+	// Static routes contribute directly to the router-level choice.
+	// Originations seed the per-process bests.
+	for name, r := range s.Net.Routers {
+		if s.DisabledRouters[name] {
+			continue
+		}
+		for _, p := range r.Processes {
+			for _, o := range p.Originations {
+				if o.Prefix.Covers(dst) {
+					procBest[procKey{name, p.Protocol}] = &Route{
+						Proto:     p.Protocol,
+						LocalPref: defaultLP,
+						Cost:      0,
+						AD:        p.Protocol.AdminDistance(),
+					}
+				}
+			}
+		}
+	}
+
+	// Iterate to fixpoint. Each round recomputes every process's best
+	// from neighbors' current bests; cost monotonicity bounds the
+	// number of rounds by the network diameter.
+	routers := s.Net.RouterNames()
+	maxRounds := 2*len(routers) + 4
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, name := range routers {
+			if s.DisabledRouters[name] {
+				continue
+			}
+			r := s.Net.Routers[name]
+			for _, p := range r.Processes {
+				key := procKey{name, p.Protocol}
+				best := originationRoute(p, dst)
+				// Redistribution: import the router's other process
+				// routes with cost reset.
+				for _, redistProto := range p.Redistribute {
+					src := procBest[procKey{name, redistProto}]
+					if src == nil {
+						continue
+					}
+					cand := Route{
+						Proto:     p.Protocol,
+						NextHop:   src.NextHop,
+						LocalPref: defaultLP,
+						Cost:      1,
+						AD:        p.Protocol.AdminDistance(),
+					}
+					if best == nil || better(p.Protocol, cand, *best) {
+						c := cand
+						best = &c
+					}
+				}
+				// Advertisements from neighbors.
+				for _, adj := range p.Adjacencies {
+					cand := s.receive(name, p, adj, dst, procBest)
+					if cand != nil && (best == nil || better(p.Protocol, *cand, *best)) {
+						best = cand
+					}
+				}
+				cur := procBest[key]
+				if !routeEqual(cur, best) {
+					procBest[key] = best
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Router-level selection: lowest AD among processes and statics.
+	out := make(map[string]Route)
+	for _, name := range routers {
+		if s.DisabledRouters[name] {
+			continue
+		}
+		r := s.Net.Routers[name]
+		var best *Route
+		for _, p := range r.Processes {
+			cand := procBest[procKey{name, p.Protocol}]
+			if cand == nil {
+				continue
+			}
+			if best == nil || cand.AD < best.AD {
+				c := *cand
+				best = &c
+			}
+		}
+		for _, st := range r.StaticRoutes {
+			if !st.Prefix.Covers(dst) {
+				continue
+			}
+			if s.DisabledRouters[st.NextHop] || !s.Topo.HasLink(name, st.NextHop) {
+				continue
+			}
+			cand := Route{Proto: config.Static, NextHop: st.NextHop,
+				LocalPref: defaultLP, Cost: 1, AD: config.Static.AdminDistance()}
+			if best == nil || cand.AD < best.AD {
+				c := cand
+				best = &c
+			}
+		}
+		if best != nil {
+			out[name] = *best
+		}
+	}
+	return out
+}
+
+// originationRoute returns the local origination route of p for dst,
+// or nil.
+func originationRoute(p *config.Process, dst prefix.Prefix) *Route {
+	for _, o := range p.Originations {
+		if o.Prefix.Covers(dst) {
+			return &Route{Proto: p.Protocol, LocalPref: defaultLP, Cost: 0,
+				AD: p.Protocol.AdminDistance()}
+		}
+	}
+	return nil
+}
+
+// receive models router `name` process `p` receiving dst's route from
+// the neighbor behind adjacency adj (paper Fig. 15): the neighbor must
+// run the same protocol, have a reciprocal adjacency and an active
+// physical link, and hold a valid best route; the neighbor's out
+// filter and the local in filter apply in order.
+func (s *Simulator) receive(name string, p *config.Process, adj *config.Adjacency,
+	dst prefix.Prefix, procBest map[procKey]*Route) *Route {
+
+	peerName := adj.Peer
+	if s.DisabledRouters[peerName] || !s.Topo.HasLink(name, peerName) {
+		return nil
+	}
+	peer := s.Net.Routers[peerName]
+	if peer == nil {
+		return nil
+	}
+	peerProc := peer.Process(p.Protocol)
+	if peerProc == nil {
+		return nil
+	}
+	back := peerProc.Adjacency(name)
+	if back == nil {
+		return nil
+	}
+	peerBest := procBest[procKey{peerName, p.Protocol}]
+	if peerBest == nil {
+		return nil
+	}
+	// Split-horizon: do not accept a route whose next hop is us.
+	if peerBest.NextHop == name {
+		return nil
+	}
+
+	adv := Route{
+		Proto:     p.Protocol,
+		NextHop:   peerName,
+		LocalPref: defaultLP,
+		Cost:      peerBest.Cost + back.LinkCost(),
+		AD:        p.Protocol.AdminDistance(),
+	}
+	if p.Protocol == config.OSPF {
+		// OSPF metric continues accumulating; lp is meaningless.
+		adv.LocalPref = defaultLP
+	}
+
+	// Peer's outbound filter.
+	if back.OutFilter != "" {
+		if !applyRouteFilter(peer.RouteFilter(back.OutFilter), dst, &adv, false) {
+			return nil
+		}
+	}
+	// Local inbound filter (may set local preference).
+	if adj.InFilter != "" {
+		local := s.Net.Routers[name]
+		if !applyRouteFilter(local.RouteFilter(adj.InFilter), dst, &adv, true) {
+			return nil
+		}
+	}
+	return &adv
+}
+
+// applyRouteFilter evaluates filter rules first-match on dst. It
+// returns false if the advertisement is denied. Set actions apply on
+// permit; local preference only takes effect on inbound application.
+func applyRouteFilter(f *config.RouteFilter, dst prefix.Prefix, adv *Route, inbound bool) bool {
+	if f == nil {
+		return true // dangling reference behaves as permit-all
+	}
+	for _, rule := range f.Rules {
+		if !rule.Matches(dst) {
+			continue
+		}
+		if !rule.Permit {
+			return false
+		}
+		if inbound && rule.LocalPref != 0 {
+			adv.LocalPref = rule.LocalPref
+		}
+		if rule.Metric != 0 {
+			adv.Cost = rule.Metric
+		}
+		return true
+	}
+	return true // no matching rule: permit
+}
+
+func routeEqual(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
+}
+
+// NextHops returns each router's forwarding next hop toward dst
+// (destination router maps to "").
+func (s *Simulator) NextHops(dst prefix.Prefix) map[string]string {
+	routes := s.Routes(dst)
+	out := make(map[string]string, len(routes))
+	for name, r := range routes {
+		out[name] = r.NextHop
+	}
+	return out
+}
+
+// PathStatus describes the outcome of tracing a forwarding path.
+type PathStatus int
+
+// Path outcomes.
+const (
+	// Delivered: traffic reaches the destination subnet's router.
+	Delivered PathStatus = iota
+	// Filtered: a packet filter drops the traffic.
+	Filtered
+	// NoRoute: some router on the way has no route (blackhole).
+	NoRoute
+	// Looped: forwarding loops.
+	Looped
+)
+
+func (p PathStatus) String() string {
+	switch p {
+	case Delivered:
+		return "delivered"
+	case Filtered:
+		return "filtered"
+	case NoRoute:
+		return "no-route"
+	case Looped:
+		return "looped"
+	}
+	return "unknown"
+}
+
+// Path traces the data-plane path for traffic from the src subnet to
+// the dst subnet. It returns the sequence of routers traversed
+// (starting at src's router) and the outcome. Packet filters apply on
+// the sender's outbound interface and the receiver's inbound interface
+// for every hop (paper Fig. 17: dataFwd = controlFwd ∧ pFil.allow).
+func (s *Simulator) Path(src, dst prefix.Prefix) ([]string, PathStatus) {
+	srcRouter := s.Topo.RouterOfSubnet(src)
+	dstRouter := s.Topo.RouterOfSubnet(dst)
+	if srcRouter == "" || dstRouter == "" {
+		return nil, NoRoute
+	}
+	hops := s.NextHops(dst)
+	path := []string{srcRouter}
+	cur := srcRouter
+	visited := map[string]bool{srcRouter: true}
+	for cur != dstRouter {
+		next, ok := hops[cur]
+		if !ok || next == "" {
+			return path, NoRoute
+		}
+		if !s.allowsPacket(cur, next, src, dst) {
+			return path, Filtered
+		}
+		if visited[next] {
+			return append(path, next), Looped
+		}
+		visited[next] = true
+		path = append(path, next)
+		cur = next
+	}
+	return path, Delivered
+}
+
+// allowsPacket checks the packet filters on the from→to hop: from's
+// outbound filter on interface eth-<to> and to's inbound filter on
+// interface eth-<from>.
+func (s *Simulator) allowsPacket(from, to string, src, dst prefix.Prefix) bool {
+	fr := s.Net.Routers[from]
+	tr := s.Net.Routers[to]
+	if fr != nil {
+		if i := fr.Interface("eth-" + to); i != nil && i.FilterOut != "" {
+			if f := fr.PacketFilter(i.FilterOut); f != nil && !f.Allows(src, dst) {
+				return false
+			}
+		}
+	}
+	if tr != nil {
+		if i := tr.Interface("eth-" + from); i != nil && i.FilterIn != "" {
+			if f := tr.PacketFilter(i.FilterIn); f != nil && !f.Allows(src, dst) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Violation describes a policy the current snapshot does not satisfy.
+type Violation struct {
+	Policy policy.Policy
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Policy, v.Reason)
+}
+
+// Check evaluates a single policy, returning nil if satisfied.
+func (s *Simulator) Check(p policy.Policy) *Violation {
+	switch p.Kind {
+	case policy.Reachability:
+		path, st := s.Path(p.Src, p.Dst)
+		if st != Delivered {
+			return &Violation{p, fmt.Sprintf("%s after %v", st, path)}
+		}
+	case policy.Blocking:
+		if _, st := s.Path(p.Src, p.Dst); st == Delivered {
+			return &Violation{p, "traffic delivered"}
+		}
+	case policy.Isolation:
+		if _, st := s.Path(p.Src, p.Dst); st == Delivered {
+			return &Violation{p, "forward traffic delivered"}
+		}
+		if _, st := s.Path(p.Dst, p.Src); st == Delivered {
+			return &Violation{p, "reverse traffic delivered"}
+		}
+	case policy.Waypoint:
+		path, st := s.Path(p.Src, p.Dst)
+		if st != Delivered {
+			return &Violation{p, fmt.Sprintf("%s after %v", st, path)}
+		}
+		if !contains(path, p.Via) {
+			return &Violation{p, fmt.Sprintf("path %v avoids waypoint %s", path, p.Via)}
+		}
+	case policy.PathLength:
+		path, st := s.Path(p.Src, p.Dst)
+		if st != Delivered {
+			return &Violation{p, fmt.Sprintf("%s after %v", st, path)}
+		}
+		if hops := len(path) - 1; hops > p.MaxLen {
+			return &Violation{p, fmt.Sprintf("path %v has %d hops, bound %d", path, hops, p.MaxLen)}
+		}
+	case policy.PathPreference:
+		path, st := s.Path(p.Src, p.Dst)
+		if st != Delivered {
+			return &Violation{p, fmt.Sprintf("%s after %v", st, path)}
+		}
+		if !contains(path, p.Via) {
+			return &Violation{p, fmt.Sprintf("primary path %v avoids preferred transit %s", path, p.Via)}
+		}
+		// With the preferred transit down, the fallback must engage.
+		alt := &Simulator{Net: s.Net, Topo: s.Topo,
+			DisabledRouters: map[string]bool{p.Via: true}}
+		for r := range s.DisabledRouters {
+			alt.DisabledRouters[r] = true
+		}
+		altPath, altSt := alt.Path(p.Src, p.Dst)
+		if altSt == Delivered && !contains(altPath, p.Avoid) {
+			return &Violation{p, fmt.Sprintf("fallback path %v avoids %s", altPath, p.Avoid)}
+		}
+	}
+	return nil
+}
+
+// CheckAll evaluates a policy set and returns all violations.
+func (s *Simulator) CheckAll(ps []policy.Policy) []Violation {
+	var out []Violation
+	for _, p := range ps {
+		if v := s.Check(p); v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out
+}
+
+// InferReachability computes the reachability policies that currently
+// hold between every ordered pair of distinct subnets — the role
+// Minesweeper plays in the paper's dataset preparation.
+func (s *Simulator) InferReachability() []policy.Policy {
+	var subnets []prefix.Prefix
+	for _, sn := range s.Topo.Subnets {
+		subnets = append(subnets, sn.Prefix)
+	}
+	prefix.Sort(subnets)
+	var out []policy.Policy
+	for _, src := range subnets {
+		for _, dst := range subnets {
+			if src.Equal(dst) {
+				continue
+			}
+			if _, st := s.Path(src, dst); st == Delivered {
+				out = append(out, policy.Policy{Kind: policy.Reachability, Src: src, Dst: dst})
+			}
+		}
+	}
+	return out
+}
+
+// InferAll returns both reachability policies that hold and blocking
+// policies for pairs that are filtered (not merely unrouted).
+func (s *Simulator) InferAll() []policy.Policy {
+	var subnets []prefix.Prefix
+	for _, sn := range s.Topo.Subnets {
+		subnets = append(subnets, sn.Prefix)
+	}
+	prefix.Sort(subnets)
+	var out []policy.Policy
+	for _, src := range subnets {
+		for _, dst := range subnets {
+			if src.Equal(dst) {
+				continue
+			}
+			_, st := s.Path(src, dst)
+			switch st {
+			case Delivered:
+				out = append(out, policy.Policy{Kind: policy.Reachability, Src: src, Dst: dst})
+			case Filtered:
+				out = append(out, policy.Policy{Kind: policy.Blocking, Src: src, Dst: dst})
+			}
+		}
+	}
+	return out
+}
+
+func contains(path []string, router string) bool {
+	for _, r := range path {
+		if r == router {
+			return true
+		}
+	}
+	return false
+}
+
+// ForwardingTable renders the next-hop table for dst, for debugging.
+func (s *Simulator) ForwardingTable(dst prefix.Prefix) string {
+	hops := s.NextHops(dst)
+	names := make([]string, 0, len(hops))
+	for n := range hops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		nh := hops[n]
+		if nh == "" {
+			nh = "(local)"
+		}
+		out += fmt.Sprintf("%s -> %s\n", n, nh)
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+package simulate
+
+import (
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// figure1Net builds OSPF configs for the paper's Figure-1 diamond:
+// A -- B -- D, A -- C -- D, B -- C; hosts 1/16 on A, 2/16 on B,
+// 3/16 and 4/16 on D.
+func figure1Net(t *testing.T) (*config.Network, *topology.Topology) {
+	t.Helper()
+	topo := topology.Diamond()
+	texts := map[string]string{
+		"A": `hostname A
+interface eth-B
+ ip address 192.168.1.1/30
+interface eth-C
+ ip address 192.168.2.1/30
+router ospf 10
+ network 1.0.0.0/16
+ neighbor B
+ neighbor C
+`,
+		"B": `hostname B
+interface eth-A
+ ip address 192.168.1.2/30
+interface eth-C
+ ip address 192.168.3.1/30
+interface eth-D
+ ip address 192.168.4.1/30
+router ospf 10
+ network 2.0.0.0/16
+ neighbor A
+ neighbor C
+ neighbor D
+`,
+		"C": `hostname C
+interface eth-A
+ ip address 192.168.2.2/30
+interface eth-B
+ ip address 192.168.3.2/30
+interface eth-D
+ ip address 192.168.5.1/30
+router ospf 10
+ neighbor A
+ neighbor B
+ neighbor D
+`,
+		"D": `hostname D
+interface eth-B
+ ip address 192.168.4.2/30
+interface eth-C
+ ip address 192.168.5.2/30
+router ospf 10
+ network 3.0.0.0/16
+ network 4.0.0.0/16
+ neighbor B
+ neighbor C
+`,
+	}
+	net, err := config.ParseNetwork(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, topo
+}
+
+func TestRoutesConverge(t *testing.T) {
+	net, topo := figure1Net(t)
+	s := New(net, topo)
+	dst := prefix.MustParse("3.0.0.0/16")
+	routes := s.Routes(dst)
+	if len(routes) != 4 {
+		t.Fatalf("routes for %s: %v", dst, routes)
+	}
+	if routes["D"].NextHop != "" || routes["D"].Cost != 0 {
+		t.Errorf("D should originate: %+v", routes["D"])
+	}
+	if nh := routes["B"].NextHop; nh != "D" {
+		t.Errorf("B next hop = %q, want D", nh)
+	}
+	if nh := routes["A"].NextHop; nh != "B" && nh != "C" {
+		t.Errorf("A next hop = %q, want B or C", nh)
+	}
+	if routes["A"].Cost != 2 {
+		t.Errorf("A cost = %d, want 2", routes["A"].Cost)
+	}
+}
+
+func TestPathDelivered(t *testing.T) {
+	net, topo := figure1Net(t)
+	s := New(net, topo)
+	path, st := s.Path(prefix.MustParse("1.0.0.0/16"), prefix.MustParse("3.0.0.0/16"))
+	if st != Delivered {
+		t.Fatalf("status = %v, path = %v", st, path)
+	}
+	if path[0] != "A" || path[len(path)-1] != "D" || len(path) != 3 {
+		t.Errorf("path = %v", path)
+	}
+}
+
+func TestPathNoRoute(t *testing.T) {
+	net, topo := figure1Net(t)
+	// Remove D's originations: nobody can route to 3/16.
+	net.Routers["D"].Processes[0].Originations = nil
+	s := New(net, topo)
+	_, st := s.Path(prefix.MustParse("1.0.0.0/16"), prefix.MustParse("3.0.0.0/16"))
+	if st != NoRoute {
+		t.Fatalf("status = %v, want no-route", st)
+	}
+}
+
+func TestPacketFilterBlocks(t *testing.T) {
+	net, topo := figure1Net(t)
+	// Block 1/16 -> 3/16 at B and C inbound from A.
+	for _, name := range []string{"B", "C"} {
+		r := net.Routers[name]
+		r.PacketFilters = append(r.PacketFilters, &config.PacketFilter{
+			Name: "blk",
+			Rules: []*config.PacketRule{
+				{Permit: false, Src: prefix.MustParse("1.0.0.0/16"), Dst: prefix.MustParse("3.0.0.0/16")},
+				{Permit: true},
+			},
+		})
+		r.Interface("eth-A").FilterIn = "blk"
+	}
+	s := New(net, topo)
+	_, st := s.Path(prefix.MustParse("1.0.0.0/16"), prefix.MustParse("3.0.0.0/16"))
+	if st != Filtered {
+		t.Fatalf("status = %v, want filtered", st)
+	}
+	// Unrelated traffic still flows.
+	if _, st := s.Path(prefix.MustParse("2.0.0.0/16"), prefix.MustParse("3.0.0.0/16")); st != Delivered {
+		t.Errorf("2/16 -> 3/16 should be unaffected: %v", st)
+	}
+}
+
+func TestRouteFilterDeny(t *testing.T) {
+	net, topo := figure1Net(t)
+	// B denies route advertisements for 3.0.0.0/16 from D.
+	b := net.Routers["B"]
+	b.RouteFilters = append(b.RouteFilters, &config.RouteFilter{
+		Name: "rf",
+		Rules: []*config.RouteRule{
+			{Permit: false, Prefix: prefix.MustParse("3.0.0.0/16")},
+			{Permit: true},
+		},
+	})
+	b.Processes[0].Adjacency("D").InFilter = "rf"
+	s := New(net, topo)
+	routes := s.Routes(prefix.MustParse("3.0.0.0/16"))
+	// B must route via C now (learning the route from C instead).
+	if routes["B"].NextHop != "C" {
+		t.Errorf("B next hop = %q, want C (direct route filtered)", routes["B"].NextHop)
+	}
+}
+
+func TestBGPLocalPreference(t *testing.T) {
+	// Line A - B with BGP plus an alternate path A - C - B; an
+	// in-filter on A raises lp for routes from C, steering traffic.
+	topo := topology.New("tri")
+	topo.AddRouter("A", "")
+	topo.AddRouter("B", "")
+	topo.AddRouter("C", "")
+	topo.AddLink("A", "B")
+	topo.AddLink("A", "C")
+	topo.AddLink("C", "B")
+	topo.AddSubnet("A", prefix.MustParse("10.0.0.0/24"))
+	topo.AddSubnet("B", prefix.MustParse("10.1.0.0/24"))
+	texts := map[string]string{
+		"A": `hostname A
+router bgp 100
+ neighbor B
+ neighbor C route-map prefc in
+route-filter prefc
+ permit any set local-preference 200
+`,
+		"B": `hostname B
+router bgp 200
+ network 10.1.0.0/24
+ neighbor A
+ neighbor C
+`,
+		"C": `hostname C
+router bgp 300
+ neighbor A
+ neighbor B
+`,
+	}
+	net, err := config.ParseNetwork(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(net, topo)
+	routes := s.Routes(prefix.MustParse("10.1.0.0/24"))
+	if routes["A"].NextHop != "C" {
+		t.Errorf("A next hop = %q, want C (lp 200 beats shorter path)", routes["A"].NextHop)
+	}
+	if routes["A"].LocalPref != 200 {
+		t.Errorf("A lp = %d, want 200", routes["A"].LocalPref)
+	}
+}
+
+func TestStaticRoutePreferred(t *testing.T) {
+	net, topo := figure1Net(t)
+	// A pins 3/16 via C statically; static AD (1) beats OSPF (110).
+	net.Routers["A"].StaticRoutes = append(net.Routers["A"].StaticRoutes,
+		&config.StaticRoute{Prefix: prefix.MustParse("3.0.0.0/16"), NextHop: "C"})
+	s := New(net, topo)
+	routes := s.Routes(prefix.MustParse("3.0.0.0/16"))
+	if routes["A"].Proto != config.Static || routes["A"].NextHop != "C" {
+		t.Errorf("A should use the static route via C: %+v", routes["A"])
+	}
+}
+
+func TestRedistribution(t *testing.T) {
+	// A(bgp) - B(bgp+ospf) - C(ospf): C's subnet must reach A through
+	// B's redistribution of OSPF into BGP.
+	topo := topology.New("line3")
+	topo.AddRouter("A", "")
+	topo.AddRouter("B", "")
+	topo.AddRouter("C", "")
+	topo.AddLink("A", "B")
+	topo.AddLink("B", "C")
+	topo.AddSubnet("A", prefix.MustParse("10.0.0.0/24"))
+	topo.AddSubnet("C", prefix.MustParse("10.2.0.0/24"))
+	texts := map[string]string{
+		"A": "hostname A\nrouter bgp 100\n neighbor B\n",
+		"B": `hostname B
+router bgp 200
+ neighbor A
+ redistribute ospf
+router ospf 10
+ neighbor C
+`,
+		"C": "hostname C\nrouter ospf 10\n network 10.2.0.0/24\n neighbor B\n",
+	}
+	net, err := config.ParseNetwork(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(net, topo)
+	routes := s.Routes(prefix.MustParse("10.2.0.0/24"))
+	if routes["A"].NextHop != "B" {
+		t.Fatalf("A should learn 10.2/24 via B: %+v", routes)
+	}
+	path, st := s.Path(prefix.MustParse("10.0.0.0/24"), prefix.MustParse("10.2.0.0/24"))
+	if st != Delivered || len(path) != 3 {
+		t.Errorf("path = %v (%v)", path, st)
+	}
+}
+
+func TestCheckPolicies(t *testing.T) {
+	net, topo := figure1Net(t)
+	s := New(net, topo)
+	ps, err := policy.Parse(`reach 1.0.0.0/16 -> 3.0.0.0/16
+reach 2.0.0.0/16 -> 4.0.0.0/16
+block 1.0.0.0/16 -> 2.0.0.0/16
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := s.CheckAll(ps)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].Policy.Kind != policy.Blocking {
+		t.Error("only the blocking policy should be violated")
+	}
+	if vs[0].String() == "" {
+		t.Error("violation must render")
+	}
+}
+
+func TestCheckWaypoint(t *testing.T) {
+	net, topo := figure1Net(t)
+	s := New(net, topo)
+	path, _ := s.Path(prefix.MustParse("1.0.0.0/16"), prefix.MustParse("3.0.0.0/16"))
+	transit := path[1] // whichever middle router the path uses
+	other := "B"
+	if transit == "B" {
+		other = "C"
+	}
+	ok := policy.Policy{Kind: policy.Waypoint, Src: prefix.MustParse("1.0.0.0/16"),
+		Dst: prefix.MustParse("3.0.0.0/16"), Via: transit}
+	if v := s.Check(ok); v != nil {
+		t.Errorf("waypoint via %s should hold: %v", transit, v)
+	}
+	bad := ok
+	bad.Via = other
+	if v := s.Check(bad); v == nil {
+		t.Errorf("waypoint via %s should be violated", other)
+	}
+}
+
+func TestCheckPathPreference(t *testing.T) {
+	net, topo := figure1Net(t)
+	s := New(net, topo)
+	path, _ := s.Path(prefix.MustParse("1.0.0.0/16"), prefix.MustParse("3.0.0.0/16"))
+	primary := path[1]
+	secondary := "C"
+	if primary == "C" {
+		secondary = "B"
+	}
+	p := policy.Policy{Kind: policy.PathPreference,
+		Src: prefix.MustParse("1.0.0.0/16"), Dst: prefix.MustParse("3.0.0.0/16"),
+		Via: primary, Avoid: secondary}
+	if v := s.Check(p); v != nil {
+		t.Errorf("path preference should hold: %v", v)
+	}
+	// Inverted preference is violated (primary transit is not Via).
+	q := p
+	q.Via, q.Avoid = p.Avoid, p.Via
+	if v := s.Check(q); v == nil {
+		t.Error("inverted preference should be violated")
+	}
+}
+
+func TestDisabledRouters(t *testing.T) {
+	net, topo := figure1Net(t)
+	s := New(net, topo)
+	path, _ := s.Path(prefix.MustParse("1.0.0.0/16"), prefix.MustParse("3.0.0.0/16"))
+	primary := path[1]
+	s.DisabledRouters[primary] = true
+	path2, st := s.Path(prefix.MustParse("1.0.0.0/16"), prefix.MustParse("3.0.0.0/16"))
+	if st != Delivered {
+		t.Fatalf("failover failed: %v %v", path2, st)
+	}
+	if contains(path2, primary) {
+		t.Errorf("disabled router %s still on path %v", primary, path2)
+	}
+}
+
+func TestInferReachability(t *testing.T) {
+	net, topo := figure1Net(t)
+	s := New(net, topo)
+	ps := s.InferReachability()
+	// 4 subnets but A's and B's hosts can't see each other?? They can:
+	// full OSPF mesh with originations for 1/16, 2/16, 3/16, 4/16.
+	// All ordered pairs = 12.
+	if len(ps) != 12 {
+		t.Errorf("inferred %d reachability policies, want 12: %v", len(ps), policy.Format(ps))
+	}
+	for _, p := range ps {
+		if v := s.Check(p); v != nil {
+			t.Errorf("inferred policy does not hold: %v", v)
+		}
+	}
+}
+
+func TestInferAllFiltered(t *testing.T) {
+	net, topo := figure1Net(t)
+	for _, name := range []string{"B", "C"} {
+		r := net.Routers[name]
+		r.PacketFilters = append(r.PacketFilters, &config.PacketFilter{
+			Name: "blk",
+			Rules: []*config.PacketRule{
+				{Permit: false, Src: prefix.MustParse("1.0.0.0/16"), Dst: prefix.MustParse("3.0.0.0/16")},
+				{Permit: true},
+			},
+		})
+		r.Interface("eth-A").FilterIn = "blk"
+	}
+	s := New(net, topo)
+	ps := s.InferAll()
+	foundBlock := false
+	for _, p := range ps {
+		if p.Kind == policy.Blocking &&
+			p.Src.Equal(prefix.MustParse("1.0.0.0/16")) &&
+			p.Dst.Equal(prefix.MustParse("3.0.0.0/16")) {
+			foundBlock = true
+		}
+	}
+	if !foundBlock {
+		t.Errorf("filtered pair should be inferred as blocking:\n%s", policy.Format(ps))
+	}
+}
+
+func TestForwardingTable(t *testing.T) {
+	net, topo := figure1Net(t)
+	s := New(net, topo)
+	out := s.ForwardingTable(prefix.MustParse("3.0.0.0/16"))
+	if out == "" {
+		t.Error("empty forwarding table")
+	}
+}
+
+func TestLoopedDetection(t *testing.T) {
+	// A and B static-route the destination (owned by C) at each other.
+	topo := topology.New("tri")
+	topo.AddRouter("A", "")
+	topo.AddRouter("B", "")
+	topo.AddRouter("C", "")
+	topo.AddLink("A", "B")
+	topo.AddLink("B", "C")
+	topo.AddSubnet("A", prefix.MustParse("10.0.0.0/24"))
+	topo.AddSubnet("C", prefix.MustParse("10.9.0.0/24"))
+	texts := map[string]string{
+		"A": "hostname A\nip route 10.9.0.0/24 via B\n",
+		"B": "hostname B\nip route 10.9.0.0/24 via A\n",
+		"C": "hostname C\n",
+	}
+	net, err := config.ParseNetwork(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(net, topo)
+	_, st := s.Path(prefix.MustParse("10.0.0.0/24"), prefix.MustParse("10.9.0.0/24"))
+	if st != Looped {
+		t.Fatalf("status = %v, want looped", st)
+	}
+}

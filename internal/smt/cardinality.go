@@ -1,0 +1,118 @@
+package smt
+
+import "github.com/aed-net/aed/internal/sat"
+
+// totalizer builds a totalizer tree over the input literals and returns
+// output literals out[0..n-1], where out[k] is forced true whenever at
+// least k+1 inputs are true (and can be assumed false to bound the
+// count). Inputs and outputs are raw SAT literals; the defining clauses
+// are added to the context's solver.
+//
+// The totalizer lets the MaxSAT engine tighten the bound incrementally
+// by assuming ¬out[k] for decreasing k, without rebuilding the formula.
+func (c *Context) totalizer(inputs []sat.Lit) []sat.Lit {
+	if len(inputs) == 0 {
+		return nil
+	}
+	if len(inputs) == 1 {
+		return inputs
+	}
+	mid := len(inputs) / 2
+	left := c.totalizer(inputs[:mid])
+	right := c.totalizer(inputs[mid:])
+	n := len(inputs)
+	out := make([]sat.Lit, n)
+	for i := range out {
+		out[i] = sat.PosLit(c.freshSatVar())
+	}
+	// For every split a+b = k (a ones from left, b ones from right):
+	// left[a-1] ∧ right[b-1] -> out[a+b-1].
+	for a := 0; a <= len(left); a++ {
+		for b := 0; b <= len(right); b++ {
+			k := a + b
+			if k == 0 || k > n {
+				continue
+			}
+			clause := make([]sat.Lit, 0, 3)
+			if a > 0 {
+				clause = append(clause, left[a-1].Neg())
+			}
+			if b > 0 {
+				clause = append(clause, right[b-1].Neg())
+			}
+			clause = append(clause, out[k-1])
+			c.solver.AddClause(clause...)
+		}
+	}
+	// Monotonicity: out[k] -> out[k-1], so assuming ¬out[k] implies
+	// nothing above k either; keeps the outputs a unary counter.
+	for k := 1; k < n; k++ {
+		c.solver.AddClause(out[k].Neg(), out[k-1])
+	}
+	return out
+}
+
+// AtMost asserts that at most k of the formulas hold, using a
+// sequential-counter encoding. For k==0 it simply asserts all
+// negations.
+func (c *Context) AtMost(k int, fs ...*Formula) {
+	if k < 0 {
+		panic("smt: negative cardinality bound")
+	}
+	if k >= len(fs) {
+		return
+	}
+	lits := make([]sat.Lit, len(fs))
+	for i, f := range fs {
+		lits[i] = c.tseitin(f)
+	}
+	if k == 0 {
+		for _, l := range lits {
+			c.solver.AddClause(l.Neg())
+		}
+		return
+	}
+	// Sequential counter (Sinz 2005): s[i][j] = "at least j+1 true
+	// among the first i+1 inputs".
+	n := len(lits)
+	s := make([][]sat.Lit, n)
+	for i := range s {
+		s[i] = make([]sat.Lit, k)
+		for j := range s[i] {
+			s[i][j] = sat.PosLit(c.freshSatVar())
+		}
+	}
+	c.solver.AddClause(lits[0].Neg(), s[0][0])
+	for j := 1; j < k; j++ {
+		c.solver.AddClause(s[0][j].Neg())
+	}
+	for i := 1; i < n; i++ {
+		c.solver.AddClause(lits[i].Neg(), s[i][0])
+		c.solver.AddClause(s[i-1][0].Neg(), s[i][0])
+		for j := 1; j < k; j++ {
+			c.solver.AddClause(lits[i].Neg(), s[i-1][j-1].Neg(), s[i][j])
+			c.solver.AddClause(s[i-1][j].Neg(), s[i][j])
+		}
+		c.solver.AddClause(lits[i].Neg(), s[i-1][k-1].Neg())
+	}
+}
+
+// AtLeast asserts that at least k of the formulas hold.
+func (c *Context) AtLeast(k int, fs ...*Formula) {
+	if k <= 0 {
+		return
+	}
+	if k > len(fs) {
+		c.Assert(FalseF)
+		return
+	}
+	// at-least-k(fs) == at-most-(n-k)(¬fs)
+	neg := make([]*Formula, len(fs))
+	for i, f := range fs {
+		neg[i] = Not(f)
+	}
+	c.AtMost(len(fs)-k, neg...)
+}
+
+// ExactlyOne asserts exactly one of fs holds.
+func (c *Context) ExactlyOne(fs ...*Formula) { c.assertExactlyOne(fs) }

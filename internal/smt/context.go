@@ -1,0 +1,330 @@
+package smt
+
+import (
+	"fmt"
+
+	"github.com/aed-net/aed/internal/sat"
+)
+
+// Context owns a SAT solver and the bookkeeping that maps SMT-level
+// variables and terms onto SAT variables. A Context is not safe for
+// concurrent use; AED runs one Context per destination prefix when
+// solving in parallel.
+type Context struct {
+	solver *sat.Solver
+
+	names map[int]string // boolean var index -> debug name
+	next  int            // next boolean var index
+	vars  map[int]sat.Var
+
+	soft []softConstraint
+
+	// tseitinCache memoizes the definitional literal per formula node
+	// so shared subformulas (ubiquitous in the routing encoding, where
+	// filter and forwarding formulas feed many constraints) are
+	// encoded once.
+	tseitinCache map[*Formula]sat.Lit
+
+	// hardCount counts clauses added as hard constraints, used for
+	// reporting problem sizes in benchmarks.
+	hardCount int
+}
+
+type softConstraint struct {
+	f      *Formula
+	weight int
+	label  string
+}
+
+// NewContext returns a fresh solving context.
+func NewContext() *Context {
+	return &Context{
+		solver:       sat.New(),
+		names:        make(map[int]string),
+		vars:         make(map[int]sat.Var),
+		tseitinCache: make(map[*Formula]sat.Lit),
+	}
+}
+
+// BoolVar allocates a fresh boolean variable with a debug name and
+// returns it as a formula.
+func (c *Context) BoolVar(name string) *Formula {
+	idx := c.next
+	c.next++
+	c.names[idx] = name
+	c.vars[idx] = c.solver.NewVar()
+	return &Formula{op: opVar, v: idx}
+}
+
+// Name returns the debug name of a variable formula, or "".
+func (c *Context) Name(f *Formula) string {
+	if f.op != opVar {
+		return ""
+	}
+	return c.names[f.v]
+}
+
+// satVar returns the SAT variable backing a formula variable.
+func (c *Context) satVar(f *Formula) sat.Var {
+	v, ok := c.vars[f.v]
+	if !ok {
+		panic(fmt.Sprintf("smt: unknown variable b%d", f.v))
+	}
+	return v
+}
+
+// freshSatVar allocates an anonymous SAT variable for Tseitin
+// definitions.
+func (c *Context) freshSatVar() sat.Var { return c.solver.NewVar() }
+
+// Assert adds f as a hard constraint. Top-level conjunctions are
+// asserted conjunct-by-conjunct and top-level disjunctions become one
+// clause, avoiding needless gate variables.
+func (c *Context) Assert(f *Formula) {
+	switch f.op {
+	case opConst:
+		if !f.b {
+			v := c.freshSatVar()
+			c.solver.AddClause(sat.PosLit(v))
+			c.solver.AddClause(sat.NegLit(v))
+			c.hardCount++
+		}
+		return
+	case opAnd:
+		for _, k := range f.kids {
+			c.Assert(k)
+		}
+		return
+	case opOr:
+		clause := make([]sat.Lit, len(f.kids))
+		for i, k := range f.kids {
+			clause[i] = c.tseitin(k)
+		}
+		c.solver.AddClause(clause...)
+		c.hardCount++
+		return
+	}
+	c.solver.AddClause(c.tseitin(f))
+	c.hardCount++
+}
+
+// AssertSoft registers f as a soft constraint with the given positive
+// weight. Soft constraints are maximized by Maximize.
+func (c *Context) AssertSoft(f *Formula, weight int, label string) {
+	if weight <= 0 {
+		panic("smt: soft constraint weight must be positive")
+	}
+	c.soft = append(c.soft, softConstraint{f: f, weight: weight, label: label})
+}
+
+// NumSoft returns the number of registered soft constraints.
+func (c *Context) NumSoft() int { return len(c.soft) }
+
+// HardClauses returns the number of asserted top-level hard constraints.
+func (c *Context) HardClauses() int { return c.hardCount }
+
+// NumSATVars exposes the size of the underlying SAT problem.
+func (c *Context) NumSATVars() int { return c.solver.NumVars() }
+
+// Stats returns the accumulated SAT-solver statistics.
+func (c *Context) Stats() sat.Stats { return c.solver.Stats }
+
+// tseitin returns a literal equisatisfiably representing f, memoized
+// per formula node.
+func (c *Context) tseitin(f *Formula) sat.Lit {
+	if l, ok := c.tseitinCache[f]; ok {
+		return l
+	}
+	l := c.tseitinUncached(f)
+	c.tseitinCache[f] = l
+	return l
+}
+
+func (c *Context) tseitinUncached(f *Formula) sat.Lit {
+	switch f.op {
+	case opConst:
+		// Encode a constant as a fixed fresh variable.
+		v := c.freshSatVar()
+		if f.b {
+			c.solver.AddClause(sat.PosLit(v))
+		} else {
+			c.solver.AddClause(sat.NegLit(v))
+		}
+		return sat.PosLit(v)
+	case opVar:
+		return sat.PosLit(c.satVar(f))
+	case opNot:
+		return c.tseitin(f.kids[0]).Neg()
+	case opAnd:
+		out := sat.PosLit(c.freshSatVar())
+		kidLits := make([]sat.Lit, len(f.kids))
+		for i, k := range f.kids {
+			kidLits[i] = c.tseitin(k)
+		}
+		// out -> each kid
+		for _, kl := range kidLits {
+			c.solver.AddClause(out.Neg(), kl)
+		}
+		// all kids -> out
+		cl := make([]sat.Lit, 0, len(kidLits)+1)
+		for _, kl := range kidLits {
+			cl = append(cl, kl.Neg())
+		}
+		cl = append(cl, out)
+		c.solver.AddClause(cl...)
+		return out
+	case opOr:
+		out := sat.PosLit(c.freshSatVar())
+		kidLits := make([]sat.Lit, len(f.kids))
+		for i, k := range f.kids {
+			kidLits[i] = c.tseitin(k)
+		}
+		// each kid -> out
+		for _, kl := range kidLits {
+			c.solver.AddClause(kl.Neg(), out)
+		}
+		// out -> some kid
+		cl := make([]sat.Lit, 0, len(kidLits)+1)
+		cl = append(cl, kidLits...)
+		cl = append(cl, out.Neg())
+		c.solver.AddClause(cl...)
+		return out
+	}
+	panic("smt: unknown formula op")
+}
+
+// Model is a satisfying assignment for the SMT-level variables.
+type Model struct {
+	ctx    *Context
+	assign []sat.Tribool
+}
+
+// Bool returns the model value of a boolean variable formula.
+func (m *Model) Bool(f *Formula) bool {
+	if f.op == opConst {
+		return f.b
+	}
+	if f.op == opNot {
+		return !m.Bool(f.kids[0])
+	}
+	if f.op != opVar {
+		return m.Eval(f)
+	}
+	v := m.ctx.vars[f.v]
+	return int(v) < len(m.assign) && m.assign[v] == sat.True
+}
+
+// Eval evaluates an arbitrary formula under the model.
+func (m *Model) Eval(f *Formula) bool {
+	switch f.op {
+	case opConst:
+		return f.b
+	case opVar:
+		return m.Bool(f)
+	case opNot:
+		return !m.Eval(f.kids[0])
+	case opAnd:
+		for _, k := range f.kids {
+			if !m.Eval(k) {
+				return false
+			}
+		}
+		return true
+	case opOr:
+		for _, k := range f.kids {
+			if m.Eval(k) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("smt: unknown formula op")
+}
+
+// Int returns the model value of an integer variable.
+func (m *Model) Int(iv *IntVar) int {
+	for i, ind := range iv.indicators {
+		if m.Bool(ind) {
+			return iv.domain[i]
+		}
+	}
+	// Unconstrained integer: default to the first domain value.
+	return iv.domain[0]
+}
+
+// Solve checks satisfiability of the hard constraints. It returns the
+// model if satisfiable, nil otherwise.
+func (c *Context) Solve() *Model {
+	if c.solver.Solve() != sat.Sat {
+		return nil
+	}
+	return &Model{ctx: c, assign: c.solver.Model()}
+}
+
+// SolveAssuming checks satisfiability under extra assumption formulas
+// (each must be a variable or negated variable).
+func (c *Context) SolveAssuming(assumptions ...*Formula) *Model {
+	lits := make([]sat.Lit, len(assumptions))
+	for i, a := range assumptions {
+		lits[i] = c.mustLit(a)
+	}
+	if c.solver.Solve(lits...) != sat.Sat {
+		return nil
+	}
+	return &Model{ctx: c, assign: c.solver.Model()}
+}
+
+// UnsatCore checks satisfiability under the assumption formulas and,
+// when unsatisfiable, returns the indices of a responsible subset of
+// the assumptions (not necessarily minimal). It returns (nil, true)
+// when satisfiable.
+func (c *Context) UnsatCore(assumptions []*Formula) (core []int, sat_ bool) {
+	lits := make([]sat.Lit, len(assumptions))
+	byLit := make(map[sat.Lit]int, len(assumptions))
+	for i, a := range assumptions {
+		lits[i] = c.mustLit(a)
+		byLit[lits[i]] = i
+	}
+	if c.solver.Solve(lits...) == sat.Sat {
+		return nil, true
+	}
+	for _, l := range c.solver.Conflict() {
+		// Conflict lits are negations of responsible assumptions.
+		if idx, ok := byLit[l.Neg()]; ok {
+			core = append(core, idx)
+		}
+	}
+	return core, false
+}
+
+// MinimizeCore shrinks an unsat core by deletion: repeatedly drop an
+// assumption and keep the removal if the rest remains unsatisfiable.
+func (c *Context) MinimizeCore(assumptions []*Formula, core []int) []int {
+	cur := append([]int(nil), core...)
+	for i := 0; i < len(cur); {
+		trial := make([]*Formula, 0, len(cur)-1)
+		for j, idx := range cur {
+			if j != i {
+				trial = append(trial, assumptions[idx])
+			}
+		}
+		if _, satisfiable := c.UnsatCore(trial); !satisfiable {
+			cur = append(cur[:i], cur[i+1:]...)
+			continue
+		}
+		i++
+	}
+	return cur
+}
+
+func (c *Context) mustLit(f *Formula) sat.Lit {
+	switch f.op {
+	case opVar:
+		return sat.PosLit(c.satVar(f))
+	case opNot:
+		if f.kids[0].op == opVar {
+			return sat.NegLit(c.satVar(f.kids[0]))
+		}
+	}
+	return c.tseitin(f)
+}

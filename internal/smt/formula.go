@@ -1,0 +1,191 @@
+// Package smt layers a small satisfiability-modulo-theories facility on
+// top of the CDCL core in internal/sat. It provides:
+//
+//   - a boolean formula AST (variables, ¬ ∧ ∨ ⇒ ⇔, if-then-else),
+//   - Tseitin transformation to CNF,
+//   - finite-domain integer variables and terms with comparisons,
+//     equality, and constant offsets (sufficient for route metrics such
+//     as local preference, administrative distance, and path cost),
+//   - cardinality and pseudo-boolean constraints (sequential counter
+//     and totalizer encodings), and
+//   - weighted MaxSAT with selectable search strategies, which is how
+//     AED's management objectives become "soft" constraints.
+//
+// This package substitutes for the Z3 MaxSMT solver used by the paper's
+// artifact (DESIGN.md §2): AED's encoding is finite — the paper itself
+// replaces integer metrics by (2n+1) boolean choices — so finite-domain
+// reasoning over a SAT core preserves the semantics.
+package smt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Formula is a boolean formula over solver variables. Formulas are
+// immutable; construct them with the package-level combinators.
+type Formula struct {
+	op   op
+	kids []*Formula
+	v    int  // variable index for opVar
+	b    bool // constant value for opConst
+}
+
+type op int8
+
+const (
+	opConst op = iota
+	opVar
+	opNot
+	opAnd
+	opOr
+)
+
+var (
+	// TrueF is the constant-true formula.
+	TrueF = &Formula{op: opConst, b: true}
+	// FalseF is the constant-false formula.
+	FalseF = &Formula{op: opConst, b: false}
+)
+
+// Const returns the constant formula for b.
+func Const(b bool) *Formula {
+	if b {
+		return TrueF
+	}
+	return FalseF
+}
+
+// Not returns ¬f, simplifying double negation and constants.
+func Not(f *Formula) *Formula {
+	switch f.op {
+	case opConst:
+		return Const(!f.b)
+	case opNot:
+		return f.kids[0]
+	}
+	return &Formula{op: opNot, kids: []*Formula{f}}
+}
+
+// And returns the conjunction of fs, dropping true conjuncts and
+// short-circuiting on false.
+func And(fs ...*Formula) *Formula {
+	var kids []*Formula
+	for _, f := range fs {
+		if f == nil {
+			continue
+		}
+		switch f.op {
+		case opConst:
+			if !f.b {
+				return FalseF
+			}
+		case opAnd:
+			kids = append(kids, f.kids...)
+		default:
+			kids = append(kids, f)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return TrueF
+	case 1:
+		return kids[0]
+	}
+	return &Formula{op: opAnd, kids: kids}
+}
+
+// Or returns the disjunction of fs, dropping false disjuncts and
+// short-circuiting on true.
+func Or(fs ...*Formula) *Formula {
+	var kids []*Formula
+	for _, f := range fs {
+		if f == nil {
+			continue
+		}
+		switch f.op {
+		case opConst:
+			if f.b {
+				return TrueF
+			}
+		case opOr:
+			kids = append(kids, f.kids...)
+		default:
+			kids = append(kids, f)
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return FalseF
+	case 1:
+		return kids[0]
+	}
+	return &Formula{op: opOr, kids: kids}
+}
+
+// Implies returns f ⇒ g.
+func Implies(f, g *Formula) *Formula { return Or(Not(f), g) }
+
+// Iff returns f ⇔ g.
+func Iff(f, g *Formula) *Formula {
+	if f.op == opConst {
+		if f.b {
+			return g
+		}
+		return Not(g)
+	}
+	if g.op == opConst {
+		if g.b {
+			return f
+		}
+		return Not(f)
+	}
+	return And(Or(Not(f), g), Or(f, Not(g)))
+}
+
+// ITE returns the boolean if-then-else: cond ? t : e.
+func ITE(cond, t, e *Formula) *Formula {
+	if cond.op == opConst {
+		if cond.b {
+			return t
+		}
+		return e
+	}
+	return And(Or(Not(cond), t), Or(cond, e))
+}
+
+// String renders the formula for debugging.
+func (f *Formula) String() string {
+	var sb strings.Builder
+	f.write(&sb)
+	return sb.String()
+}
+
+func (f *Formula) write(sb *strings.Builder) {
+	switch f.op {
+	case opConst:
+		if f.b {
+			sb.WriteString("⊤")
+		} else {
+			sb.WriteString("⊥")
+		}
+	case opVar:
+		fmt.Fprintf(sb, "b%d", f.v)
+	case opNot:
+		sb.WriteString("¬")
+		f.kids[0].write(sb)
+	case opAnd, opOr:
+		sep := " ∧ "
+		if f.op == opOr {
+			sep = " ∨ "
+		}
+		sb.WriteString("(")
+		for i, k := range f.kids {
+			if i > 0 {
+				sb.WriteString(sep)
+			}
+			k.write(sb)
+		}
+		sb.WriteString(")")
+	}
+}

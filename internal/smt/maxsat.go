@@ -1,0 +1,234 @@
+package smt
+
+import (
+	"sort"
+
+	"github.com/aed-net/aed/internal/sat"
+)
+
+// Strategy selects the weighted-MaxSAT search algorithm.
+type Strategy int
+
+// MaxSAT strategies. All find an assignment of maximum total satisfied
+// soft-constraint weight subject to the hard constraints; they differ
+// in how they search the cost space (an ablation axis in DESIGN.md §5).
+const (
+	// LinearDescent solves, reads the current cost, then repeatedly
+	// asks for strictly better solutions until UNSAT.
+	LinearDescent Strategy = iota
+	// BinarySearch bisects on the cost bound using totalizer
+	// assumptions.
+	BinarySearch
+	// CoreGuided relaxes unsatisfiable cores Fu–Malik style
+	// (weighted via clause cloning on the minimum core weight).
+	CoreGuided
+)
+
+// MaxResult is the outcome of Maximize.
+type MaxResult struct {
+	Model *Model // nil when the hard constraints are unsatisfiable
+	// SatisfiedWeight is the total weight of satisfied soft constraints.
+	SatisfiedWeight int
+	// ViolatedWeight is the total weight of violated soft constraints.
+	ViolatedWeight int
+	// Violated lists the labels of violated soft constraints.
+	Violated []string
+	// Iterations counts solver calls made by the search.
+	Iterations int
+}
+
+// Maximize finds a model of the hard constraints maximizing the total
+// weight of satisfied soft constraints. It returns a result with a nil
+// Model if the hard constraints alone are unsatisfiable.
+func (c *Context) Maximize(strategy Strategy) *MaxResult {
+	switch strategy {
+	case BinarySearch:
+		return c.maximizeBounded(true)
+	case CoreGuided:
+		return c.maximizeCoreGuided()
+	default:
+		return c.maximizeBounded(false)
+	}
+}
+
+// relaxed materializes one relaxation literal per unit of soft weight:
+// weight w contributes w copies of its relaxation literal so the unary
+// totalizer counts weighted cost. Weights in AED are tiny (default 1),
+// so cloning is cheap and keeps the encoding simple.
+func (c *Context) relaxSoft() (relax []sat.Lit, total int) {
+	for i := range c.soft {
+		s := &c.soft[i]
+		r := sat.PosLit(c.freshSatVar()) // r true ⇔ soft constraint violated (may be violated)
+		fl := c.tseitin(s.f)
+		// ¬f -> r   (if the soft constraint fails, pay the cost)
+		c.solver.AddClause(fl, r)
+		for w := 0; w < s.weight; w++ {
+			relax = append(relax, r)
+			total++
+		}
+	}
+	return relax, total
+}
+
+func (c *Context) maximizeBounded(binary bool) *MaxResult {
+	res := &MaxResult{}
+	if len(c.soft) == 0 {
+		res.Iterations++
+		if c.solver.Solve() != sat.Sat {
+			return res
+		}
+		res.Model = &Model{ctx: c, assign: c.solver.Model()}
+		return res
+	}
+	relax, total := c.relaxSoft()
+	outs := c.totalizer(relax)
+
+	res.Iterations++
+	if c.solver.Solve() != sat.Sat {
+		return res
+	}
+	best := c.solver.Model()
+	bestCost := c.costOf(best)
+
+	if binary {
+		lo, hi := 0, bestCost // optimum in [lo, hi]; hi achievable
+		for lo < hi {
+			mid := (lo + hi) / 2
+			// Ask for cost <= mid: assume ¬outs[mid] (fewer than
+			// mid+1 relaxations true).
+			res.Iterations++
+			if mid < len(outs) && c.solver.Solve(outs[mid].Neg()) == sat.Sat {
+				best = c.solver.Model()
+				hi = c.costOf(best)
+			} else {
+				lo = mid + 1
+			}
+		}
+	} else {
+		for bestCost > 0 {
+			res.Iterations++
+			if c.solver.Solve(outs[bestCost-1].Neg()) != sat.Sat {
+				break
+			}
+			best = c.solver.Model()
+			bestCost = c.costOf(best)
+		}
+	}
+	_ = total
+	c.finishResult(res, best)
+	return res
+}
+
+// costOf computes the violated soft weight under a raw SAT model.
+func (c *Context) costOf(model []sat.Tribool) int {
+	m := &Model{ctx: c, assign: model}
+	cost := 0
+	for i := range c.soft {
+		if !m.Eval(c.soft[i].f) {
+			cost += c.soft[i].weight
+		}
+	}
+	return cost
+}
+
+func (c *Context) finishResult(res *MaxResult, model []sat.Tribool) {
+	res.Model = &Model{ctx: c, assign: model}
+	for i := range c.soft {
+		if res.Model.Eval(c.soft[i].f) {
+			res.SatisfiedWeight += c.soft[i].weight
+		} else {
+			res.ViolatedWeight += c.soft[i].weight
+			res.Violated = append(res.Violated, c.soft[i].label)
+		}
+	}
+}
+
+// maximizeCoreGuided implements a Fu–Malik-style core-guided search:
+// soft constraints become assumptions; each UNSAT core gets relaxation
+// variables with an at-most-one constraint, and the search repeats
+// until the assumptions are satisfiable. Weighted handling follows the
+// standard WPM1 split: a soft constraint with weight w participating in
+// a core of minimum weight wmin is split into (w-wmin) and wmin parts.
+func (c *Context) maximizeCoreGuided() *MaxResult {
+	res := &MaxResult{}
+	type softAsm struct {
+		weight int
+		asm    sat.Lit // assuming asm enforces the (relaxed) constraint
+	}
+	var asms []softAsm
+	for i := range c.soft {
+		s := &c.soft[i]
+		a := sat.PosLit(c.freshSatVar())
+		fl := c.tseitin(s.f)
+		// a -> f ; assuming a enforces the soft constraint.
+		c.solver.AddClause(a.Neg(), fl)
+		asms = append(asms, softAsm{weight: s.weight, asm: a})
+	}
+	for {
+		assumptions := make([]sat.Lit, 0, len(asms))
+		for _, a := range asms {
+			assumptions = append(assumptions, a.asm)
+		}
+		// Deterministic order helps reproducibility.
+		sort.Slice(assumptions, func(i, j int) bool { return assumptions[i] < assumptions[j] })
+		res.Iterations++
+		if c.solver.Solve(assumptions...) == sat.Sat {
+			c.finishResult(res, c.solver.Model())
+			return res
+		}
+		core := c.solver.Conflict()
+		if len(core) == 0 {
+			// Hard constraints alone are unsatisfiable.
+			res.Iterations++
+			if c.solver.Solve() != sat.Sat {
+				return res
+			}
+			c.finishResult(res, c.solver.Model())
+			return res
+		}
+		inCore := make(map[sat.Lit]bool, len(core))
+		for _, l := range core {
+			inCore[l.Neg()] = true // core lits are negations of assumptions
+		}
+		// Find participating soft assumptions and the minimum weight.
+		wmin := 0
+		var idxs []int
+		for i, a := range asms {
+			if inCore[a.asm] {
+				idxs = append(idxs, i)
+				if wmin == 0 || a.weight < wmin {
+					wmin = a.weight
+				}
+			}
+		}
+		if len(idxs) == 0 {
+			// Core only over hard implications: unsat overall.
+			res.Iterations++
+			if c.solver.Solve() != sat.Sat {
+				return res
+			}
+			c.finishResult(res, c.solver.Model())
+			return res
+		}
+		// Relax the core: each member gets a fresh relaxation r; the
+		// old assumption is replaced by a new one allowing violation
+		// when r is true, and at most one r per core may be true.
+		var rs []*Formula
+		for _, i := range idxs {
+			old := asms[i]
+			r := c.BoolVar("relax")
+			rl := sat.PosLit(c.satVar(r))
+			na := sat.PosLit(c.freshSatVar())
+			// na -> (old constraint holds OR r): re-enforce through
+			// the old assumption literal's definition.
+			c.solver.AddClause(na.Neg(), old.asm, rl)
+			if old.weight > wmin {
+				// Split: keep (w - wmin) on the original assumption.
+				asms = append(asms, softAsm{weight: old.weight - wmin, asm: old.asm})
+			}
+			asms[i] = softAsm{weight: wmin, asm: na}
+			rs = append(rs, r)
+		}
+		c.AtMost(1, rs...)
+	}
+}

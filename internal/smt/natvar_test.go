@@ -1,0 +1,152 @@
+package smt
+
+import "testing"
+
+func TestNatVarBasics(t *testing.T) {
+	c := NewContext()
+	x := c.NatVarOf("x", 5)
+	if x.Max() != 5 || x.Name() != "x" {
+		t.Fatal("metadata wrong")
+	}
+	c.Assert(x.EqConstNat(3))
+	m := c.Solve()
+	if m == nil {
+		t.Fatal("want sat")
+	}
+	if m.NatValue(x) != 3 {
+		t.Errorf("x = %d, want 3", m.NatValue(x))
+	}
+}
+
+func TestNatVarBounds(t *testing.T) {
+	c := NewContext()
+	x := c.NatVarOf("x", 4)
+	if x.GeConst(0) != TrueF || x.GeConst(5) != FalseF {
+		t.Error("constant bounds wrong")
+	}
+	if x.EqConstNat(9) != FalseF || x.EqConstNat(-1) != FalseF {
+		t.Error("out-of-range equality must be false")
+	}
+	c.Assert(x.LeConst(0))
+	m := c.Solve()
+	if m == nil || m.NatValue(x) != 0 {
+		t.Fatal("x <= 0 forces 0")
+	}
+}
+
+func TestNatEqOffset(t *testing.T) {
+	c := NewContext()
+	a := c.NatVarOf("a", 10)
+	b := c.NatVarOf("b", 10)
+	c.Assert(NatEqOffset(a, b, 2)) // a = b + 2
+	c.Assert(b.EqConstNat(3))
+	m := c.Solve()
+	if m == nil {
+		t.Fatal("want sat")
+	}
+	if m.NatValue(a) != 5 {
+		t.Errorf("a = %d, want 5", m.NatValue(a))
+	}
+}
+
+func TestNatEqOffsetRangeClipping(t *testing.T) {
+	// a in [0,3], b = 5 fixed, a = b + 0 impossible... a max is 3.
+	c := NewContext()
+	a := c.NatVarOf("a", 3)
+	b := c.NatVarOf("b", 10)
+	c.Assert(b.EqConstNat(5))
+	c.Assert(NatEq(a, b))
+	if c.Solve() != nil {
+		t.Fatal("a == 5 is outside a's range: want unsat")
+	}
+}
+
+func TestNatEqOffsetNegative(t *testing.T) {
+	c := NewContext()
+	a := c.NatVarOf("a", 10)
+	b := c.NatVarOf("b", 10)
+	c.Assert(NatEqOffset(a, b, -2)) // a = b - 2
+	c.Assert(b.EqConstNat(7))
+	m := c.Solve()
+	if m == nil || m.NatValue(a) != 5 {
+		t.Fatal("a should be 5")
+	}
+	// b = 1 would need a = -1: unsat.
+	c2 := NewContext()
+	a2 := c2.NatVarOf("a", 10)
+	b2 := c2.NatVarOf("b", 10)
+	c2.Assert(NatEqOffset(a2, b2, -2))
+	c2.Assert(b2.EqConstNat(1))
+	if c2.Solve() != nil {
+		t.Fatal("negative result must be unsat")
+	}
+}
+
+func TestNatLeLtOffsets(t *testing.T) {
+	c := NewContext()
+	a := c.NatVarOf("a", 8)
+	b := c.NatVarOf("b", 8)
+	c.Assert(a.EqConstNat(4))
+	c.Assert(NatLtOffset(a, 0, b, 0)) // 4 < b
+	c.Assert(NatLeOffset(b, 0, a, 1)) // b <= 5
+	m := c.Solve()
+	if m == nil {
+		t.Fatal("want sat")
+	}
+	if m.NatValue(b) != 5 {
+		t.Errorf("b = %d, want 5", m.NatValue(b))
+	}
+}
+
+func TestNatExhaustiveComparisons(t *testing.T) {
+	// For every (va, vb, da, db) in a small range, NatLeOffset must
+	// agree with integer arithmetic.
+	for va := 0; va <= 3; va++ {
+		for vb := 0; vb <= 3; vb++ {
+			for _, da := range []int{0, 1, 2} {
+				for _, db := range []int{0, 1} {
+					c := NewContext()
+					a := c.NatVarOf("a", 3)
+					b := c.NatVarOf("b", 3)
+					c.Assert(a.EqConstNat(va))
+					c.Assert(b.EqConstNat(vb))
+					c.Assert(NatLeOffset(a, da, b, db))
+					sat := c.Solve() != nil
+					want := va+da <= vb+db
+					if sat != want {
+						t.Fatalf("(%d+%d <= %d+%d): sat=%v want %v", va, da, vb, db, sat, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNatLadderMonotone(t *testing.T) {
+	c := NewContext()
+	x := c.NatVarOf("x", 6)
+	c.Assert(x.GeConst(4))
+	m := c.Solve()
+	if m == nil {
+		t.Fatal("want sat")
+	}
+	v := m.NatValue(x)
+	if v < 4 {
+		t.Errorf("x = %d, want >= 4", v)
+	}
+	// The ladder must hold in the model: ge[k] -> ge[k-1].
+	for k := 2; k <= 6; k++ {
+		if m.Bool(x.GeConst(k)) && !m.Bool(x.GeConst(k-1)) {
+			t.Fatalf("ladder violated at %d", k)
+		}
+	}
+}
+
+func TestNatZeroMax(t *testing.T) {
+	c := NewContext()
+	x := c.NatVarOf("x", 0)
+	m := c.Solve()
+	if m == nil || m.NatValue(x) != 0 {
+		t.Fatal("zero-range nat must be 0")
+	}
+}

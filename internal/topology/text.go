@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+
+	"github.com/aed-net/aed/internal/prefix"
+)
+
+// ParseText reads the line-oriented topology format used by the CLIs:
+//
+//	router <name> [role]
+//	link <a> <b>
+//	subnet <router> <prefix>
+//
+// Blank lines and '#' comments are ignored.
+func ParseText(name, text string) (*Topology, error) {
+	topo := New(name)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func() error {
+			return fmt.Errorf("topology: line %d: unrecognized %q", lineNo, line)
+		}
+		switch fields[0] {
+		case "router":
+			switch len(fields) {
+			case 2:
+				topo.AddRouter(fields[1], "")
+			case 3:
+				topo.AddRouter(fields[1], fields[2])
+			default:
+				return nil, bad()
+			}
+		case "link":
+			if len(fields) != 3 || fields[1] == fields[2] {
+				return nil, bad()
+			}
+			topo.AddLink(fields[1], fields[2])
+		case "subnet":
+			if len(fields) != 3 {
+				return nil, bad()
+			}
+			p, err := prefix.Parse(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: %w", lineNo, err)
+			}
+			topo.AddSubnet(fields[1], p)
+		default:
+			return nil, bad()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Links and subnets must reference declared routers.
+	known := make(map[string]bool, len(topo.Routers))
+	for _, r := range topo.Routers {
+		known[r] = true
+	}
+	for _, l := range topo.Links() {
+		if !known[l[0]] || !known[l[1]] {
+			return nil, fmt.Errorf("topology: link %s-%s references undeclared router", l[0], l[1])
+		}
+	}
+	for _, s := range topo.Subnets {
+		if !known[s.Router] {
+			return nil, fmt.Errorf("topology: subnet %s on undeclared router %q", s.Prefix, s.Router)
+		}
+	}
+	return topo, nil
+}
+
+// FormatText renders the topology in the format accepted by ParseText.
+func FormatText(t *Topology) string {
+	var b strings.Builder
+	for _, r := range t.Routers {
+		if role := t.Role[r]; role != "" {
+			fmt.Fprintf(&b, "router %s %s\n", r, role)
+		} else {
+			fmt.Fprintf(&b, "router %s\n", r)
+		}
+	}
+	for _, l := range t.Links() {
+		fmt.Fprintf(&b, "link %s %s\n", l[0], l[1])
+	}
+	for _, s := range t.Subnets {
+		fmt.Fprintf(&b, "subnet %s %s\n", s.Router, s.Prefix)
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	orig := LeafSpine(3, 2, 1)
+	text := FormatText(orig)
+	parsed, err := ParseText(orig.Name, text)
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, text)
+	}
+	if len(parsed.Routers) != len(orig.Routers) || parsed.NumLinks() != orig.NumLinks() {
+		t.Fatal("round trip lost structure")
+	}
+	if len(parsed.Subnets) != len(orig.Subnets) {
+		t.Fatal("round trip lost subnets")
+	}
+	if parsed.Role["leaf0"] != "leaf" {
+		t.Error("roles lost")
+	}
+	if FormatText(parsed) != text {
+		t.Error("format/parse/format is not a fixpoint")
+	}
+}
+
+func TestParseTextComments(t *testing.T) {
+	topo, err := ParseText("t", `# comment
+router a
+router b core
+
+link a b
+subnet a 10.0.0.0/24
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Routers) != 2 || !topo.HasLink("a", "b") || topo.Role["b"] != "core" {
+		t.Error("parse incomplete")
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate a b\n",
+		"router\n",
+		"router a b c\n",
+		"link a\n",
+		"link a a\n",
+		"subnet a\n",
+		"subnet a banana\n",
+		"router a\nlink a missing\n",
+		"router a\nsubnet ghost 10.0.0.0/24\n",
+	}
+	for _, text := range bad {
+		if _, err := ParseText("t", text); err == nil {
+			t.Errorf("ParseText accepted %q", strings.TrimSpace(text))
+		}
+	}
+}
