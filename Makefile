@@ -1,0 +1,30 @@
+# Development targets. `make check` is the gate every change must
+# pass: it enforces the telemetry layer's race-safety guarantee by
+# running the full suite under the race detector (see
+# internal/core/telemetry_test.go).
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-quick
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Seed benchmarks (paper headline metrics); -benchmem surfaces the
+# nil-tracer 0 allocs/op guarantee in obs and sat.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-quick:
+	$(GO) test -bench='NilTracer|SolveProgressOverhead' -benchmem ./internal/obs/ ./internal/sat/

@@ -22,13 +22,17 @@
 package aed
 
 import (
+	"io"
+
 	"github.com/aed-net/aed/internal/config"
 	"github.com/aed-net/aed/internal/core"
 	"github.com/aed-net/aed/internal/deploy"
 	"github.com/aed-net/aed/internal/encode"
 	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/obs"
 	"github.com/aed-net/aed/internal/policy"
 	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/sat"
 	"github.com/aed-net/aed/internal/simulate"
 	"github.com/aed-net/aed/internal/smt"
 	"github.com/aed-net/aed/internal/topology"
@@ -150,6 +154,35 @@ func Check(net *Network, topo *Topology, ps []Policy) []Violation {
 func InferReachability(net *Network, topo *Topology) []Policy {
 	return simulate.New(net, topo).InferReachability()
 }
+
+// Telemetry surface: a Tracer collects phase spans (parse → encode →
+// solve → extract → validate) and solver metrics for a synthesis run.
+// Set Options.Tracer to enable it; a nil tracer costs nothing.
+type (
+	// Tracer is the per-run telemetry collector.
+	Tracer = obs.Tracer
+	// Span is one timed pipeline phase.
+	Span = obs.Span
+	// TraceEvent is one exported JSONL telemetry record.
+	TraceEvent = obs.Event
+	// SolverStats are cumulative SAT-solver work counters.
+	SolverStats = sat.Stats
+	// InstanceStats describes one per-destination MaxSMT instance.
+	InstanceStats = core.InstanceStats
+)
+
+// NewTracer returns an enabled telemetry collector for Options.Tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// WriteTrace exports a tracer's spans and metrics as JSONL events.
+func WriteTrace(w io.Writer, t *Tracer) error { return obs.WriteJSONL(w, t) }
+
+// WriteTraceSummary renders a tracer's spans and metrics as a
+// human-readable report.
+func WriteTraceSummary(w io.Writer, t *Tracer) { obs.WriteSummary(w, t) }
+
+// ReadTrace decodes a JSONL trace produced by WriteTrace.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
 
 // DeploymentPlan is an ordered per-device rollout of synthesized
 // edits, checked for transient policy violations.

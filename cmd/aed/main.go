@@ -5,6 +5,13 @@
 //
 //	aed -configs DIR -topo FILE -policies FILE [-objectives FILE]
 //	    [-objective NAME] [-min-lines] [-monolithic] [-out DIR]
+//	    [-stats] [-trace FILE]
+//
+// Telemetry: -stats prints a per-destination solver table (decisions,
+// conflicts, restarts, iterations, time) plus the network-wide totals,
+// and -trace FILE writes the full span tree (parse → encode → solve →
+// extract → validate) and metrics registry as JSONL events (see
+// docs/OBSERVABILITY.md for the taxonomy and format).
 //
 // The configs directory holds one file per router in the dialect of
 // the config package. The topology file uses a simple line format:
@@ -28,6 +35,7 @@ import (
 	"github.com/aed-net/aed/internal/core"
 	"github.com/aed-net/aed/internal/deploy"
 	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/obs"
 	"github.com/aed-net/aed/internal/policy"
 	"github.com/aed-net/aed/internal/simulate"
 	"github.com/aed-net/aed/internal/topology"
@@ -46,8 +54,10 @@ func main() {
 		quiet      = flag.Bool("q", false, "only print the change summary")
 		keepReach  = flag.Bool("keep-reachability", false,
 			"infer the currently-holding reachability policies and preserve them (except pairs the new policies contradict)")
-		plan    = flag.Bool("plan", false, "print a transient-safe per-device deployment order")
-		explain = flag.Bool("explain", false, "on unsat, name a minimal conflicting policy subset")
+		plan      = flag.Bool("plan", false, "print a transient-safe per-device deployment order")
+		explain   = flag.Bool("explain", false, "on unsat, name a minimal conflicting policy subset")
+		stats     = flag.Bool("stats", false, "print per-destination solver statistics and network-wide totals")
+		traceFile = flag.String("trace", "", "write a JSONL telemetry trace (spans + metrics) to FILE")
 	)
 	flag.Parse()
 	if *configDir == "" || *topoFile == "" || *policyFile == "" {
@@ -55,6 +65,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *obs.Tracer
+	if *traceFile != "" || *stats {
+		tracer = obs.NewTracer()
+	}
+	// The trace must reach disk on every path, including the early
+	// os.Exit ones (unsat, residual violations).
+	writeTrace := func() {
+		if *traceFile == "" {
+			return
+		}
+		f, err := os.Create(*traceFile)
+		check(err)
+		check(obs.WriteJSONL(f, tracer))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "aed: telemetry trace written to %s\n", *traceFile)
+	}
+
+	psp := tracer.Start("parse")
 	net, err := loadConfigs(*configDir)
 	check(err)
 	topo, err := loadTopology(*topoFile)
@@ -63,6 +91,9 @@ func main() {
 	check(err)
 	ps, err := policy.Parse(string(psText))
 	check(err)
+	psp.SetInt("routers", int64(len(net.Routers)))
+	psp.SetInt("policies", int64(len(ps)))
+	psp.End()
 
 	if *keepReach {
 		blocked := make(map[string]bool)
@@ -103,8 +134,13 @@ func main() {
 		opts.MinimizeLines = true
 	}
 
+	opts.Tracer = tracer
 	res, err := core.Synthesize(net, topo, ps, opts)
 	check(err)
+	if *stats {
+		printStats(res)
+	}
+	writeTrace()
 	if !res.Sat {
 		fmt.Fprintf(os.Stderr, "aed: unsatisfiable for destinations: %v\n", res.UnsatDestinations)
 		fmt.Fprintln(os.Stderr, "aed: the requested policies conflict or are unimplementable on this network")
@@ -155,6 +191,31 @@ func main() {
 	for _, name := range res.Updated.RouterNames() {
 		fmt.Printf("\n===== %s =====\n%s", name, printed[name])
 	}
+}
+
+// printStats renders the per-destination solver table followed by the
+// network-wide totals (the field-wise sum across instances).
+func printStats(res *core.Result) {
+	fmt.Printf("%-20s %-5s %8s %8s %6s %10s %10s %9s %8s %12s\n",
+		"destination", "sat", "policies", "vars", "iters",
+		"decisions", "conflicts", "restarts", "learned", "time")
+	var iters, policies int
+	for _, is := range res.Instances {
+		dest := is.Destination.String()
+		if is.Destination.Len == 0 {
+			dest = "(joint)"
+		}
+		fmt.Printf("%-20s %-5v %8d %8d %6d %10d %10d %9d %8d %12v\n",
+			dest, is.Sat, is.Policies, is.NumVars, is.Iterations,
+			is.Solver.Decisions, is.Solver.Conflicts, is.Solver.Restarts,
+			is.Solver.Learned, is.Duration.Round(1000))
+		iters += is.Iterations
+		policies += is.Policies
+	}
+	fmt.Printf("%-20s %-5v %8d %8s %6d %10d %10d %9d %8d %12v\n",
+		"total", res.Sat, policies, "-", iters,
+		res.Solver.Decisions, res.Solver.Conflicts, res.Solver.Restarts,
+		res.Solver.Learned, res.SolveTime.Round(1000))
 }
 
 func check(err error) {

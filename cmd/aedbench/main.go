@@ -5,10 +5,17 @@
 // Usage:
 //
 //	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|all
-//	         [-scale quick|full]
+//	         [-scale quick|full] [-metrics-out FILE]
 //
 // Each experiment prints the rows/series the corresponding paper
 // figure reports; EXPERIMENTS.md records the expected shapes.
+//
+// -metrics-out FILE writes a JSONL metrics artifact next to the figure
+// output: one span per experiment (wall time), every synthesis phase
+// span recorded via the process-wide tracer, and the final solver
+// metrics registry (decisions, conflicts, restarts, per-call solve
+// latencies). The format is the obs package's event stream; see
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -18,12 +25,15 @@ import (
 	"time"
 
 	"github.com/aed-net/aed/internal/bench"
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/obs"
 )
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "which figure to regenerate")
 		scaleFlag  = flag.String("scale", "quick", "quick or full")
+		metricsOut = flag.String("metrics-out", "", "write a JSONL metrics artifact (spans + solver metrics) to FILE")
 	)
 	flag.Parse()
 
@@ -33,6 +43,32 @@ func main() {
 	} else if *scaleFlag != "quick" {
 		fmt.Fprintln(os.Stderr, "aedbench: -scale must be quick or full")
 		os.Exit(2)
+	}
+
+	var tracer *obs.Tracer
+	if *metricsOut != "" {
+		tracer = obs.NewTracer()
+		// The benchmark drivers call core.Synthesize internally, so the
+		// tracer is installed process-wide instead of being threaded
+		// through every workload helper.
+		core.SetTracer(tracer)
+	}
+	writeMetrics := func() {
+		if tracer == nil {
+			return
+		}
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = obs.WriteJSONL(f, tracer)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aedbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics artifact written to %s\n", *metricsOut)
 	}
 
 	runners := map[string]func(){
@@ -50,13 +86,21 @@ func main() {
 	}
 	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies"}
 
+	runOne := func(name string, run func()) {
+		sp := tracer.Start("experiment")
+		sp.SetStr("name", name)
+		run()
+		sp.End()
+	}
+
 	if *experiment == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
 			start := time.Now()
-			runners[name]()
+			runOne(name, runners[name])
 			fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		}
+		writeMetrics()
 		return
 	}
 	run, ok := runners[*experiment]
@@ -64,5 +108,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aedbench: unknown experiment %q (want one of %v)\n", *experiment, order)
 		os.Exit(2)
 	}
-	run()
+	runOne(*experiment, run)
+	writeMetrics()
 }

@@ -11,13 +11,16 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/aed-net/aed/internal/config"
 	"github.com/aed-net/aed/internal/encode"
 	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/obs"
 	"github.com/aed-net/aed/internal/policy"
 	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/sat"
 	"github.com/aed-net/aed/internal/simulate"
 	"github.com/aed-net/aed/internal/smt"
 	"github.com/aed-net/aed/internal/topology"
@@ -50,6 +53,29 @@ type Options struct {
 	// conflicting policy subset (Result.Conflicts). Costs extra solver
 	// calls; off by default.
 	Explain bool
+	// Tracer receives phase spans and solver metrics for the run. Nil
+	// (the default) falls back to the process-wide tracer installed
+	// with SetTracer, and disables telemetry at zero overhead when
+	// that too is unset.
+	Tracer *obs.Tracer
+}
+
+// defaultTracer is the process-wide fallback used when Options.Tracer
+// is nil, so CLIs like aedbench can observe every Synthesize call —
+// including ones made deep inside benchmark drivers — without
+// threading a tracer through each call site.
+var defaultTracer atomic.Pointer[obs.Tracer]
+
+// SetTracer installs (or, with nil, removes) the process-wide fallback
+// tracer.
+func SetTracer(t *obs.Tracer) { defaultTracer.Store(t) }
+
+// tracer resolves the effective tracer for a run.
+func (o Options) tracer() *obs.Tracer {
+	if o.Tracer != nil {
+		return o.Tracer
+	}
+	return defaultTracer.Load()
 }
 
 // DefaultOptions returns the paper's fully optimized configuration.
@@ -92,6 +118,9 @@ type Result struct {
 	SolveTime time.Duration
 	// Instances describes each per-destination problem.
 	Instances []InstanceStats
+	// Solver is the network-wide total of the per-instance SAT-solver
+	// counters: the field-wise sum over Instances[i].Solver.
+	Solver sat.Stats
 }
 
 // InstanceStats reports one per-destination instance.
@@ -103,12 +132,20 @@ type InstanceStats struct {
 	Iterations  int
 	Duration    time.Duration
 	Sat         bool
+	// Solver holds the instance's cumulative SAT-solver counters
+	// (decisions, conflicts, restarts, ...).
+	Solver sat.Stats
 }
 
 // Synthesize computes configuration updates for net on topo that
 // satisfy ps and maximally satisfy the objectives.
 func Synthesize(net *config.Network, topo *topology.Topology, ps []policy.Policy, opts Options) (*Result, error) {
 	start := time.Now()
+	tr := opts.tracer()
+	root := tr.Start("synthesize")
+	defer root.End()
+
+	gsp := root.Child("group")
 	ps = policy.SubdividePolicies(policy.Dedup(ps))
 	groups := policy.GroupByDestination(ps)
 	dests := make([]prefix.Prefix, 0, len(groups))
@@ -116,25 +153,43 @@ func Synthesize(net *config.Network, topo *topology.Topology, ps []policy.Policy
 		dests = append(dests, d)
 	}
 	prefix.Sort(dests)
+	gsp.SetInt("policies", int64(len(ps)))
+	gsp.SetInt("destinations", int64(len(dests)))
+	gsp.End()
 
 	res := &Result{Sat: true}
 	if opts.Monolithic {
-		if err := solveMonolithic(net, topo, groups, dests, opts, res); err != nil {
+		if err := solveMonolithic(net, topo, groups, dests, opts, res, tr, root); err != nil {
 			return nil, err
 		}
-	} else if err := solveSplit(net, topo, groups, dests, opts, res); err != nil {
+	} else if err := solveSplit(net, topo, groups, dests, opts, res, tr, root); err != nil {
 		return nil, err
+	}
+	for _, is := range res.Instances {
+		res.Solver = res.Solver.Add(is.Solver)
 	}
 
 	if res.Sat {
+		asp := root.Child("apply")
 		res.Updated = encode.Apply(net, res.Edits)
 		res.Diff = config.Diff(net, res.Updated)
+		asp.SetInt("edits", int64(len(res.Edits)))
+		asp.End()
 		if opts.Validate {
+			vsp := root.Child("validate")
 			sim := simulate.New(res.Updated, topo)
 			res.Violations = sim.CheckAll(ps)
+			vsp.SetInt("violations", int64(len(res.Violations)))
+			vsp.End()
 		}
 	}
 	res.Duration = time.Since(start)
+	root.SetBool("sat", res.Sat)
+	root.SetInt("decisions", res.Solver.Decisions)
+	root.SetInt("conflicts", res.Solver.Conflicts)
+	tr.Metrics().Counter("synthesize.runs").Add(1)
+	tr.Metrics().Histogram("synthesize.duration_ms", obs.LatencyBuckets).
+		Observe(float64(res.Duration.Microseconds()) / 1000)
 	return res, nil
 }
 
@@ -148,9 +203,13 @@ func instantiateObjectives(net *config.Network, objs []objective.Objective, delt
 
 func solveMonolithic(net *config.Network, topo *topology.Topology,
 	groups map[prefix.Prefix][]policy.Policy, dests []prefix.Prefix,
-	opts Options, res *Result) error {
+	opts Options, res *Result, tr *obs.Tracer, root *obs.Span) error {
 
+	msp := root.Child("monolithic")
+	defer msp.End()
 	j := encode.NewJoint(net, topo, opts.Encode)
+	j.Observe(msp, tr.Metrics())
+	esp := msp.Child("encode")
 	total := 0
 	for _, d := range dests {
 		if err := j.AddGroup(d, groups[d]); err != nil {
@@ -162,11 +221,15 @@ func solveMonolithic(net *config.Network, topo *topology.Topology,
 	if opts.MinimizeLines {
 		j.PenalizeDeltas(1)
 	}
+	esp.SetInt("vars", int64(j.Ctx.NumSATVars()))
+	esp.SetInt("deltas", int64(len(j.Deltas())))
+	esp.End()
 	r := j.Solve(opts.Strategy)
 	res.SolveTime = r.Duration
 	res.Instances = append(res.Instances, InstanceStats{
 		Policies: total, NumVars: r.NumVars, NumDeltas: r.NumDeltas,
 		Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
+		Solver: r.Stats,
 	})
 	if !r.Sat {
 		res.Sat = false
@@ -180,7 +243,7 @@ func solveMonolithic(net *config.Network, topo *topology.Topology,
 
 func solveSplit(net *config.Network, topo *topology.Topology,
 	groups map[prefix.Prefix][]policy.Policy, dests []prefix.Prefix,
-	opts Options, res *Result) error {
+	opts Options, res *Result, tr *obs.Tracer, root *obs.Span) error {
 
 	type outcome struct {
 		dest   prefix.Prefix
@@ -191,8 +254,14 @@ func solveSplit(net *config.Network, topo *topology.Topology,
 
 	solveOne := func(i int) {
 		d := dests[i]
+		dsp := root.Child("destination")
+		dsp.SetStr("dest", d.String())
+		defer dsp.End()
 		e := encode.New(net, topo, d, opts.Encode)
+		e.Observe(dsp, tr.Metrics())
+		esp := dsp.Child("encode")
 		if err := e.EncodePolicies(groups[d]); err != nil {
+			esp.End()
 			outcomes[i] = outcome{dest: d, err: err}
 			return
 		}
@@ -200,6 +269,9 @@ func solveSplit(net *config.Network, topo *topology.Topology,
 		if opts.MinimizeLines {
 			e.PenalizeDeltas(1)
 		}
+		esp.SetInt("vars", int64(e.Ctx.NumSATVars()))
+		esp.SetInt("deltas", int64(len(e.Deltas())))
+		esp.End()
 		outcomes[i] = outcome{dest: d, result: e.Solve(opts.Strategy)}
 	}
 
@@ -236,6 +308,7 @@ func solveSplit(net *config.Network, topo *topology.Topology,
 			Destination: o.dest, Policies: len(groups[dests[i]]),
 			NumVars: r.NumVars, NumDeltas: r.NumDeltas,
 			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
+			Solver: r.Stats,
 		})
 		res.SolveTime += r.Duration
 		if r.Duration > critical {

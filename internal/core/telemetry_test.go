@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/aed-net/aed/internal/obs"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/sat"
+)
+
+// TestParallelTelemetryRace is the race regression for concurrent
+// telemetry: multiple per-destination solver goroutines stream
+// progress samples and spans into one shared tracer. Run under
+// `go test -race ./internal/core/...` (the Makefile check target) it
+// fails if sat.Stats snapshots or registry updates ever race.
+func TestParallelTelemetryRace(t *testing.T) {
+	net, topo := leafSpineNet(t, 3, 2)
+	ps, _ := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
+block 10.2.0.0/24 -> 10.0.0.0/24
+reach 10.1.0.0/24 -> 10.2.0.0/24
+`)
+	tr := obs.NewTracer()
+	opts := DefaultOptions()
+	opts.Parallel = true
+	opts.Objectives = minDevices(t)
+	opts.Tracer = tr
+	res, err := Synthesize(net, topo, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatalf("unsat: %v", res.UnsatDestinations)
+	}
+	if len(res.Instances) < 2 {
+		t.Fatalf("race test needs >1 destination, got %d", len(res.Instances))
+	}
+
+	// Per-destination stats must sum to the network-wide totals.
+	var sum sat.Stats
+	for _, is := range res.Instances {
+		if is.Solver.SolveCalls == 0 {
+			t.Errorf("instance %s recorded no solver calls", is.Destination)
+		}
+		sum = sum.Add(is.Solver)
+	}
+	if sum != res.Solver {
+		t.Errorf("instance stats sum %+v != network total %+v", sum, res.Solver)
+	}
+
+	// The span tree must cover the pipeline phases, with one
+	// destination/encode/solve chain per instance.
+	counts := make(map[string]int)
+	for _, sp := range tr.Spans() {
+		counts[sp.Name]++
+	}
+	for _, phase := range []string{"synthesize", "group", "apply", "validate"} {
+		if counts[phase] != 1 {
+			t.Errorf("span %q appeared %d times, want 1", phase, counts[phase])
+		}
+	}
+	for _, phase := range []string{"destination", "encode", "solve"} {
+		if counts[phase] != len(res.Instances) {
+			t.Errorf("span %q appeared %d times, want %d", phase, counts[phase], len(res.Instances))
+		}
+	}
+
+	// The shared registry saw every worker's counters: the hook-fed
+	// decision total must match the per-instance snapshots' sum.
+	snap := tr.Metrics().Snapshot()
+	if got := snap.Counters["solver.decisions"]; got != sum.Decisions {
+		t.Errorf("registry decisions = %d, want %d", got, sum.Decisions)
+	}
+	if got := snap.Counters["solver.conflicts"]; got != sum.Conflicts {
+		t.Errorf("registry conflicts = %d, want %d", got, sum.Conflicts)
+	}
+	if snap.Counters["solver.calls"] == 0 {
+		t.Error("no solver call latencies recorded")
+	}
+
+	// And the trace must survive a JSONL round trip.
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestMonolithicTelemetry checks the joint path records its stats and
+// spans too.
+func TestMonolithicTelemetry(t *testing.T) {
+	net, topo := leafSpineNet(t, 2, 1)
+	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\nreach 10.1.0.0/24 -> 10.0.0.0/24\n")
+	tr := obs.NewTracer()
+	opts := DefaultOptions()
+	opts.Monolithic = true
+	opts.Objectives = minDevices(t)
+	opts.Tracer = tr
+	res, err := Synthesize(net, topo, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatal("unsat")
+	}
+	if res.Solver.SolveCalls == 0 || res.Solver != res.Instances[0].Solver {
+		t.Errorf("joint stats not aggregated: %+v", res.Solver)
+	}
+	counts := make(map[string]int)
+	for _, sp := range tr.Spans() {
+		counts[sp.Name]++
+	}
+	for _, phase := range []string{"synthesize", "monolithic", "encode", "solve", "maxsat", "extract"} {
+		if counts[phase] == 0 {
+			t.Errorf("missing span %q (got %v)", phase, counts)
+		}
+	}
+}
+
+// TestDefaultTracerFallback checks the process-wide tracer installed
+// with SetTracer observes runs whose Options carry no tracer.
+func TestDefaultTracerFallback(t *testing.T) {
+	tr := obs.NewTracer()
+	SetTracer(tr)
+	defer SetTracer(nil)
+	net, topo := leafSpineNet(t, 2, 1)
+	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	if _, err := Synthesize(net, topo, ps, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans()) == 0 {
+		t.Fatal("default tracer saw no spans")
+	}
+	if tr.Metrics().Snapshot().Counters["synthesize.runs"] != 1 {
+		t.Error("synthesize.runs counter not recorded")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/obs"
 	"github.com/aed-net/aed/internal/policy"
 	"github.com/aed-net/aed/internal/prefix"
 	"github.com/aed-net/aed/internal/smt"
@@ -52,6 +53,10 @@ type Encoder struct {
 	opts Options
 
 	reg *registry
+
+	// span, when set by Observe, parents this instance's solve/extract
+	// telemetry spans.
+	span *obs.Span
 
 	dst       prefix.Prefix
 	dstRouter string
@@ -144,6 +149,15 @@ func New(net *config.Network, topo *topology.Topology, dst prefix.Prefix, opts O
 		}
 	}
 	return e
+}
+
+// Observe attaches this instance's telemetry: span parents the
+// encoder's solve/extract spans, and the SMT context streams solver
+// counters and latencies into reg. A nil span and registry (the
+// default) keep the instance unobserved at zero cost.
+func (e *Encoder) Observe(span *obs.Span, reg *obs.Registry) {
+	e.span = span
+	e.Ctx.Observe(reg, span)
 }
 
 // buildLPDomain collects the distinct local-preference values in the

@@ -1,10 +1,9 @@
 package encode
 
 import (
-	"time"
-
 	"github.com/aed-net/aed/internal/config"
 	"github.com/aed-net/aed/internal/objective"
+	"github.com/aed-net/aed/internal/obs"
 	"github.com/aed-net/aed/internal/policy"
 	"github.com/aed-net/aed/internal/prefix"
 	"github.com/aed-net/aed/internal/smt"
@@ -24,6 +23,14 @@ type Joint struct {
 	opts     Options
 	reg      *registry
 	encoders []*Encoder
+	span     *obs.Span
+}
+
+// Observe attaches telemetry to the joint instance, mirroring
+// (*Encoder).Observe.
+func (j *Joint) Observe(span *obs.Span, reg *obs.Registry) {
+	j.span = span
+	j.Ctx.Observe(reg, span)
 }
 
 // NewJoint prepares a monolithic encoder. Options.Split is forced off:
@@ -108,21 +115,5 @@ func (j *Joint) PenalizeDeltas(weight int) {
 
 // Solve maximizes and extracts one consistent edit set.
 func (j *Joint) Solve(strategy smt.Strategy) *Result {
-	start := time.Now()
-	res := j.Ctx.Maximize(strategy)
-	out := &Result{
-		Iterations: res.Iterations,
-		Duration:   time.Since(start),
-		NumVars:    j.Ctx.NumSATVars(),
-		NumDeltas:  len(j.Deltas()),
-	}
-	if res.Model == nil {
-		return out
-	}
-	out.Sat = true
-	out.SatisfiedWeight = res.SatisfiedWeight
-	out.ViolatedWeight = res.ViolatedWeight
-	out.ViolatedLabels = res.Violated
-	out.Edits = Extract(res.Model, j.Deltas())
-	return out
+	return solveInstrumented(j.Ctx, j.span, j.Deltas(), strategy)
 }

@@ -3,6 +3,8 @@ package encode
 import (
 	"time"
 
+	"github.com/aed-net/aed/internal/obs"
+	"github.com/aed-net/aed/internal/sat"
 	"github.com/aed-net/aed/internal/smt"
 )
 
@@ -26,26 +28,57 @@ type Result struct {
 	// Problem size, for the scalability experiments.
 	NumVars   int
 	NumDeltas int
+	// Stats are the instance's cumulative SAT-solver counters
+	// (decisions, conflicts, restarts, ...), aggregated network-wide by
+	// core.Synthesize.
+	Stats sat.Stats
 }
 
 // Solve maximizes objective satisfaction subject to the hard
 // constraints and extracts edits from the optimum.
 func (e *Encoder) Solve(strategy smt.Strategy) *Result {
+	return solveInstrumented(e.Ctx, e.span, e.reg.all(), strategy)
+}
+
+// solveInstrumented runs the MaxSAT search and edit extraction under
+// "solve"/"maxsat"/"extract" telemetry spans (no-ops when parent is
+// nil). Shared by the split (Encoder) and monolithic (Joint) paths.
+func solveInstrumented(ctx *smt.Context, parent *obs.Span, deltas []*Delta, strategy smt.Strategy) *Result {
 	start := time.Now()
-	res := e.Ctx.Maximize(strategy)
+	sp := parent.Child("solve")
+	ms := sp.Child("maxsat")
+	res := ctx.Maximize(strategy)
+	ms.SetInt("iterations", int64(res.Iterations))
+	ms.SetInt("violated_weight", int64(res.ViolatedWeight))
+	ms.End()
+
 	out := &Result{
 		Iterations: res.Iterations,
-		Duration:   time.Since(start),
-		NumVars:    e.Ctx.NumSATVars(),
-		NumDeltas:  len(e.reg.all()),
+		NumVars:    ctx.NumSATVars(),
+		NumDeltas:  len(deltas),
 	}
 	if res.Model == nil {
+		out.Duration = time.Since(start)
+		out.Stats = ctx.Stats()
+		sp.SetBool("sat", false)
+		sp.End()
 		return out
 	}
 	out.Sat = true
 	out.SatisfiedWeight = res.SatisfiedWeight
 	out.ViolatedWeight = res.ViolatedWeight
 	out.ViolatedLabels = res.Violated
-	out.Edits = Extract(res.Model, e.reg.all())
+
+	ex := sp.Child("extract")
+	out.Edits = Extract(res.Model, deltas)
+	ex.SetInt("edits", int64(len(out.Edits)))
+	ex.End()
+
+	out.Duration = time.Since(start)
+	out.Stats = ctx.Stats()
+	sp.SetBool("sat", true)
+	sp.SetInt("decisions", out.Stats.Decisions)
+	sp.SetInt("conflicts", out.Stats.Conflicts)
+	sp.End()
 	return out
 }

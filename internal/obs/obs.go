@@ -1,0 +1,194 @@
+// Package obs is AED's telemetry layer: hierarchical spans over the
+// synthesis pipeline (parse → encode → solve → extract → validate), a
+// goroutine-safe registry of counters/gauges/histograms fed by the SAT
+// solver's progress hooks, and sinks that export both as JSONL events
+// or a human-readable summary.
+//
+// The package is stdlib-only and allocation-free when disabled: every
+// method on *Tracer, *Span, *Counter, *Gauge and *Histogram is nil-safe,
+// so callers thread a possibly-nil tracer through the pipeline without
+// guards and pay only a nil check when telemetry is off (verified by
+// TestNilTracerZeroAlloc).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects finished spans and owns the metrics registry for one
+// synthesis run (or one CLI/bench process). A nil *Tracer is a valid
+// no-op tracer. Tracer is safe for concurrent use: the parallel
+// per-destination workers in core.solveSplit record spans and metrics
+// into one shared tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []SpanRecord
+	nextID  atomic.Uint64
+	metrics *Registry
+	epoch   time.Time
+}
+
+// NewTracer returns an enabled tracer with a fresh metrics registry.
+func NewTracer() *Tracer {
+	return &Tracer{metrics: NewRegistry(), epoch: time.Now()}
+}
+
+// Metrics returns the tracer's registry (nil for a nil tracer, which
+// the registry API in turn treats as a no-op).
+func (t *Tracer) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// Epoch is the tracer's creation time; span start offsets in exported
+// events are relative to it.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
+// Start opens a root span. End must be called to record it.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, id: t.nextID.Add(1), name: name, start: time.Now()}
+}
+
+// Spans returns a copy of the finished spans in end order (children
+// before their parents, since a span is recorded when it ends).
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Span is one timed phase of the pipeline. A nil *Span is a valid
+// no-op span. A Span must not be shared across goroutines (create one
+// child span per worker instead); the tracer it records into is
+// goroutine-safe.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []attr
+	ended  bool
+}
+
+type attr struct {
+	key  string
+	kind uint8
+	num  int64
+	str  string
+}
+
+const (
+	attrInt uint8 = iota
+	attrStr
+	attrBool
+	attrDur
+)
+
+// Child opens a sub-span of s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, id: s.t.nextID.Add(1), parent: s.id, name: name, start: time.Now()}
+}
+
+// SetInt attaches an integer attribute. The typed setters exist (in
+// place of one SetAttr(string, any)) so disabled-tracer callers do not
+// box the value into an interface before the nil check can run.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attr{key: key, kind: attrInt, num: v})
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attr{key: key, kind: attrStr, str: v})
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	var n int64
+	if v {
+		n = 1
+	}
+	s.attrs = append(s.attrs, attr{key: key, kind: attrBool, num: n})
+}
+
+// SetDur attaches a duration attribute (exported in microseconds).
+func (s *Span) SetDur(key string, v time.Duration) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attr{key: key, kind: attrDur, num: int64(v)})
+}
+
+// End records the span into its tracer. Ending a span twice records it
+// once.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	rec := SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			switch a.kind {
+			case attrInt:
+				rec.Attrs[a.key] = a.num
+			case attrStr:
+				rec.Attrs[a.key] = a.str
+			case attrBool:
+				rec.Attrs[a.key] = a.num == 1
+			case attrDur:
+				rec.Attrs[a.key] = time.Duration(a.num).Microseconds()
+			}
+		}
+	}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, rec)
+	s.t.mu.Unlock()
+}
+
+// SpanRecord is a finished span as stored by the tracer and exported
+// by the sinks.
+type SpanRecord struct {
+	ID       uint64
+	Parent   uint64 // 0 for root spans
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    map[string]any
+}

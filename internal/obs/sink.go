@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Event is one exported telemetry record: a finished span or one
+// metric's final state. The JSONL sink writes one Event per line;
+// ReadEvents decodes them back, so traces round-trip for tooling and
+// tests.
+type Event struct {
+	Type string `json:"type"` // "span" | "counter" | "gauge" | "histogram"
+
+	// Span fields.
+	ID      uint64         `json:"id,omitempty"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us,omitempty"` // offset from the tracer epoch
+	DurUS   int64          `json:"dur_us,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+
+	// Metric fields.
+	Value  int64     `json:"value,omitempty"`
+	Max    int64     `json:"max,omitempty"`
+	Count  int64     `json:"count,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
+}
+
+// WriteJSONL exports the tracer's finished spans followed by its
+// metrics registry as JSON-Lines events.
+func WriteJSONL(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range t.Spans() {
+		ev := Event{
+			Type:    "span",
+			ID:      sp.ID,
+			Parent:  sp.Parent,
+			Name:    sp.Name,
+			StartUS: sp.Start.Sub(t.Epoch()).Microseconds(),
+			DurUS:   sp.Duration.Microseconds(),
+			Attrs:   sp.Attrs,
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	snap := t.Metrics().Snapshot()
+	for _, name := range sortedKeys(snap.Counters) {
+		if err := enc.Encode(Event{Type: "counter", Name: name, Value: snap.Counters[name]}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		g := snap.Gauges[name]
+		if err := enc.Encode(Event{Type: "gauge", Name: name, Value: g.Value, Max: g.Max}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		ev := Event{Type: "histogram", Name: name, Count: h.Count, Sum: h.Sum,
+			Bounds: h.Bounds, Counts: h.Counts}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ReadEvents decodes a JSONL trace produced by WriteJSONL.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("obs: bad trace line %q: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+// WriteSummary renders the span tree and the metrics registry as a
+// human-readable report.
+func WriteSummary(w io.Writer, t *Tracer) {
+	spans := t.Spans()
+	children := make(map[uint64][]SpanRecord)
+	for _, sp := range spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+	}
+	if len(spans) > 0 {
+		fmt.Fprintln(w, "spans:")
+		var walk func(parent uint64, depth int)
+		walk = func(parent uint64, depth int) {
+			for _, sp := range children[parent] {
+				fmt.Fprintf(w, "  %s%-*s %10v%s\n", strings.Repeat("  ", depth),
+					32-2*depth, sp.Name, sp.Duration.Round(1000), attrString(sp.Attrs))
+				walk(sp.ID, depth+1)
+			}
+		}
+		walk(0, 0)
+	}
+	snap := t.Metrics().Snapshot()
+	if len(snap.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range sortedKeys(snap.Counters) {
+			fmt.Fprintf(w, "  %-32s %d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range sortedKeys(snap.Gauges) {
+			g := snap.Gauges[name]
+			fmt.Fprintf(w, "  %-32s %d (max %d)\n", name, g.Value, g.Max)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, name := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[name]
+			fmt.Fprintf(w, "  %-32s n=%d mean=%.3f sum=%.3f\n", name, h.Count, h.Mean(), h.Sum)
+		}
+	}
+}
+
+func attrString(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, k := range sortedKeys(attrs) {
+		fmt.Fprintf(&b, " %s=%v", k, attrs[k])
+	}
+	return "  {" + strings.TrimSpace(b.String()) + "}"
+}

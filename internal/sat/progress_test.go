@@ -1,0 +1,102 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomInstance loads a random 3-SAT instance dense enough to force
+// conflicts and restarts.
+func randomInstance(s *Solver, seed int64, vars, clauses int) {
+	vs := make([]Var, vars)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < clauses; i++ {
+		s.AddClause(
+			NewLit(vs[rng.Intn(vars)], rng.Intn(2) == 1),
+			NewLit(vs[rng.Intn(vars)], rng.Intn(2) == 1),
+			NewLit(vs[rng.Intn(vars)], rng.Intn(2) == 1))
+	}
+}
+
+func TestProgressHookSamples(t *testing.T) {
+	s := New()
+	randomInstance(s, 7, 50, 210)
+	var samples []ProgressSample
+	s.ProgressEvery = 1 // sample at every conflict
+	s.Progress = func(p ProgressSample) { samples = append(samples, p) }
+	s.Solve()
+
+	if len(samples) == 0 {
+		t.Fatal("no progress samples delivered")
+	}
+	final := samples[len(samples)-1]
+	if !final.Final {
+		t.Error("last sample must be marked Final")
+	}
+	if final.Stats != s.Stats {
+		t.Errorf("final sample %+v != solver stats %+v", final.Stats, s.Stats)
+	}
+	// Cumulative counters must be monotone across samples.
+	for i := 1; i < len(samples); i++ {
+		a, b := samples[i-1].Stats, samples[i].Stats
+		if b.Conflicts < a.Conflicts || b.Decisions < a.Decisions ||
+			b.Propagations < a.Propagations || b.Learned < a.Learned {
+			t.Fatalf("non-monotone samples at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestProgressHookFiresPerSolveCall(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	finals := 0
+	s.Progress = func(p ProgressSample) {
+		if p.Final {
+			finals++
+		}
+	}
+	s.Solve()
+	s.Solve(NegLit(v))
+	if finals != 2 {
+		t.Errorf("got %d final samples for 2 Solve calls", finals)
+	}
+}
+
+// TestNilProgressZeroAlloc pins the disabled-hook fast path: solving
+// with no Progress hook must not allocate on the sampling branch (the
+// solver itself allocates for clauses/learnts, so this measures the
+// hook plumbing in isolation on an already-solved instance).
+func TestNilProgressZeroAlloc(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	s.Solve()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.emitProgress(false)
+		s.emitProgress(true)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Progress hook allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkSolveProgressOverhead(b *testing.B) {
+	run := func(b *testing.B, hook func(ProgressSample)) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := New()
+			randomInstance(s, int64(i%16)+1, 60, 250)
+			s.Progress = hook
+			s.Solve()
+		}
+	}
+	b.Run("nil-hook", func(b *testing.B) { run(b, nil) })
+	b.Run("counting-hook", func(b *testing.B) {
+		var sink int64
+		run(b, func(p ProgressSample) { sink += p.Stats.Conflicts })
+	})
+}

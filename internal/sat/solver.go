@@ -54,6 +54,18 @@ type Solver struct {
 
 	model []Tribool // assignment snapshot from the last Sat result
 
+	// Progress, if non-nil, receives periodic ProgressSamples from the
+	// solving goroutine: every ProgressEvery conflicts, at each restart,
+	// and (with Final set) just before Solve returns. Because samples
+	// are taken on the solving goroutine, the hook is the race-free way
+	// to observe a live solver's Stats; the hook itself must be cheap
+	// and must not call back into the Solver. A nil Progress costs one
+	// predictable branch per conflict and allocates nothing.
+	Progress func(ProgressSample)
+	// ProgressEvery is the conflict period between samples (default
+	// 1024 when a Progress hook is installed).
+	ProgressEvery int64
+
 	// onLearn, if set, observes every learned clause (testing hook).
 	onLearn func([]Lit)
 	// onMinimize, if set, observes (pre, post) minimization clauses.
@@ -476,15 +488,40 @@ func (s *Solver) detach(c *clause) {
 	}
 }
 
+// emitProgress delivers one sample to the Progress hook. It runs on
+// the solving goroutine, so the Stats copy it hands out is consistent.
+func (s *Solver) emitProgress(final bool) {
+	if s.Progress == nil {
+		return
+	}
+	s.Progress(ProgressSample{
+		Stats:         s.Stats,
+		TrailDepth:    len(s.trail),
+		LearntClauses: len(s.learnts),
+		DecisionLevel: s.decisionLevel(),
+		Final:         final,
+	})
+}
+
+// progressPeriod returns the conflict sampling period for the hook.
+func (s *Solver) progressPeriod() int64 {
+	if s.ProgressEvery > 0 {
+		return s.ProgressEvery
+	}
+	return 1024
+}
+
 // Solve searches for a model under the given assumption literals. On
 // Unsat, Conflict() returns the subset of assumptions responsible.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.Stats.SolveCalls++
 	s.conflictC = nil
 	if !s.ok {
+		s.emitProgress(true)
 		return Unsat
 	}
 	defer s.backtrack(0)
+	defer s.emitProgress(true)
 
 	maxLearnts := float64(len(s.clauses))/3 + 500
 	var restartN int64 = 1
@@ -505,6 +542,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Unknown
 		}
 		s.Stats.Restarts++
+		s.emitProgress(false)
 		s.backtrack(0)
 	}
 }
@@ -518,6 +556,9 @@ func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *float64) St
 		if confl != nil {
 			s.Stats.Conflicts++
 			conflicts++
+			if s.Progress != nil && s.Stats.Conflicts%s.progressPeriod() == 0 {
+				s.emitProgress(false)
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat

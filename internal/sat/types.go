@@ -112,6 +112,14 @@ func (s Status) String() string {
 
 // Stats counts solver work; useful in benchmarks and for the paper's
 // optimization-strategy experiments.
+//
+// The fields are plain integers incremented by the solving goroutine
+// with no synchronization, keeping the search loop free of atomic
+// traffic. Other goroutines must therefore never read a live Solver's
+// Stats directly: concurrent snapshots are taken through the Progress
+// hook, which delivers consistent copies from inside the solving
+// goroutine (see Solver.Progress). Once Solve has returned, reading
+// Stats from the coordinating goroutine is safe as usual.
 type Stats struct {
 	Decisions    int64
 	Propagations int64
@@ -120,4 +128,47 @@ type Stats struct {
 	Learned      int64
 	Deleted      int64
 	SolveCalls   int64
+}
+
+// Add returns the field-wise sum s+o, for aggregating per-instance
+// solver stats into network-wide totals.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Decisions:    s.Decisions + o.Decisions,
+		Propagations: s.Propagations + o.Propagations,
+		Conflicts:    s.Conflicts + o.Conflicts,
+		Restarts:     s.Restarts + o.Restarts,
+		Learned:      s.Learned + o.Learned,
+		Deleted:      s.Deleted + o.Deleted,
+		SolveCalls:   s.SolveCalls + o.SolveCalls,
+	}
+}
+
+// Sub returns the field-wise difference s-o, for converting cumulative
+// progress samples into increments.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Decisions:    s.Decisions - o.Decisions,
+		Propagations: s.Propagations - o.Propagations,
+		Conflicts:    s.Conflicts - o.Conflicts,
+		Restarts:     s.Restarts - o.Restarts,
+		Learned:      s.Learned - o.Learned,
+		Deleted:      s.Deleted - o.Deleted,
+		SolveCalls:   s.SolveCalls - o.SolveCalls,
+	}
+}
+
+// ProgressSample is a consistent snapshot of a running solver, emitted
+// through the Progress hook from inside the solving goroutine.
+type ProgressSample struct {
+	// Stats is a copy of the cumulative counters at sample time.
+	Stats Stats
+	// TrailDepth is the current number of assigned literals.
+	TrailDepth int
+	// LearntClauses is the current learned-clause database size.
+	LearntClauses int
+	// DecisionLevel is the current search depth in decisions.
+	DecisionLevel int
+	// Final marks the sample emitted just before Solve returns.
+	Final bool
 }

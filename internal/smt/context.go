@@ -2,7 +2,9 @@ package smt
 
 import (
 	"fmt"
+	"time"
 
+	"github.com/aed-net/aed/internal/obs"
 	"github.com/aed-net/aed/internal/sat"
 )
 
@@ -28,6 +30,12 @@ type Context struct {
 	// hardCount counts clauses added as hard constraints, used for
 	// reporting problem sizes in benchmarks.
 	hardCount int
+
+	// reg, when set by Observe, receives solver metrics (decision/
+	// conflict/restart counters, trail-depth samples, per-call solve
+	// latencies). span, when set, parents the per-call solve spans.
+	reg  *obs.Registry
+	span *obs.Span
 }
 
 type softConstraint struct {
@@ -128,6 +136,62 @@ func (c *Context) NumSATVars() int { return c.solver.NumVars() }
 
 // Stats returns the accumulated SAT-solver statistics.
 func (c *Context) Stats() sat.Stats { return c.solver.Stats }
+
+// Observe streams this context's solver activity into reg and parents
+// solver-call latency samples under span. It installs a sampling hook
+// on the underlying SAT solver that runs on the solving goroutine, so
+// the live (unsynchronized) sat.Stats counters are published through
+// the registry's atomic instruments instead of being read across
+// goroutines: every AED worker can share one registry. Passing a nil
+// registry (the default) leaves the solver hook-free with zero
+// overhead.
+func (c *Context) Observe(reg *obs.Registry, span *obs.Span) {
+	c.reg = reg
+	c.span = span
+	if reg == nil {
+		c.solver.Progress = nil
+		return
+	}
+	var last sat.Stats
+	decisions := reg.Counter("solver.decisions")
+	propagations := reg.Counter("solver.propagations")
+	conflicts := reg.Counter("solver.conflicts")
+	restarts := reg.Counter("solver.restarts")
+	learned := reg.Counter("solver.learned")
+	deleted := reg.Counter("solver.deleted")
+	trail := reg.Gauge("solver.trail_depth")
+	learnts := reg.Gauge("solver.learnt_clauses")
+	trailHist := reg.Histogram("solver.trail_depth_dist", obs.DepthBuckets)
+	c.solver.Progress = func(p sat.ProgressSample) {
+		d := p.Stats.Sub(last)
+		last = p.Stats
+		decisions.Add(d.Decisions)
+		propagations.Add(d.Propagations)
+		conflicts.Add(d.Conflicts)
+		restarts.Add(d.Restarts)
+		learned.Add(d.Learned)
+		deleted.Add(d.Deleted)
+		trail.Set(int64(p.TrailDepth))
+		learnts.Set(int64(p.LearntClauses))
+		trailHist.Observe(float64(p.TrailDepth))
+	}
+}
+
+// solveTimed is the instrumented path for every SAT Solve call made by
+// the MaxSAT searches and satisfiability checks: it records per-call
+// latency into the registry when Observe has been installed and is a
+// plain Solve otherwise.
+func (c *Context) solveTimed(assumptions ...sat.Lit) sat.Status {
+	if c.reg == nil {
+		return c.solver.Solve(assumptions...)
+	}
+	start := time.Now()
+	st := c.solver.Solve(assumptions...)
+	c.reg.Counter("solver.calls").Add(1)
+	c.reg.Histogram("solver.solve_ms", obs.LatencyBuckets).
+		Observe(float64(time.Since(start).Microseconds()) / 1000)
+	return st
+}
 
 // tseitin returns a literal equisatisfiably representing f, memoized
 // per formula node.
@@ -255,7 +319,7 @@ func (m *Model) Int(iv *IntVar) int {
 // Solve checks satisfiability of the hard constraints. It returns the
 // model if satisfiable, nil otherwise.
 func (c *Context) Solve() *Model {
-	if c.solver.Solve() != sat.Sat {
+	if c.solveTimed() != sat.Sat {
 		return nil
 	}
 	return &Model{ctx: c, assign: c.solver.Model()}
@@ -268,7 +332,7 @@ func (c *Context) SolveAssuming(assumptions ...*Formula) *Model {
 	for i, a := range assumptions {
 		lits[i] = c.mustLit(a)
 	}
-	if c.solver.Solve(lits...) != sat.Sat {
+	if c.solveTimed(lits...) != sat.Sat {
 		return nil
 	}
 	return &Model{ctx: c, assign: c.solver.Model()}
@@ -285,7 +349,7 @@ func (c *Context) UnsatCore(assumptions []*Formula) (core []int, sat_ bool) {
 		lits[i] = c.mustLit(a)
 		byLit[lits[i]] = i
 	}
-	if c.solver.Solve(lits...) == sat.Sat {
+	if c.solveTimed(lits...) == sat.Sat {
 		return nil, true
 	}
 	for _, l := range c.solver.Conflict() {

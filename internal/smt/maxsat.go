@@ -74,7 +74,7 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 	res := &MaxResult{}
 	if len(c.soft) == 0 {
 		res.Iterations++
-		if c.solver.Solve() != sat.Sat {
+		if c.solveTimed() != sat.Sat {
 			return res
 		}
 		res.Model = &Model{ctx: c, assign: c.solver.Model()}
@@ -84,7 +84,7 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 	outs := c.totalizer(relax)
 
 	res.Iterations++
-	if c.solver.Solve() != sat.Sat {
+	if c.solveTimed() != sat.Sat {
 		return res
 	}
 	best := c.solver.Model()
@@ -97,7 +97,7 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 			// Ask for cost <= mid: assume ¬outs[mid] (fewer than
 			// mid+1 relaxations true).
 			res.Iterations++
-			if mid < len(outs) && c.solver.Solve(outs[mid].Neg()) == sat.Sat {
+			if mid < len(outs) && c.solveTimed(outs[mid].Neg()) == sat.Sat {
 				best = c.solver.Model()
 				hi = c.costOf(best)
 			} else {
@@ -107,7 +107,7 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 	} else {
 		for bestCost > 0 {
 			res.Iterations++
-			if c.solver.Solve(outs[bestCost-1].Neg()) != sat.Sat {
+			if c.solveTimed(outs[bestCost-1].Neg()) != sat.Sat {
 				break
 			}
 			best = c.solver.Model()
@@ -172,7 +172,7 @@ func (c *Context) maximizeCoreGuided() *MaxResult {
 		// Deterministic order helps reproducibility.
 		sort.Slice(assumptions, func(i, j int) bool { return assumptions[i] < assumptions[j] })
 		res.Iterations++
-		if c.solver.Solve(assumptions...) == sat.Sat {
+		if c.solveTimed(assumptions...) == sat.Sat {
 			c.finishResult(res, c.solver.Model())
 			return res
 		}
@@ -180,7 +180,7 @@ func (c *Context) maximizeCoreGuided() *MaxResult {
 		if len(core) == 0 {
 			// Hard constraints alone are unsatisfiable.
 			res.Iterations++
-			if c.solver.Solve() != sat.Sat {
+			if c.solveTimed() != sat.Sat {
 				return res
 			}
 			c.finishResult(res, c.solver.Model())
@@ -204,7 +204,7 @@ func (c *Context) maximizeCoreGuided() *MaxResult {
 		if len(idxs) == 0 {
 			// Core only over hard implications: unsat overall.
 			res.Iterations++
-			if c.solver.Solve() != sat.Sat {
+			if c.solveTimed() != sat.Sat {
 				return res
 			}
 			c.finishResult(res, c.solver.Model())
