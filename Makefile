@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-quick
+.PHONY: check vet build test race bench bench-quick bench-incremental bench-incremental-quick
 
-check: vet build race
+check: vet build race bench-incremental-quick
 
 vet:
 	$(GO) vet ./...
@@ -18,8 +18,12 @@ build:
 test:
 	$(GO) test ./...
 
+# -short skips the multi-minute bench figure sweeps (see
+# internal/bench/bench_test.go skipIfShort): under the race detector
+# they exceed the test binary's default timeout. `make test` still
+# runs them race-free.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # Seed benchmarks (paper headline metrics); -benchmem surfaces the
 # nil-tracer 0 allocs/op guarantee in obs and sat.
@@ -28,3 +32,12 @@ bench:
 
 bench-quick:
 	$(GO) test -bench='NilTracer|SolveProgressOverhead' -benchmem ./internal/obs/ ./internal/sat/
+
+# Warm-vs-cold session benchmark (per-destination solve cache); writes
+# BENCH_incremental.json. The quick variant runs as part of `make
+# check` so the cache's speedup is exercised on every gate.
+bench-incremental:
+	$(GO) run ./cmd/aedbench -experiment incremental -scale full -out BENCH_incremental.json
+
+bench-incremental-quick:
+	$(GO) run ./cmd/aedbench -experiment incremental -scale quick -out BENCH_incremental.json

@@ -22,6 +22,7 @@
 package aed
 
 import (
+	"context"
 	"io"
 
 	"github.com/aed-net/aed/internal/config"
@@ -84,28 +85,48 @@ const (
 
 // Synthesize computes configuration updates for net on topo that
 // satisfy ps and maximally satisfy the objectives in opts.
+//
+// Deprecated: use SynthesizeContext, which supports deadlines and
+// cancellation. Synthesize is equivalent to SynthesizeContext with
+// context.Background().
 func Synthesize(net *Network, topo *Topology, ps []Policy, opts Options) (*Result, error) {
-	if opts.Strategy == 0 && opts.Encode == (encode.Options{}) && !opts.Validate {
-		// Zero-value Options: fill in the paper's defaults while
-		// keeping any objectives the caller set.
-		def := core.DefaultOptions()
-		def.Objectives = opts.Objectives
-		def.MinimizeLines = opts.MinimizeLines
-		def.Monolithic = opts.Monolithic
-		if len(def.Objectives) == 0 {
-			// An incremental synthesizer without objectives should
-			// still prefer staying close to the input.
-			def.MinimizeLines = true
-		}
-		opts = def
-	}
 	return core.Synthesize(net, topo, ps, opts)
+}
+
+// SynthesizeContext is Synthesize with cancellation: once ctx is
+// canceled (or its deadline passes) every in-flight CDCL search stops
+// at its next conflict and the call returns ctx.Err().
+func SynthesizeContext(ctx context.Context, net *Network, topo *Topology, ps []Policy, opts Options) (*Result, error) {
+	return core.SynthesizeContext(ctx, net, topo, ps, opts)
 }
 
 // DefaultOptions returns the paper's fully optimized configuration
 // (per-destination parallel solving, pruning, boolean rank metrics,
-// simulator validation).
+// simulator validation). Since the Options redesign the zero value IS
+// the paper default, so this is a documented alias for Options{}.
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Session is an incremental synthesis engine: it holds the parsed
+// network and topology and, across successive Solve calls, re-solves
+// only the destinations whose policies, relevant configuration
+// subtree, or objectives changed, reusing cached results for the rest.
+// Use it for the operator loop the paper targets — edit, re-run,
+// repeat — where most of the network is unchanged between runs.
+//
+//	sess := aed.NewSession(net, topo, aed.Options{Objectives: objs})
+//	res, err := sess.Solve(ctx, ps)        // cold: solves everything
+//	res, err = sess.Solve(ctx, editedPs)   // warm: only dirty destinations
+type Session = core.Engine
+
+// NewSession starts an incremental synthesis session; opts apply to
+// every subsequent Solve call.
+func NewSession(net *Network, topo *Topology, opts Options) *Session {
+	return core.NewEngine(net, topo, opts)
+}
+
+// UnsatError is the structured unsatisfiability report returned by
+// (*Result).Unsat, keyed by destination prefix.
+type UnsatError = core.UnsatError
 
 // ParseConfigs parses router configurations keyed by a label (e.g.
 // file name) and validates cross-references.

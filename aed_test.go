@@ -1,8 +1,11 @@
 package aed
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 // lab builds a three-router line network through the public API.
@@ -84,12 +87,75 @@ func TestPublicAPISynthesize(t *testing.T) {
 func TestPublicAPIZeroOptions(t *testing.T) {
 	net, topo := lab(t)
 	ps, _ := ParsePolicies("reach 10.0.0.0/24 -> 10.1.0.0/24\n")
-	res, err := Synthesize(net, topo, ps, Options{})
+	// The zero value is the paper default; with the min-lines objective
+	// a satisfied policy is a no-op. (The library no longer injects
+	// MinimizeLines implicitly when no objectives are set.)
+	res, err := Synthesize(net, topo, ps, Options{MinimizeLines: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Sat || res.Diff.LinesChanged() != 0 {
-		t.Error("zero-options synthesis on a satisfied policy should be a no-op")
+		t.Error("min-lines synthesis on a satisfied policy should be a no-op")
+	}
+	if res.Unsat() != nil {
+		t.Errorf("Unsat() should be nil on success, got %v", res.Unsat())
+	}
+}
+
+// TestZeroOptionsIsDefault pins the Options redesign contract: the
+// zero value IS the paper default, field by field.
+func TestZeroOptionsIsDefault(t *testing.T) {
+	def := reflect.ValueOf(DefaultOptions())
+	zero := reflect.ValueOf(Options{})
+	typ := def.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		t.Run(name, func(t *testing.T) {
+			d, z := def.Field(i), zero.Field(i)
+			if !reflect.DeepEqual(d.Interface(), z.Interface()) {
+				t.Errorf("DefaultOptions().%s = %v, zero value = %v — the zero value must be the default",
+					name, d.Interface(), z.Interface())
+			}
+			if !d.IsZero() {
+				t.Errorf("DefaultOptions().%s = %v is not the zero value of its type",
+					name, d.Interface())
+			}
+		})
+	}
+	if !reflect.DeepEqual(DefaultOptions(), Options{}) {
+		t.Error("DefaultOptions() != Options{}")
+	}
+	if s := LinearDescent; int(s) != 0 {
+		t.Error("LinearDescent must be the zero Strategy")
+	}
+}
+
+func TestPublicAPISession(t *testing.T) {
+	net, topo := lab(t)
+	ps, _ := ParsePolicies("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	sess := NewSession(net, topo, Options{MinimizeLines: true})
+	res, err := sess.Solve(context.Background(), ps)
+	if err != nil || !res.Sat {
+		t.Fatalf("session solve: err=%v", err)
+	}
+	warm, err := sess.Solve(context.Background(), ps)
+	if err != nil || !warm.Sat {
+		t.Fatalf("warm session solve: err=%v", err)
+	}
+	for _, in := range warm.Instances {
+		if !in.Cached {
+			t.Errorf("identical warm solve re-solved %s", in.Destination)
+		}
+	}
+}
+
+func TestPublicAPISynthesizeContext(t *testing.T) {
+	net, topo := lab(t)
+	ps, _ := ParsePolicies("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if _, err := SynthesizeContext(ctx, net, topo, ps, Options{}); err == nil {
+		t.Fatal("expired context must abort synthesis")
 	}
 }
 

@@ -5,13 +5,22 @@
 //
 //	aed -configs DIR -topo FILE -policies FILE [-objectives FILE]
 //	    [-objective NAME] [-min-lines] [-monolithic] [-out DIR]
-//	    [-stats] [-trace FILE]
+//	    [-stats] [-trace FILE] [-timeout D] [-watch D]
 //
 // Telemetry: -stats prints a per-destination solver table (decisions,
 // conflicts, restarts, iterations, time) plus the network-wide totals,
 // and -trace FILE writes the full span tree (parse → encode → solve →
 // extract → validate) and metrics registry as JSONL events (see
 // docs/OBSERVABILITY.md for the taxonomy and format).
+//
+// -timeout bounds the solve: when it expires, every in-flight CDCL
+// search stops at its next conflict and aed exits with an error.
+//
+// -watch D runs the incremental session loop: aed keeps an aed.Session
+// alive, polls the input files every D, and re-solves whenever the
+// configs, topology, or policies change — re-solving only the
+// destinations whose inputs actually changed (cache hits are reported
+// per run). Interrupt (Ctrl-C) to exit.
 //
 // The configs directory holds one file per router in the dialect of
 // the config package. The topology file uses a simple line format:
@@ -26,10 +35,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"time"
 
 	"github.com/aed-net/aed/internal/config"
 	"github.com/aed-net/aed/internal/core"
@@ -58,6 +71,8 @@ func main() {
 		explain   = flag.Bool("explain", false, "on unsat, name a minimal conflicting policy subset")
 		stats     = flag.Bool("stats", false, "print per-destination solver statistics and network-wide totals")
 		traceFile = flag.String("trace", "", "write a JSONL telemetry trace (spans + metrics) to FILE")
+		timeout   = flag.Duration("timeout", 0, "abort synthesis after this long (0 = no limit)")
+		watch     = flag.Duration("watch", 0, "poll the input files at this interval and re-solve incrementally on change (0 = solve once)")
 	)
 	flag.Parse()
 	if *configDir == "" || *topoFile == "" || *policyFile == "" {
@@ -87,30 +102,11 @@ func main() {
 	check(err)
 	topo, err := loadTopology(*topoFile)
 	check(err)
-	psText, err := os.ReadFile(*policyFile)
-	check(err)
-	ps, err := policy.Parse(string(psText))
+	ps, err := loadPolicies(*policyFile, net, topo, *keepReach)
 	check(err)
 	psp.SetInt("routers", int64(len(net.Routers)))
 	psp.SetInt("policies", int64(len(ps)))
 	psp.End()
-
-	if *keepReach {
-		blocked := make(map[string]bool)
-		for _, p := range ps {
-			if p.Kind == policy.Blocking || p.Kind == policy.Isolation {
-				blocked[p.Src.String()+">"+p.Dst.String()] = true
-				if p.Kind == policy.Isolation {
-					blocked[p.Dst.String()+">"+p.Src.String()] = true
-				}
-			}
-		}
-		for _, p := range simulate.New(net, topo).InferReachability() {
-			if !blocked[p.Src.String()+">"+p.Dst.String()] {
-				ps = append(ps, p)
-			}
-		}
-	}
 
 	opts := core.DefaultOptions()
 	opts.MinimizeLines = *minLines
@@ -133,42 +129,40 @@ func main() {
 	if len(opts.Objectives) == 0 && !opts.MinimizeLines {
 		opts.MinimizeLines = true
 	}
-
 	opts.Tracer = tracer
-	res, err := core.Synthesize(net, topo, ps, opts)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *watch > 0 {
+		watchLoop(ctx, watchConfig{
+			configDir: *configDir, topoFile: *topoFile, policyFile: *policyFile,
+			keepReach: *keepReach, interval: *watch, timeout: *timeout,
+			outDir: *outDir, stats: *stats,
+		}, net, topo, ps, opts)
+		writeTrace()
+		return
+	}
+
+	solveCtx, cancel := withTimeout(ctx, *timeout)
+	res, err := core.SynthesizeContext(solveCtx, net, topo, ps, opts)
+	cancel()
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeTrace()
+		fmt.Fprintf(os.Stderr, "aed: synthesis exceeded -timeout %v\n", *timeout)
+		os.Exit(1)
+	}
 	check(err)
 	if *stats {
 		printStats(res)
 	}
 	writeTrace()
-	if !res.Sat {
-		fmt.Fprintf(os.Stderr, "aed: unsatisfiable for destinations: %v\n", res.UnsatDestinations)
-		fmt.Fprintln(os.Stderr, "aed: the requested policies conflict or are unimplementable on this network")
-		for dest, conflict := range res.Conflicts {
-			fmt.Fprintf(os.Stderr, "aed: minimal conflict for %s:\n", dest)
-			for _, p := range conflict {
-				fmt.Fprintf(os.Stderr, "  %s\n", p)
-			}
-		}
+	if u := res.Unsat(); u != nil {
+		printUnsat(u)
 		os.Exit(1)
 	}
-
-	core.SortEdits(res.Edits)
-	fmt.Printf("synthesis complete in %v (%d instances, solver time %v)\n",
-		res.Duration.Round(1e6), len(res.Instances), res.SolveTime.Round(1e6))
-	fmt.Printf("devices changed: %d   lines changed: %d (+%d -%d)\n",
-		res.Diff.DevicesChanged, res.Diff.LinesChanged(), res.Diff.LinesAdded, res.Diff.LinesRemoved)
-	if res.ObjectiveViolations > 0 {
-		fmt.Printf("objective violations (weight): %d\n", res.ObjectiveViolations)
-	}
-	for _, e := range res.Edits {
-		fmt.Printf("  %s\n", e)
-	}
+	report(res)
 	if len(res.Violations) != 0 {
-		fmt.Fprintln(os.Stderr, "aed: WARNING: simulator found residual violations:")
-		for _, v := range res.Violations {
-			fmt.Fprintf(os.Stderr, "  %v\n", v)
-		}
 		os.Exit(1)
 	}
 	if *plan && len(res.Edits) > 0 {
@@ -181,10 +175,7 @@ func main() {
 	}
 	printed := config.PrintNetwork(res.Updated)
 	if *outDir != "" {
-		check(os.MkdirAll(*outDir, 0o755))
-		for name, text := range printed {
-			check(os.WriteFile(filepath.Join(*outDir, name+".cfg"), []byte(text), 0o644))
-		}
+		check(writeConfigs(*outDir, printed))
 		fmt.Printf("updated configurations written to %s\n", *outDir)
 		return
 	}
@@ -193,22 +184,230 @@ func main() {
 	}
 }
 
+// withTimeout wraps ctx with a deadline when d > 0.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// report prints the change summary shared by one-shot and watch modes.
+func report(res *core.Result) {
+	cached := 0
+	for _, in := range res.Instances {
+		if in.Cached {
+			cached++
+		}
+	}
+	fmt.Printf("synthesis complete in %v (%d instances, %d cached, solver time %v)\n",
+		res.Duration.Round(1e6), len(res.Instances), cached, res.SolveTime.Round(1e6))
+	fmt.Printf("devices changed: %d   lines changed: %d (+%d -%d)\n",
+		res.Diff.DevicesChanged, res.Diff.LinesChanged(), res.Diff.LinesAdded, res.Diff.LinesRemoved)
+	if res.ObjectiveViolations > 0 {
+		fmt.Printf("objective violations (weight): %d\n", res.ObjectiveViolations)
+	}
+	core.SortEdits(res.Edits)
+	for _, e := range res.Edits {
+		fmt.Printf("  %s\n", e)
+	}
+	if len(res.Violations) != 0 {
+		fmt.Fprintln(os.Stderr, "aed: WARNING: simulator found residual violations:")
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "  %v\n", v)
+		}
+	}
+}
+
+// printUnsat renders the structured unsatisfiability report.
+func printUnsat(u *core.UnsatError) {
+	fmt.Fprintf(os.Stderr, "aed: unsatisfiable for destinations: %v\n", u.Destinations)
+	fmt.Fprintln(os.Stderr, "aed: the requested policies conflict or are unimplementable on this network")
+	for _, dest := range u.Destinations {
+		if conflict := u.Conflicts[dest]; len(conflict) > 0 {
+			fmt.Fprintf(os.Stderr, "aed: minimal conflict for %s:\n", dest)
+			for _, p := range conflict {
+				fmt.Fprintf(os.Stderr, "  %s\n", p)
+			}
+		}
+	}
+}
+
+type watchConfig struct {
+	configDir, topoFile, policyFile string
+	keepReach                       bool
+	interval, timeout               time.Duration
+	outDir                          string
+	stats                           bool
+}
+
+// watchLoop is the operator loop the session engine targets: solve,
+// wait for an input file to change, re-solve incrementally, repeat
+// until interrupted.
+func watchLoop(ctx context.Context, wc watchConfig, net *config.Network,
+	topo *topology.Topology, ps []policy.Policy, opts core.Options) {
+
+	eng := core.NewEngine(net, topo, opts)
+	stamp := inputStamp(wc)
+	for run := 1; ; run++ {
+		solveCtx, cancel := withTimeout(ctx, wc.timeout)
+		res, err := eng.Solve(solveCtx, ps)
+		cancel()
+		switch {
+		case errors.Is(err, context.Canceled):
+			return
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "aed: run %d exceeded -timeout %v\n", run, wc.timeout)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "aed: run %d: %v\n", run, err)
+		default:
+			fmt.Printf("--- run %d ---\n", run)
+			if wc.stats {
+				printStats(res)
+			}
+			if u := res.Unsat(); u != nil {
+				printUnsat(u)
+			} else {
+				report(res)
+				if wc.outDir != "" {
+					if werr := writeConfigs(wc.outDir, config.PrintNetwork(res.Updated)); werr != nil {
+						fmt.Fprintf(os.Stderr, "aed: %v\n", werr)
+					}
+				}
+			}
+		}
+
+		// Poll the inputs until something changes or we are interrupted.
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wc.interval):
+			}
+			next := inputStamp(wc)
+			if next != stamp {
+				stamp = next
+				break
+			}
+		}
+
+		// Reload everything that may have changed. A topology change
+		// invalidates the session wholesale; config and policy changes
+		// are handled incrementally by the fingerprints.
+		newNet, err := loadConfigs(wc.configDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aed: reload: %v\n", err)
+			continue
+		}
+		newTopo, err := loadTopology(wc.topoFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aed: reload: %v\n", err)
+			continue
+		}
+		newPs, err := loadPolicies(wc.policyFile, newNet, newTopo, wc.keepReach)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aed: reload: %v\n", err)
+			continue
+		}
+		if topologyChanged(topo, newTopo) {
+			topo = newTopo
+			eng = core.NewEngine(newNet, newTopo, opts)
+		} else {
+			eng.SetNetwork(newNet)
+		}
+		ps = newPs
+	}
+}
+
+// inputStamp summarizes the modification times and sizes of every
+// input file; a stamp change triggers a reload.
+func inputStamp(wc watchConfig) string {
+	s := ""
+	add := func(path string) {
+		if fi, err := os.Stat(path); err == nil {
+			s += fmt.Sprintf("%s:%d:%d;", path, fi.ModTime().UnixNano(), fi.Size())
+		} else {
+			s += path + ":gone;"
+		}
+	}
+	if entries, err := os.ReadDir(wc.configDir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() {
+				add(filepath.Join(wc.configDir, e.Name()))
+			}
+		}
+	}
+	add(wc.topoFile)
+	add(wc.policyFile)
+	return s
+}
+
+// topologyChanged reports whether the reloaded topology differs from
+// the session's.
+func topologyChanged(a, b *topology.Topology) bool {
+	return fmt.Sprintf("%v|%v|%v|%v", a.Routers, a.Links(), a.Subnets, a.Role) !=
+		fmt.Sprintf("%v|%v|%v|%v", b.Routers, b.Links(), b.Subnets, b.Role)
+}
+
+func writeConfigs(dir string, printed map[string]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, text := range printed {
+		if err := os.WriteFile(filepath.Join(dir, name+".cfg"), []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadPolicies parses the policy file and, with keepReach, extends it
+// with the currently-holding reachability policies that the new
+// policies do not contradict.
+func loadPolicies(path string, net *config.Network, topo *topology.Topology, keepReach bool) ([]policy.Policy, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := policy.Parse(string(text))
+	if err != nil {
+		return nil, err
+	}
+	if keepReach {
+		blocked := make(map[string]bool)
+		for _, p := range ps {
+			if p.Kind == policy.Blocking || p.Kind == policy.Isolation {
+				blocked[p.Src.String()+">"+p.Dst.String()] = true
+				if p.Kind == policy.Isolation {
+					blocked[p.Dst.String()+">"+p.Src.String()] = true
+				}
+			}
+		}
+		for _, p := range simulate.New(net, topo).InferReachability() {
+			if !blocked[p.Src.String()+">"+p.Dst.String()] {
+				ps = append(ps, p)
+			}
+		}
+	}
+	return ps, nil
+}
+
 // printStats renders the per-destination solver table followed by the
 // network-wide totals (the field-wise sum across instances).
 func printStats(res *core.Result) {
-	fmt.Printf("%-20s %-5s %8s %8s %6s %10s %10s %9s %8s %12s\n",
+	fmt.Printf("%-20s %-5s %8s %8s %6s %10s %10s %9s %8s %12s %6s\n",
 		"destination", "sat", "policies", "vars", "iters",
-		"decisions", "conflicts", "restarts", "learned", "time")
+		"decisions", "conflicts", "restarts", "learned", "time", "cached")
 	var iters, policies int
 	for _, is := range res.Instances {
 		dest := is.Destination.String()
 		if is.Destination.Len == 0 {
 			dest = "(joint)"
 		}
-		fmt.Printf("%-20s %-5v %8d %8d %6d %10d %10d %9d %8d %12v\n",
+		fmt.Printf("%-20s %-5v %8d %8d %6d %10d %10d %9d %8d %12v %6v\n",
 			dest, is.Sat, is.Policies, is.NumVars, is.Iterations,
 			is.Solver.Decisions, is.Solver.Conflicts, is.Solver.Restarts,
-			is.Solver.Learned, is.Duration.Round(1000))
+			is.Solver.Learned, is.Duration.Round(1000), is.Cached)
 		iters += is.Iterations
 		policies += is.Policies
 	}

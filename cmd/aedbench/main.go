@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|all
-//	         [-scale quick|full] [-metrics-out FILE]
+//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|all
+//	         [-scale quick|full] [-metrics-out FILE] [-out FILE]
+//
+// The incremental experiment measures the session engine's warm-vs-
+// cold solve latency (per-destination cache); -out writes its JSON
+// artifact (BENCH_incremental.json).
 //
 // Each experiment prints the rows/series the corresponding paper
 // figure reports; EXPERIMENTS.md records the expected shapes.
@@ -34,6 +38,7 @@ func main() {
 		experiment = flag.String("experiment", "all", "which figure to regenerate")
 		scaleFlag  = flag.String("scale", "quick", "quick or full")
 		metricsOut = flag.String("metrics-out", "", "write a JSONL metrics artifact (spans + solver metrics) to FILE")
+		benchOut   = flag.String("out", "", "write the incremental experiment's JSON artifact to FILE (BENCH_incremental.json)")
 	)
 	flag.Parse()
 
@@ -83,8 +88,18 @@ func main() {
 		"boolopt":    func() { bench.BoolRank(os.Stdout, scale) },
 		"pruning":    func() { bench.Pruning(os.Stdout, scale) },
 		"strategies": func() { bench.MaxSATStrategies(os.Stdout, scale) },
+		"incremental": func() {
+			res := bench.Incremental(os.Stdout, scale)
+			if *benchOut != "" {
+				if err := bench.WriteIncrementalJSON(*benchOut, res); err != nil {
+					fmt.Fprintln(os.Stderr, "aedbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
+			}
+		},
 	}
-	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies"}
+	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental"}
 
 	runOne := func(name string, run func()) {
 		sp := tracer.Start("experiment")

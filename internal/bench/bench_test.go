@@ -12,6 +12,18 @@ func newSim(zw ZooNetwork) *simulate.Simulator {
 	return simulate.New(zw.Net, zw.Topo)
 }
 
+// skipIfShort gates the full-synthesis paper-figure sweeps: they take
+// minutes even at Quick scale, which under the race detector blows the
+// test binary's default timeout. `make race` (and therefore `make
+// check`) runs with -short; the plain `make test` tier still runs
+// everything.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-synthesis sweep skipped in -short mode")
+	}
+}
+
 func TestFig3Renders(t *testing.T) {
 	var buf bytes.Buffer
 	Fig3(&buf)
@@ -78,6 +90,7 @@ func TestBlockingWorkload(t *testing.T) {
 }
 
 func TestFig9Quick(t *testing.T) {
+	skipIfShort(t)
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -103,6 +116,7 @@ func TestFig9Quick(t *testing.T) {
 }
 
 func TestFig10Quick(t *testing.T) {
+	skipIfShort(t)
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -128,6 +142,7 @@ func TestFig10Quick(t *testing.T) {
 }
 
 func TestFig14Quick(t *testing.T) {
+	skipIfShort(t)
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -147,6 +162,7 @@ func TestFig14Quick(t *testing.T) {
 }
 
 func TestBoolRankQuick(t *testing.T) {
+	skipIfShort(t)
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -163,6 +179,7 @@ func TestBoolRankQuick(t *testing.T) {
 }
 
 func TestPruningQuick(t *testing.T) {
+	skipIfShort(t)
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -174,6 +191,7 @@ func TestPruningQuick(t *testing.T) {
 }
 
 func TestMaxSATStrategiesAgree(t *testing.T) {
+	skipIfShort(t)
 	if testing.Short() {
 		t.Skip("short mode")
 	}
@@ -189,5 +207,23 @@ func TestMaxSATStrategiesAgree(t *testing.T) {
 			t.Errorf("strategy %s optimum weight %d, %s found %d",
 				r.Strategy, r.ViolatedWeight, rows[0].Strategy, rows[0].ViolatedWeight)
 		}
+	}
+}
+
+func TestIncrementalQuick(t *testing.T) {
+	var buf bytes.Buffer
+	res := Incremental(&buf, Quick)
+	if res.Destinations != res.Leaves {
+		t.Errorf("destinations = %d, want one per leaf (%d)", res.Destinations, res.Leaves)
+	}
+	if res.WarmMisses != 1 || res.WarmHits != res.Destinations-1 {
+		t.Errorf("warm solve hit/miss = %d/%d, want %d/1 after a one-destination edit",
+			res.WarmHits, res.WarmMisses, res.Destinations-1)
+	}
+	// The warm path skips N-1 of N instances; assert a lenient bound so
+	// loaded CI machines do not flake (the artifact records the real
+	// speedup, which the acceptance run checks at >=3x).
+	if res.WarmMS >= res.ColdMS {
+		t.Errorf("warm solve (%.1fms) not faster than cold (%.1fms)", res.WarmMS, res.ColdMS)
 	}
 }

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// IncrementalResult is the warm-vs-cold session benchmark artifact
+// (BENCH_incremental.json): a cold Engine.Solve over every destination,
+// a warm re-solve after editing one destination's policy, and a no-op
+// re-solve with nothing changed.
+type IncrementalResult struct {
+	Leaves       int     `json:"leaves"`
+	Spines       int     `json:"spines"`
+	Destinations int     `json:"destinations"`
+	ColdMS       float64 `json:"cold_ms"`
+	WarmMS       float64 `json:"warm_ms"`
+	NoopMS       float64 `json:"noop_ms"`
+	Speedup      float64 `json:"speedup"` // cold_ms / warm_ms
+	WarmHits     int     `json:"warm_hits"`
+	WarmMisses   int     `json:"warm_misses"`
+}
+
+// Incremental measures the session engine's per-destination solve
+// cache on a leaf-spine fabric with one blocking policy per leaf
+// subnet. The solves run sequentially so that the speedup reflects
+// work skipped, not core count; validation is skipped because the
+// simulator re-checks every policy regardless of cache state and
+// would otherwise put a fixed floor under the warm time.
+func Incremental(w io.Writer, scale Scale) IncrementalResult {
+	leaves, spines := 6, 2
+	if scale == Full {
+		leaves, spines = 12, 3
+	}
+	topo := topology.LeafSpine(leaves, spines, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF, WithRoleFilters: true})
+
+	// One blocking policy per leaf subnet, src chosen cyclically.
+	var text string
+	for d := 0; d < leaves; d++ {
+		text += fmt.Sprintf("block 10.%d.0.0/24 -> 10.%d.0.0/24\n", (d+1)%leaves, d)
+	}
+	ps, err := policy.Parse(text)
+	if err != nil {
+		panic(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Sequential = true
+	opts.SkipValidation = true
+	opts.MinimizeLines = true
+	eng := core.NewEngine(net, topo, opts)
+	ctx := context.Background()
+
+	solve := func(ps []policy.Policy) (*core.Result, float64) {
+		start := time.Now()
+		res, err := eng.Solve(ctx, ps)
+		if err != nil {
+			panic(err)
+		}
+		return res, float64(time.Since(start).Microseconds()) / 1000
+	}
+
+	cold, coldMS := solve(ps)
+
+	// Edit one destination's policy group: destination 10.0.0.0/24 now
+	// also blocks a second source.
+	edited := append(append([]policy.Policy(nil), ps...), mustPolicy(
+		fmt.Sprintf("block 10.%d.0.0/24 -> 10.0.0.0/24", 2%leaves)))
+	warm, warmMS := solve(edited)
+
+	hits, misses := 0, 0
+	for _, in := range warm.Instances {
+		if in.Cached {
+			hits++
+		} else {
+			misses++
+		}
+	}
+
+	_, noopMS := solve(edited)
+
+	res := IncrementalResult{
+		Leaves: leaves, Spines: spines, Destinations: len(cold.Instances),
+		ColdMS: coldMS, WarmMS: warmMS, NoopMS: noopMS,
+		WarmHits: hits, WarmMisses: misses,
+	}
+	if warmMS > 0 {
+		res.Speedup = coldMS / warmMS
+	}
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %8s %6s %6s\n",
+		"fabric", "cold(ms)", "warm(ms)", "noop(ms)", "speedup", "hits", "miss")
+	fmt.Fprintf(w, "%-14s %10.1f %10.1f %10.1f %7.1fx %6d %6d\n",
+		fmt.Sprintf("%dx%d", leaves, spines), res.ColdMS, res.WarmMS, res.NoopMS,
+		res.Speedup, res.WarmHits, res.WarmMisses)
+	return res
+}
+
+// WriteIncrementalJSON writes the benchmark artifact consumed by
+// `make bench-incremental`.
+func WriteIncrementalJSON(path string, res IncrementalResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func mustPolicy(line string) policy.Policy {
+	ps, err := policy.Parse(line + "\n")
+	if err != nil || len(ps) != 1 {
+		panic(fmt.Sprintf("bad policy %q: %v", line, err))
+	}
+	return ps[0]
+}

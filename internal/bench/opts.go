@@ -137,7 +137,7 @@ func Pruning(w io.Writer, scale Scale) []PruningRow {
 
 		run := func(prune bool) (time.Duration, bool) {
 			opts := core.DefaultOptions()
-			opts.Encode.Prune = prune
+			opts.Encode.NoPrune = !prune
 			opts.Objectives = objs
 			res, err := core.Synthesize(net, dc.Topo, ps, opts)
 			if err != nil || !res.Sat || len(res.Violations) != 0 {

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/aed-net/aed/internal/policy"
+)
+
+func TestSynthesizeContextCanceled(t *testing.T) {
+	net, topo := leafSpineNet(t, 2, 1)
+	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SynthesizeContext(ctx, net, topo, ps, DefaultOptions()); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSynthesizeContextDeadline(t *testing.T) {
+	net, topo := leafSpineNet(t, 2, 1)
+	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	_, err := SynthesizeContext(ctx, net, topo, ps, DefaultOptions())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSynthesizeContextMonolithicCanceled(t *testing.T) {
+	net, topo := leafSpineNet(t, 2, 1)
+	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
+	opts := DefaultOptions()
+	opts.Monolithic = true
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SynthesizeContext(ctx, net, topo, ps, opts); err != context.Canceled {
+		t.Fatalf("monolithic err = %v, want context.Canceled", err)
+	}
+}

@@ -7,9 +7,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,29 +28,37 @@ import (
 	"github.com/aed-net/aed/internal/topology"
 )
 
-// Options configure a synthesis run.
+// Options configure a synthesis run. The zero value is the paper's
+// fully optimized configuration (per-destination parallel solving,
+// pruning, boolean rank metrics, linear-descent MaxSAT, simulator
+// validation): every field is phrased so that false/zero selects the
+// paper default, and DefaultOptions is a documented alias for
+// Options{}.
 type Options struct {
 	// Objectives are the management objectives to maximize.
 	Objectives []objective.Objective
 	// MinimizeLines adds a unit-weight penalty per delta variable —
 	// the exact min-lines objective (each changed line costs one).
 	MinimizeLines bool
-	// Parallel solves per-destination instances concurrently (§8).
-	// When false with Monolithic false, instances run sequentially
-	// (still split). Default true via DefaultOptions.
-	Parallel bool
+	// Sequential solves per-destination instances one at a time
+	// instead of concurrently. The default (false) is the paper's
+	// parallel per-destination solving (§8).
+	Sequential bool
 	// Monolithic disables per-destination splitting entirely and
 	// solves one joint MaxSMT problem (the Fig. 14 baseline).
 	Monolithic bool
 	// Workers bounds solver goroutines (0 = GOMAXPROCS).
 	Workers int
-	// Strategy selects the MaxSAT search algorithm.
+	// Strategy selects the MaxSAT search algorithm; the zero value is
+	// smt.LinearDescent, the paper's choice.
 	Strategy smt.Strategy
-	// Encode tunes the underlying encoding (pruning, integer widths).
+	// Encode tunes the underlying encoding (pruning, integer widths);
+	// its zero value is the paper default too.
 	Encode encode.Options
-	// Validate re-checks the result with the simulator and reports
-	// violations in Result.Violations. Default true.
-	Validate bool
+	// SkipValidation skips the simulator re-check of the result. The
+	// default (false) validates and reports residual violations in
+	// Result.Violations.
+	SkipValidation bool
 	// Explain computes, for each unsatisfiable destination, a minimal
 	// conflicting policy subset (Result.Conflicts). Costs extra solver
 	// calls; off by default.
@@ -79,27 +89,57 @@ func (o Options) tracer() *obs.Tracer {
 }
 
 // DefaultOptions returns the paper's fully optimized configuration.
-func DefaultOptions() Options {
-	return Options{
-		Parallel: true,
-		Strategy: smt.LinearDescent,
-		Encode:   encode.DefaultOptions(),
-		Validate: true,
+// Since the Options redesign this is a documented alias for the zero
+// value: DefaultOptions() == Options{}.
+func DefaultOptions() Options { return Options{} }
+
+// UnsatError reports that one or more per-destination instances were
+// unsatisfiable: the requested policies conflict or are
+// unimplementable on the network. It is exposed through
+// (*Result).Unsat.
+type UnsatError struct {
+	// Destinations lists the unsatisfiable destination prefixes in
+	// sorted order.
+	Destinations []prefix.Prefix
+	// Conflicts holds, per unsatisfiable destination, a minimal
+	// mutually-unimplementable policy subset. Populated only when
+	// Options.Explain is set.
+	Conflicts map[prefix.Prefix][]policy.Policy
+}
+
+func (e *UnsatError) Error() string {
+	var b strings.Builder
+	b.WriteString("synthesis unsatisfiable for destinations:")
+	for _, d := range e.Destinations {
+		b.WriteByte(' ')
+		b.WriteString(d.String())
 	}
+	return b.String()
 }
 
 // Result is the outcome of a synthesis run.
 type Result struct {
-	// Updated is the synthesized network (nil when Sat is false).
+	// Updated is the synthesized network (nil when Unsat() is non-nil).
 	Updated *config.Network
 	// Sat reports whether every instance was satisfiable.
+	//
+	// Deprecated: use Unsat, which also carries the conflicting
+	// destinations keyed by prefix. Sat remains populated for one
+	// release.
 	Sat bool
 	// UnsatDestinations lists destinations whose instances were
 	// unsatisfiable (conflicting or unimplementable policies).
+	//
+	// Deprecated: use Unsat().Destinations. Remains populated for one
+	// release.
 	UnsatDestinations []prefix.Prefix
 	// Conflicts explains unsatisfiable destinations: for each, a
 	// minimal mutually-unimplementable policy subset (computed when
 	// Options.Explain is set).
+	//
+	// Deprecated: use Unsat().Conflicts, which is keyed by
+	// prefix.Prefix instead of the prefix's string form. Remains
+	// populated for one release.
 	Conflicts map[string][]policy.Policy
 	// Edits are the merged configuration changes.
 	Edits []encode.Edit
@@ -119,8 +159,40 @@ type Result struct {
 	// Instances describes each per-destination problem.
 	Instances []InstanceStats
 	// Solver is the network-wide total of the per-instance SAT-solver
-	// counters: the field-wise sum over Instances[i].Solver.
+	// counters: the field-wise sum over Instances[i].Solver. Session
+	// solves sum only freshly solved instances (cached ones cost no
+	// solver work in the current call).
 	Solver sat.Stats
+
+	// unsat is the structured unsatisfiability report; nil when every
+	// instance was satisfiable.
+	unsat *UnsatError
+}
+
+// Unsat returns the structured unsatisfiability report, or nil when
+// every instance was satisfiable. This replaces reading the deprecated
+// Sat/UnsatDestinations/Conflicts fields.
+func (r *Result) Unsat() *UnsatError { return r.unsat }
+
+// setUnsat records one unsatisfiable destination (keeping the
+// deprecated fields in sync) with its optional minimal conflict.
+func (r *Result) setUnsat(d prefix.Prefix, conflict []policy.Policy) {
+	r.Sat = false
+	if r.unsat == nil {
+		r.unsat = &UnsatError{}
+	}
+	r.unsat.Destinations = append(r.unsat.Destinations, d)
+	r.UnsatDestinations = append(r.UnsatDestinations, d)
+	if len(conflict) > 0 {
+		if r.unsat.Conflicts == nil {
+			r.unsat.Conflicts = make(map[prefix.Prefix][]policy.Policy)
+		}
+		r.unsat.Conflicts[d] = conflict
+		if r.Conflicts == nil {
+			r.Conflicts = make(map[string][]policy.Policy)
+		}
+		r.Conflicts[d.String()] = conflict
+	}
 }
 
 // InstanceStats reports one per-destination instance.
@@ -132,6 +204,10 @@ type InstanceStats struct {
 	Iterations  int
 	Duration    time.Duration
 	Sat         bool
+	// Cached marks an instance whose result was reused from a session
+	// cache instead of being re-solved in this call; its Solver
+	// counters describe the original solve.
+	Cached bool
 	// Solver holds the instance's cumulative SAT-solver counters
 	// (decisions, conflicts, restarts, ...).
 	Solver sat.Stats
@@ -139,50 +215,42 @@ type InstanceStats struct {
 
 // Synthesize computes configuration updates for net on topo that
 // satisfy ps and maximally satisfy the objectives.
+//
+// Deprecated: use SynthesizeContext, which supports deadlines and
+// cancellation. Synthesize is equivalent to SynthesizeContext with
+// context.Background().
 func Synthesize(net *config.Network, topo *topology.Topology, ps []policy.Policy, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), net, topo, ps, opts)
+}
+
+// SynthesizeContext is Synthesize with cancellation: once ctx is
+// canceled every in-flight CDCL search stops at its next conflict and
+// the call returns ctx.Err().
+func SynthesizeContext(ctx context.Context, net *config.Network, topo *topology.Topology, ps []policy.Policy, opts Options) (*Result, error) {
 	start := time.Now()
 	tr := opts.tracer()
 	root := tr.Start("synthesize")
 	defer root.End()
 
 	gsp := root.Child("group")
-	ps = policy.SubdividePolicies(policy.Dedup(ps))
-	groups := policy.GroupByDestination(ps)
-	dests := make([]prefix.Prefix, 0, len(groups))
-	for d := range groups {
-		dests = append(dests, d)
-	}
-	prefix.Sort(dests)
+	ps, groups, dests := groupDests(ps)
 	gsp.SetInt("policies", int64(len(ps)))
 	gsp.SetInt("destinations", int64(len(dests)))
 	gsp.End()
 
 	res := &Result{Sat: true}
 	if opts.Monolithic {
-		if err := solveMonolithic(net, topo, groups, dests, opts, res, tr, root); err != nil {
+		if err := solveMonolithic(ctx, net, topo, groups, dests, opts, res, tr, root); err != nil {
 			return nil, err
 		}
-	} else if err := solveSplit(net, topo, groups, dests, opts, res, tr, root); err != nil {
+	} else if err := solveSplit(ctx, net, topo, groups, dests, opts, res, tr, root); err != nil {
 		return nil, err
 	}
 	for _, is := range res.Instances {
 		res.Solver = res.Solver.Add(is.Solver)
 	}
 
-	if res.Sat {
-		asp := root.Child("apply")
-		res.Updated = encode.Apply(net, res.Edits)
-		res.Diff = config.Diff(net, res.Updated)
-		asp.SetInt("edits", int64(len(res.Edits)))
-		asp.End()
-		if opts.Validate {
-			vsp := root.Child("validate")
-			sim := simulate.New(res.Updated, topo)
-			res.Violations = sim.CheckAll(ps)
-			vsp.SetInt("violations", int64(len(res.Violations)))
-			vsp.End()
-		}
-	}
+	applyAndValidate(net, topo, ps, opts, res, root)
 	res.Duration = time.Since(start)
 	root.SetBool("sat", res.Sat)
 	root.SetInt("decisions", res.Solver.Decisions)
@@ -193,6 +261,41 @@ func Synthesize(net *config.Network, topo *topology.Topology, ps []policy.Policy
 	return res, nil
 }
 
+// groupDests canonicalizes policies (dedup + isolation subdivision) and
+// groups them per destination prefix, returning the destinations in
+// sorted order. Shared by the one-shot and session paths.
+func groupDests(ps []policy.Policy) ([]policy.Policy, map[prefix.Prefix][]policy.Policy, []prefix.Prefix) {
+	ps = policy.SubdividePolicies(policy.Dedup(ps))
+	groups := policy.GroupByDestination(ps)
+	dests := make([]prefix.Prefix, 0, len(groups))
+	for d := range groups {
+		dests = append(dests, d)
+	}
+	prefix.Sort(dests)
+	return ps, groups, dests
+}
+
+// applyAndValidate materializes a satisfiable result: apply the merged
+// edits, diff against the input snapshot, and (unless skipped) re-check
+// the updated network with the concrete simulator.
+func applyAndValidate(net *config.Network, topo *topology.Topology, ps []policy.Policy, opts Options, res *Result, root *obs.Span) {
+	if !res.Sat {
+		return
+	}
+	asp := root.Child("apply")
+	res.Updated = encode.Apply(net, res.Edits)
+	res.Diff = config.Diff(net, res.Updated)
+	asp.SetInt("edits", int64(len(res.Edits)))
+	asp.End()
+	if !opts.SkipValidation {
+		vsp := root.Child("validate")
+		sim := simulate.New(res.Updated, topo)
+		res.Violations = sim.CheckAll(ps)
+		vsp.SetInt("violations", int64(len(res.Violations)))
+		vsp.End()
+	}
+}
+
 // instantiateObjectives builds the desugared instances against the
 // delta-augmented tree.
 func instantiateObjectives(net *config.Network, objs []objective.Objective, deltas []*encode.Delta) []objective.Instance {
@@ -201,7 +304,7 @@ func instantiateObjectives(net *config.Network, objs []objective.Objective, delt
 	return objective.InstantiateAll(objs, tree)
 }
 
-func solveMonolithic(net *config.Network, topo *topology.Topology,
+func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.Topology,
 	groups map[prefix.Prefix][]policy.Policy, dests []prefix.Prefix,
 	opts Options, res *Result, tr *obs.Tracer, root *obs.Span) error {
 
@@ -224,7 +327,10 @@ func solveMonolithic(net *config.Network, topo *topology.Topology,
 	esp.SetInt("vars", int64(j.Ctx.NumSATVars()))
 	esp.SetInt("deltas", int64(len(j.Deltas())))
 	esp.End()
-	r := j.Solve(opts.Strategy)
+	r := j.SolveContext(ctx, opts.Strategy)
+	if r.Err != nil {
+		return r.Err
+	}
 	res.SolveTime = r.Duration
 	res.Instances = append(res.Instances, InstanceStats{
 		Policies: total, NumVars: r.NumVars, NumDeltas: r.NumDeltas,
@@ -233,7 +339,9 @@ func solveMonolithic(net *config.Network, topo *topology.Topology,
 	})
 	if !r.Sat {
 		res.Sat = false
-		res.UnsatDestinations = dests
+		for _, d := range dests {
+			res.setUnsat(d, nil)
+		}
 		return nil
 	}
 	res.Edits = r.Edits
@@ -241,7 +349,72 @@ func solveMonolithic(net *config.Network, topo *topology.Topology,
 	return nil
 }
 
-func solveSplit(net *config.Network, topo *topology.Topology,
+// solveInstance encodes and solves one destination group: the unit of
+// work shared by the one-shot split path and the session engine.
+func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topology,
+	d prefix.Prefix, group []policy.Policy, opts Options,
+	tr *obs.Tracer, root *obs.Span) (*encode.Result, error) {
+
+	dsp := root.Child("destination")
+	dsp.SetStr("dest", d.String())
+	defer dsp.End()
+	e := encode.New(net, topo, d, opts.Encode)
+	e.Observe(dsp, tr.Metrics())
+	esp := dsp.Child("encode")
+	if err := e.EncodePolicies(group); err != nil {
+		esp.End()
+		return nil, err
+	}
+	e.AddObjectives(instantiateObjectives(net, opts.Objectives, e.Deltas()))
+	if opts.MinimizeLines {
+		e.PenalizeDeltas(1)
+	}
+	esp.SetInt("vars", int64(e.Ctx.NumSATVars()))
+	esp.SetInt("deltas", int64(len(e.Deltas())))
+	esp.End()
+	return e.SolveContext(ctx, opts.Strategy), nil
+}
+
+// runInstances executes n index-addressed solve tasks, concurrently
+// unless Sequential is set, bounded by Workers (0 = GOMAXPROCS).
+func runInstances(n int, opts Options, f func(i int)) {
+	if opts.Sequential || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// explainDest computes a minimal conflicting policy subset for an
+// unsatisfiable destination (Options.Explain).
+func explainDest(net *config.Network, topo *topology.Topology, d prefix.Prefix,
+	group []policy.Policy, opts Options) []policy.Policy {
+	explainer := encode.New(net, topo, d, opts.Encode)
+	conflict, err := explainer.ExplainConflict(group)
+	if err != nil {
+		return nil
+	}
+	return conflict
+}
+
+func solveSplit(ctx context.Context, net *config.Network, topo *topology.Topology,
 	groups map[prefix.Prefix][]policy.Policy, dests []prefix.Prefix,
 	opts Options, res *Result, tr *obs.Tracer, root *obs.Span) error {
 
@@ -252,50 +425,27 @@ func solveSplit(net *config.Network, topo *topology.Topology,
 	}
 	outcomes := make([]outcome, len(dests))
 
-	solveOne := func(i int) {
+	runInstances(len(dests), opts, func(i int) {
 		d := dests[i]
-		dsp := root.Child("destination")
-		dsp.SetStr("dest", d.String())
-		defer dsp.End()
-		e := encode.New(net, topo, d, opts.Encode)
-		e.Observe(dsp, tr.Metrics())
-		esp := dsp.Child("encode")
-		if err := e.EncodePolicies(groups[d]); err != nil {
-			esp.End()
+		if err := ctx.Err(); err != nil {
+			// Canceled before this instance started: skip the encoding
+			// work entirely.
 			outcomes[i] = outcome{dest: d, err: err}
 			return
 		}
-		e.AddObjectives(instantiateObjectives(net, opts.Objectives, e.Deltas()))
-		if opts.MinimizeLines {
-			e.PenalizeDeltas(1)
-		}
-		esp.SetInt("vars", int64(e.Ctx.NumSATVars()))
-		esp.SetInt("deltas", int64(len(e.Deltas())))
-		esp.End()
-		outcomes[i] = outcome{dest: d, result: e.Solve(opts.Strategy)}
-	}
+		r, err := solveInstance(ctx, net, topo, d, groups[d], opts, tr, root)
+		outcomes[i] = outcome{dest: d, result: r, err: err}
+	})
 
-	if opts.Parallel && len(dests) > 1 {
-		workers := opts.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
+	for _, o := range outcomes {
+		if o.err == nil && o.result != nil && o.result.Err != nil {
+			// An interrupted instance means the whole call was canceled;
+			// report the context's error, not a partial result.
+			return o.result.Err
 		}
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i := range dests {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				solveOne(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range dests {
-			solveOne(i)
-		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	var critical time.Duration
@@ -315,18 +465,11 @@ func solveSplit(net *config.Network, topo *topology.Topology,
 			critical = r.Duration
 		}
 		if !r.Sat {
-			res.Sat = false
-			res.UnsatDestinations = append(res.UnsatDestinations, o.dest)
+			var conflict []policy.Policy
 			if opts.Explain {
-				explainer := encode.New(net, topo, o.dest, opts.Encode)
-				conflict, err := explainer.ExplainConflict(groups[o.dest])
-				if err == nil && len(conflict) > 0 {
-					if res.Conflicts == nil {
-						res.Conflicts = make(map[string][]policy.Policy)
-					}
-					res.Conflicts[o.dest.String()] = conflict
-				}
+				conflict = explainDest(net, topo, o.dest, groups[o.dest], opts)
 			}
+			res.setUnsat(o.dest, conflict)
 			continue
 		}
 		res.Edits = append(res.Edits, r.Edits...)

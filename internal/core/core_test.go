@@ -65,7 +65,7 @@ func TestSynthesizeSequentialMatchesParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts.Parallel = false
+	opts.Sequential = true
 	res2, err := Synthesize(net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)

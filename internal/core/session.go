@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/encode"
+	"github.com/aed-net/aed/internal/obs"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Engine is an incremental synthesis session (exported as aed.Session):
+// it holds a parsed network and topology and, across successive Solve
+// calls, re-solves only the per-destination instances whose inputs
+// changed. Each destination unit — its policy group, the relevant
+// configuration subtree, the objectives, and the encoding options — is
+// fingerprinted (see cache.go); instances whose fingerprint is
+// unchanged reuse the cached encode.Result, so the operator loop of
+// §9 (edit a policy, re-run, repeat) pays only for what changed.
+//
+// Split-mode instances are independent by construction (deltas that
+// could affect other destinations' traffic are suppressed), which is
+// what makes merging cached and fresh edits sound.
+//
+// An Engine is safe for concurrent use; Solve calls are serialized.
+type Engine struct {
+	mu   sync.Mutex
+	net  *config.Network
+	topo *topology.Topology
+	opts Options
+
+	cache map[prefix.Prefix]*cacheEntry
+}
+
+// cacheEntry is one destination's cached solve.
+type cacheEntry struct {
+	fp       uint64
+	res      *encode.Result
+	conflict []policy.Policy // Explain output for a cached unsat entry
+}
+
+// NewEngine starts an incremental session over net and topo. The
+// options apply to every Solve call; the zero value is the paper
+// default, as with SynthesizeContext. Monolithic mode is not
+// destination-cacheable — a monolithic Engine solves from scratch each
+// call (every instance counts as a miss).
+func NewEngine(net *config.Network, topo *topology.Topology, opts Options) *Engine {
+	return &Engine{
+		net:   net,
+		topo:  topo,
+		opts:  opts,
+		cache: make(map[prefix.Prefix]*cacheEntry),
+	}
+}
+
+// Network returns the session's current configuration snapshot.
+func (s *Engine) Network() *config.Network {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net
+}
+
+// SetNetwork replaces the session's configuration snapshot — e.g. to
+// adopt a previous Result.Updated, or after the operator edited a
+// device. Cached results stay; the fingerprints decide per destination
+// whether the change made them stale.
+func (s *Engine) SetNetwork(net *config.Network) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.net = net
+}
+
+// Invalidate drops every cached per-destination result; the next Solve
+// runs fully cold.
+func (s *Engine) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = make(map[prefix.Prefix]*cacheEntry)
+}
+
+// Solve synthesizes updates for the session's network against ps,
+// reusing cached per-destination results where the fingerprint proves
+// the instance's inputs are unchanged. Cache activity is exported as
+// session.cache.hits / .misses / .invalidations counters, and per-call
+// latency lands in session.solve.warm_ms or .cold_ms depending on
+// whether any hit occurred.
+func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.opts.Monolithic {
+		return SynthesizeContext(ctx, s.net, s.topo, ps, s.opts)
+	}
+
+	start := time.Now()
+	tr := s.opts.tracer()
+	root := tr.Start("session.solve")
+	defer root.End()
+
+	gsp := root.Child("group")
+	ps, groups, dests := groupDests(ps)
+	gsp.SetInt("policies", int64(len(ps)))
+	gsp.SetInt("destinations", int64(len(dests)))
+	gsp.End()
+
+	// Fingerprint every destination unit and split clean from dirty.
+	fsp := root.Child("fingerprint")
+	shared := sharedFingerprint(s.net, s.topo, s.opts)
+	fps := make([]uint64, len(dests))
+	results := make([]*encode.Result, len(dests))
+	cached := make([]bool, len(dests))
+	conflicts := make([][]policy.Policy, len(dests))
+	var dirty []int
+	hits, invalidations := 0, 0
+	for i, d := range dests {
+		fps[i] = destFingerprint(shared, s.net, d, groups[d], s.opts)
+		if e, ok := s.cache[d]; ok {
+			if e.fp == fps[i] {
+				results[i] = e.res
+				conflicts[i] = e.conflict
+				cached[i] = true
+				hits++
+				continue
+			}
+			invalidations++
+		}
+		dirty = append(dirty, i)
+	}
+	fsp.SetInt("hits", int64(hits))
+	fsp.SetInt("misses", int64(len(dirty)))
+	fsp.End()
+
+	// Re-solve only the dirty destinations.
+	errs := make([]error, len(dests))
+	runInstances(len(dirty), s.opts, func(k int) {
+		i := dirty[k]
+		d := dests[i]
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		results[i], errs[i] = solveInstance(ctx, s.net, s.topo, d, groups[d], s.opts, tr, root)
+	})
+
+	for _, i := range dirty {
+		if errs[i] == nil && results[i] != nil && results[i].Err != nil {
+			return nil, results[i].Err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, i := range dirty {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("destination %s: %w", dests[i], errs[i])
+		}
+	}
+
+	// Merge cached and fresh results, updating the cache. SolveTime and
+	// Solver count only work done in this call: cached instances are
+	// free (their InstanceStats keep the original solve's counters,
+	// flagged Cached).
+	res := &Result{Sat: true}
+	for i, d := range dests {
+		r := results[i]
+		if !cached[i] {
+			if !r.Sat && s.opts.Explain {
+				conflicts[i] = explainDest(s.net, s.topo, d, groups[d], s.opts)
+			}
+			s.cache[d] = &cacheEntry{fp: fps[i], res: r, conflict: conflicts[i]}
+			res.SolveTime += r.Duration
+		}
+		res.Instances = append(res.Instances, InstanceStats{
+			Destination: d, Policies: len(groups[d]),
+			NumVars: r.NumVars, NumDeltas: r.NumDeltas,
+			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
+			Cached: cached[i], Solver: r.Stats,
+		})
+		if !cached[i] {
+			res.Solver = res.Solver.Add(r.Stats)
+		}
+		if !r.Sat {
+			res.setUnsat(d, conflicts[i])
+			continue
+		}
+		res.Edits = append(res.Edits, r.Edits...)
+		res.ObjectiveViolations += r.ViolatedWeight
+	}
+
+	applyAndValidate(s.net, s.topo, ps, s.opts, res, root)
+	res.Duration = time.Since(start)
+
+	root.SetBool("sat", res.Sat)
+	root.SetInt("cache_hits", int64(hits))
+	root.SetInt("cache_misses", int64(len(dirty)))
+	m := tr.Metrics()
+	m.Counter("session.cache.hits").Add(int64(hits))
+	m.Counter("session.cache.misses").Add(int64(len(dirty)))
+	m.Counter("session.cache.invalidations").Add(int64(invalidations))
+	ms := float64(res.Duration.Microseconds()) / 1000
+	m.Histogram("session.solve_ms", obs.LatencyBuckets).Observe(ms)
+	if hits > 0 {
+		m.Histogram("session.solve.warm_ms", obs.LatencyBuckets).Observe(ms)
+	} else {
+		m.Histogram("session.solve.cold_ms", obs.LatencyBuckets).Observe(ms)
+	}
+	return res, nil
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/obs"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+)
+
+// sessionFixture is a 3-leaf/2-spine fabric with one blocking policy
+// per leaf subnet, giving three independent destination instances.
+func sessionFixture(t *testing.T) (*Engine, []policy.Policy, *obs.Tracer) {
+	t.Helper()
+	net, topo := leafSpineNet(t, 3, 2)
+	ps, err := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
+block 10.1.0.0/24 -> 10.2.0.0/24
+block 10.2.0.0/24 -> 10.0.0.0/24
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	opts := DefaultOptions()
+	opts.Sequential = true
+	opts.MinimizeLines = true
+	opts.Tracer = tr
+	return NewEngine(net, topo, opts), ps, tr
+}
+
+func cacheCounters(tr *obs.Tracer) (hits, misses, invalidations int64) {
+	m := tr.Metrics()
+	return m.Counter("session.cache.hits").Value(),
+		m.Counter("session.cache.misses").Value(),
+		m.Counter("session.cache.invalidations").Value()
+}
+
+func freshInstances(res *Result) []prefix.Prefix {
+	var fresh []prefix.Prefix
+	for _, in := range res.Instances {
+		if !in.Cached {
+			fresh = append(fresh, in.Destination)
+		}
+	}
+	return fresh
+}
+
+func TestSessionWarmSolveAllHits(t *testing.T) {
+	eng, ps, tr := sessionFixture(t)
+	ctx := context.Background()
+
+	cold, err := eng.Solve(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Sat || len(cold.Violations) != 0 {
+		t.Fatalf("cold solve failed: sat=%v violations=%v", cold.Sat, cold.Violations)
+	}
+	hits, misses, inval := cacheCounters(tr)
+	if hits != 0 || misses != 3 || inval != 0 {
+		t.Fatalf("cold counters = %d/%d/%d, want 0 hits, 3 misses, 0 invalidations",
+			hits, misses, inval)
+	}
+	if n := len(freshInstances(cold)); n != 3 {
+		t.Fatalf("cold solve re-solved %d instances, want 3", n)
+	}
+
+	warm, err := eng.Solve(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, inval = cacheCounters(tr)
+	if hits != 3 || misses != 3 || inval != 0 {
+		t.Fatalf("warm counters = %d/%d/%d, want 3 hits, 3 misses, 0 invalidations",
+			hits, misses, inval)
+	}
+	if n := len(freshInstances(warm)); n != 0 {
+		t.Errorf("identical warm solve re-solved %d instances, want 0", n)
+	}
+	if !warm.Sat || len(warm.Violations) != 0 {
+		t.Errorf("warm solve diverged: sat=%v violations=%v", warm.Sat, warm.Violations)
+	}
+	if len(warm.Edits) != len(cold.Edits) {
+		t.Errorf("warm solve returned %d edits, cold %d", len(warm.Edits), len(cold.Edits))
+	}
+	if warm.Solver.Conflicts != 0 || warm.SolveTime != 0 {
+		t.Errorf("fully cached solve should report zero solver work, got %+v", warm.Solver)
+	}
+}
+
+func TestSessionPolicyEditResolvesOnlyThatDestination(t *testing.T) {
+	eng, ps, tr := sessionFixture(t)
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit the policy group for destination 10.2.0.0/24 only.
+	edited, err := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
+reach 10.1.0.0/24 -> 10.2.0.0/24
+block 10.2.0.0/24 -> 10.0.0.0/24
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Solve(ctx, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat || len(res.Violations) != 0 {
+		t.Fatalf("edited solve failed: sat=%v violations=%v", res.Sat, res.Violations)
+	}
+
+	hits, misses, inval := cacheCounters(tr)
+	// Second call: N-1 = 2 hits, exactly one miss and one invalidation
+	// on top of the 3 cold misses.
+	if hits != 2 || misses != 4 || inval != 1 {
+		t.Fatalf("counters after policy edit = %d/%d/%d, want 2 hits, 4 misses, 1 invalidation",
+			hits, misses, inval)
+	}
+	fresh := freshInstances(res)
+	if len(fresh) != 1 || !fresh[0].Equal(prefix.MustParse("10.2.0.0/24")) {
+		t.Errorf("re-solved destinations = %v, want exactly [10.2.0.0/24]", fresh)
+	}
+}
+
+func TestSessionConfigEditDirtiesOnlyRelevantDestinations(t *testing.T) {
+	eng, ps, tr := sessionFixture(t)
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append an unreachable packet-filter rule on spine0 whose Dst
+	// overlaps only 10.1.0.0/24. It sits after the template's terminal
+	// permit-any, so forwarding semantics are unchanged — but the rule
+	// is part of destination 10.1.0.0/24's relevant subtree (and, with
+	// pruning on, of no other destination's).
+	next := eng.Network().Clone()
+	pf := next.Routers["spine0"].PacketFilters[0]
+	pf.Rules = append(pf.Rules, &config.PacketRule{
+		Permit: true,
+		Src:    prefix.Prefix{},
+		Dst:    prefix.MustParse("10.1.0.0/24"),
+	})
+	eng.SetNetwork(next)
+
+	res, err := eng.Solve(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, inval := cacheCounters(tr)
+	if hits != 2 || misses != 4 || inval != 1 {
+		t.Fatalf("counters after config edit = %d/%d/%d, want 2 hits, 4 misses, 1 invalidation",
+			hits, misses, inval)
+	}
+	fresh := freshInstances(res)
+	if len(fresh) != 1 || !fresh[0].Equal(prefix.MustParse("10.1.0.0/24")) {
+		t.Errorf("re-solved destinations = %v, want exactly [10.1.0.0/24]", fresh)
+	}
+}
+
+func TestSessionInvalidateForcesColdSolve(t *testing.T) {
+	eng, ps, tr := sessionFixture(t)
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+	eng.Invalidate()
+	if _, err := eng.Solve(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := cacheCounters(tr)
+	if hits != 0 || misses != 6 {
+		t.Errorf("counters after Invalidate = %d hits / %d misses, want 0/6", hits, misses)
+	}
+}
+
+func TestSessionUnsatCachedConflict(t *testing.T) {
+	net, topo := leafSpineNet(t, 2, 1)
+	ps, _ := policy.Parse(`reach 10.0.0.0/24 -> 10.1.0.0/24
+block 10.0.0.0/24 -> 10.1.0.0/24
+`)
+	opts := DefaultOptions()
+	opts.Sequential = true
+	opts.Explain = true
+	eng := NewEngine(net, topo, opts)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		res, err := eng.Solve(ctx, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := res.Unsat()
+		if u == nil {
+			t.Fatalf("solve %d: contradictory policies must be unsat", i)
+		}
+		d := prefix.MustParse("10.1.0.0/24")
+		if len(u.Destinations) != 1 || !u.Destinations[0].Equal(d) {
+			t.Fatalf("solve %d: unsat destinations = %v", i, u.Destinations)
+		}
+		if len(u.Conflicts[d]) == 0 {
+			t.Errorf("solve %d: cached unsat entry lost its conflict explanation", i)
+		}
+	}
+}
+
+// TestSessionParallelConcurrentSolve exercises the cache with the
+// parallel per-destination pool and concurrent Solve callers; run
+// under -race this checks the engine's synchronization.
+func TestSessionParallelConcurrentSolve(t *testing.T) {
+	net, topo := leafSpineNet(t, 3, 2)
+	ps, _ := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
+block 10.1.0.0/24 -> 10.2.0.0/24
+block 10.2.0.0/24 -> 10.0.0.0/24
+`)
+	opts := DefaultOptions() // parallel instance solving is the default
+	opts.MinimizeLines = true
+	opts.Tracer = obs.NewTracer()
+	eng := NewEngine(net, topo, opts)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := eng.Solve(context.Background(), ps)
+			if err == nil && !res.Sat {
+				err = &UnsatError{Destinations: res.UnsatDestinations}
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent solve %d: %v", i, err)
+		}
+	}
+	m := opts.Tracer.Metrics()
+	total := m.Counter("session.cache.hits").Value() + m.Counter("session.cache.misses").Value()
+	if total != 12 {
+		t.Errorf("hits+misses = %d, want 12 (4 solves x 3 destinations)", total)
+	}
+	// Solves are serialized, so everything after the first cold call
+	// must hit.
+	if h := m.Counter("session.cache.hits").Value(); h != 9 {
+		t.Errorf("hits = %d, want 9", h)
+	}
+}
+
+func TestSessionSolveCanceled(t *testing.T) {
+	eng, ps, _ := sessionFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Solve(ctx, ps); err != context.Canceled {
+		t.Fatalf("Solve on canceled context returned %v, want context.Canceled", err)
+	}
+	// The session must remain usable after a canceled call.
+	res, err := eng.Solve(context.Background(), ps)
+	if err != nil || !res.Sat {
+		t.Fatalf("solve after cancellation: err=%v", err)
+	}
+}

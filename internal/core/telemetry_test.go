@@ -21,8 +21,7 @@ block 10.2.0.0/24 -> 10.0.0.0/24
 reach 10.1.0.0/24 -> 10.2.0.0/24
 `)
 	tr := obs.NewTracer()
-	opts := DefaultOptions()
-	opts.Parallel = true
+	opts := DefaultOptions() // parallel per-destination solving is the default
 	opts.Objectives = minDevices(t)
 	opts.Tracer = tr
 	res, err := Synthesize(net, topo, ps, opts)

@@ -96,10 +96,10 @@ func (e *Encoder) packetFilterChain(r *config.Router, filterName string, src pre
 	if f != nil {
 		for i, rule := range f.Rules {
 			matches := rule.Matches(src, e.dst)
-			if e.opts.Prune && !matches {
+			if !e.opts.NoPrune && !matches {
 				continue
 			}
-			if e.opts.Split && e.coversOtherSubnet(rule.Dst) {
+			if !e.opts.Joint && e.coversOtherSubnet(rule.Dst) {
 				// Broad rule (matches other destinations' traffic):
 				// fixed in split mode; the prepended class-specific
 				// rule can still override it.

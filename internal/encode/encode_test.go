@@ -244,14 +244,14 @@ func TestPruningPreservesResults(t *testing.T) {
 
 	for _, pruneOn := range []bool{true, false} {
 		opts := DefaultOptions()
-		opts.Prune = pruneOn
+		opts.NoPrune = !pruneOn
 		updated := solveAndApply(t, net, topo, ps, nil, opts)
 		checkAll(t, updated, topo, ps)
 	}
 	// Pruned instance must carry fewer deltas.
 	dst := prefix.MustParse("10.1.0.0/24")
-	ePruned := New(net, topo, dst, Options{Prune: true})
-	eFull := New(net, topo, dst, Options{Prune: false})
+	ePruned := New(net, topo, dst, Options{})
+	eFull := New(net, topo, dst, Options{NoPrune: true})
 	_ = ePruned.EncodePolicies(ps)
 	_ = eFull.EncodePolicies(ps)
 	if len(ePruned.Deltas()) >= len(eFull.Deltas()) {
@@ -359,7 +359,7 @@ func TestJointEncodingConsistency(t *testing.T) {
 	ps, _ := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
 reach 10.1.0.0/24 -> 10.0.0.0/24
 `)
-	j := NewJoint(net, topo, Options{Prune: true})
+	j := NewJoint(net, topo, Options{})
 	for dst, group := range policy.GroupByDestination(ps) {
 		if err := j.AddGroup(dst, group); err != nil {
 			t.Fatal(err)
@@ -388,7 +388,7 @@ func TestJointMatchesSplitOptimum(t *testing.T) {
 	splitNet := solveAndApply(t, net, topo, ps, objs, DefaultOptions())
 	splitDiff := config.Diff(net, splitNet)
 
-	j := NewJoint(net, topo, Options{Prune: true})
+	j := NewJoint(net, topo, Options{})
 	for dst, group := range policy.GroupByDestination(ps) {
 		if err := j.AddGroup(dst, group); err != nil {
 			t.Fatal(err)

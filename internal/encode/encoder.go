@@ -12,35 +12,38 @@ import (
 	"github.com/aed-net/aed/internal/topology"
 )
 
-// Options tune the encoding; the defaults correspond to the paper's
-// fully-optimized AED. The flags exist so the §9.3 experiments can
-// measure each optimization in isolation.
+// Options tune the encoding; the zero value corresponds to the paper's
+// fully-optimized AED (per-destination split instances with pruning
+// and the boolean rank encoding). The flags exist so the §9.3
+// experiments can measure each optimization in isolation, and each is
+// phrased so that false selects the paper default.
 type Options struct {
-	// Prune drops route/packet-filter conditionals (and their delta
-	// variables) that cannot affect the instance's traffic classes
-	// (§8 "Pruning irrelevant configuration"). Default true via
-	// DefaultOptions.
-	Prune bool
+	// NoPrune keeps route/packet-filter conditionals (and their delta
+	// variables) that cannot affect the instance's traffic classes.
+	// The default (false) prunes them (§8 "Pruning irrelevant
+	// configuration").
+	NoPrune bool
 	// WideIntegers disables the boolean rank encoding for local
 	// preference and instead uses a wide 0..255 domain (§8 "Replacing
 	// integer variables with booleans", inverted for ablation).
 	WideIntegers bool
 	// MaxCost bounds the cost domain; 0 derives it from the topology.
 	MaxCost int
-	// Split marks a per-destination instance (§8 "Grouping policies
-	// based on a destination address"). In split mode, deltas that
-	// would affect traffic of other destinations — adjacency
+	// Joint marks a monolithic encoding that shares delta variables
+	// across all destination copies (the Fig. 14 baseline); NewJoint
+	// sets it. The default (false) is a per-destination split instance
+	// (§8 "Grouping policies based on a destination address"): deltas
+	// that would affect traffic of other destinations — adjacency
 	// removals, removals/flips of filter rules whose match range
 	// covers other subnets — are suppressed, so independently solved
 	// instances cannot conflict: every remaining update mechanism is
-	// specific to this instance's prefix. Joint (monolithic)
-	// encodings clear Split and share delta variables across all
-	// destination copies instead.
-	Split bool
+	// specific to this instance's prefix.
+	Joint bool
 }
 
-// DefaultOptions returns the paper's optimized configuration.
-func DefaultOptions() Options { return Options{Prune: true, Split: true} }
+// DefaultOptions returns the paper's optimized configuration. Since
+// the Options redesign it is a documented alias for the zero value.
+func DefaultOptions() Options { return Options{} }
 
 // Encoder builds the MaxSMT problem for one group of policies sharing
 // a destination prefix (one per-destination instance, §8). Use one
@@ -679,7 +682,7 @@ func (e *Encoder) encodeRouterSelection(v *env, r *config.Router) {
 			continue
 		}
 		var valid *smt.Formula
-		if e.opts.Split && e.coversOtherSubnet(s.Prefix) {
+		if !e.opts.Joint && e.coversOtherSubnet(s.Prefix) {
 			// A covering static also steers other destinations: fixed
 			// in split mode.
 			valid = smt.TrueF

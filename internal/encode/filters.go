@@ -17,7 +17,7 @@ func (e *Encoder) originationFormula(r *config.Router, p *config.Process) *smt.F
 		if !o.Prefix.Covers(e.dst) {
 			continue
 		}
-		if e.opts.Split && e.coversOtherSubnet(o.Prefix) {
+		if !e.opts.Joint && e.coversOtherSubnet(o.Prefix) {
 			// Removing a covering aggregate would strand other
 			// destinations; keep it fixed in split mode.
 			out = smt.TrueF
@@ -56,7 +56,7 @@ func (e *Encoder) adjacencySide(r *config.Router, p *config.Process, peer string
 	path := fmt.Sprintf("%s/RoutingProcess[%s:%d]/Adjacency[%s]", r.Name, p.Protocol, p.ID, peer)
 	var f *smt.Formula
 	if p.Adjacency(peer) != nil {
-		if e.opts.Split {
+		if !e.opts.Joint {
 			// Removing an adjacency affects every destination, so a
 			// per-destination instance may not do it; denying the
 			// destination's route with a filter achieves the same
@@ -231,11 +231,11 @@ func (e *Encoder) filterChain(r *config.Router, filterName, self, other, dir str
 	if f != nil {
 		for i, rule := range f.Rules {
 			matches := rule.Matches(e.dst)
-			if e.opts.Prune && !matches {
+			if !e.opts.NoPrune && !matches {
 				// Pruned: this conditional cannot affect dst.
 				continue
 			}
-			if e.opts.Split && e.coversOtherSubnet(rule.Prefix) {
+			if !e.opts.Joint && e.coversOtherSubnet(rule.Prefix) {
 				// The rule also filters other destinations' routes, so
 				// a per-destination instance must treat it as fixed;
 				// the prepended dst-specific rule can still override.

@@ -1,6 +1,8 @@
 package encode
 
 import (
+	"context"
+
 	"github.com/aed-net/aed/internal/config"
 	"github.com/aed-net/aed/internal/objective"
 	"github.com/aed-net/aed/internal/obs"
@@ -33,11 +35,11 @@ func (j *Joint) Observe(span *obs.Span, reg *obs.Registry) {
 	j.Ctx.Observe(reg, span)
 }
 
-// NewJoint prepares a monolithic encoder. Options.Split is forced off:
+// NewJoint prepares a monolithic encoder. Options.Joint is forced on:
 // broad deltas are consistently modeled across every destination copy,
 // so the split-mode suppression is unnecessary.
 func NewJoint(net *config.Network, topo *topology.Topology, opts Options) *Joint {
-	opts.Split = false
+	opts.Joint = true
 	return &Joint{
 		Ctx:  smt.NewContext(),
 		net:  net,
@@ -115,5 +117,12 @@ func (j *Joint) PenalizeDeltas(weight int) {
 
 // Solve maximizes and extracts one consistent edit set.
 func (j *Joint) Solve(strategy smt.Strategy) *Result {
-	return solveInstrumented(j.Ctx, j.span, j.Deltas(), strategy)
+	return j.SolveContext(context.Background(), strategy)
+}
+
+// SolveContext is Solve with cancellation: once ctx is canceled the
+// underlying CDCL search stops at the next conflict and the result
+// carries ctx's error in Result.Err.
+func (j *Joint) SolveContext(ctx context.Context, strategy smt.Strategy) *Result {
+	return solveInstrumented(ctx, j.Ctx, j.span, j.Deltas(), strategy)
 }

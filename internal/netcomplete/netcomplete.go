@@ -57,9 +57,8 @@ func Synthesize(net *config.Network, topo *topology.Topology, ps []policy.Policy
 	var edits []encode.Edit
 	for _, d := range dests {
 		opts := encode.Options{
-			Prune:        false, // NetComplete encodes everything
-			WideIntegers: true,  // 0..255 integer domains for metrics
-			Split:        true,
+			NoPrune:      true, // NetComplete encodes everything
+			WideIntegers: true, // 0..255 integer domains for metrics
 		}
 		e := encode.New(net, topo, d, opts)
 		if err := e.EncodePolicies(groups[d]); err != nil {

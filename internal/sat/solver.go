@@ -52,6 +52,18 @@ type Solver struct {
 	// Budget limits a single Solve call; 0 means unlimited.
 	Budget int64
 
+	// Stop, if non-nil, is polled from the solving goroutine at every
+	// conflict (and before each restart round). When it returns true
+	// the current Solve call gives up promptly and returns Unknown with
+	// Interrupted reporting true. The hook must be cheap and must not
+	// call back into the Solver; a non-blocking select on a
+	// context.Done channel is the intended use.
+	Stop func() bool
+	// interrupted records that the last Solve call returned Unknown
+	// because Stop fired, distinguishing cancellation from Budget
+	// exhaustion (both yield Unknown).
+	interrupted bool
+
 	model []Tribool // assignment snapshot from the last Sat result
 
 	// Progress, if non-nil, receives periodic ProgressSamples from the
@@ -516,12 +528,17 @@ func (s *Solver) progressPeriod() int64 {
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.Stats.SolveCalls++
 	s.conflictC = nil
+	s.interrupted = false
 	if !s.ok {
 		s.emitProgress(true)
 		return Unsat
 	}
 	defer s.backtrack(0)
 	defer s.emitProgress(true)
+
+	if s.stopRequested() {
+		return Unknown
+	}
 
 	maxLearnts := float64(len(s.clauses))/3 + 500
 	var restartN int64 = 1
@@ -537,6 +554,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 		if st != Unknown {
 			return st
+		}
+		if s.interrupted {
+			return Unknown
 		}
 		if s.Budget > 0 && s.Stats.Conflicts-conflictsAtStart >= s.Budget {
 			return Unknown
@@ -558,6 +578,9 @@ func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *float64) St
 			conflicts++
 			if s.Progress != nil && s.Stats.Conflicts%s.progressPeriod() == 0 {
 				s.emitProgress(false)
+			}
+			if s.stopRequested() {
+				return Unknown
 			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
@@ -654,6 +677,18 @@ func (s *Solver) analyzeFinal(a Lit, assumptions []Lit) []Lit {
 	}
 	return out
 }
+
+// stopRequested polls the Stop hook and latches the interrupted flag.
+func (s *Solver) stopRequested() bool {
+	if s.Stop != nil && s.Stop() {
+		s.interrupted = true
+	}
+	return s.interrupted
+}
+
+// Interrupted reports whether the last Solve call returned Unknown
+// because the Stop hook fired (as opposed to Budget exhaustion).
+func (s *Solver) Interrupted() bool { return s.interrupted }
 
 // Conflict returns the final conflict clause from the last Unsat Solve
 // under assumptions: the negations of a responsible assumption subset.

@@ -1,0 +1,80 @@
+package sat
+
+import "testing"
+
+// pigeonhole encodes the unsatisfiable PHP(holes+1, holes) principle:
+// holes+1 pigeons into holes holes. CDCL needs exponentially many
+// conflicts, which makes it a reliable source of long searches.
+func pigeonhole(s *Solver, holes int) {
+	pigeons := holes + 1
+	vars := make([][]Var, pigeons)
+	for p := 0; p < pigeons; p++ {
+		vars[p] = make([]Var, holes)
+		for h := 0; h < holes; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+}
+
+func TestStopHookBoundsConflicts(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8)
+
+	polls := 0
+	s.Stop = func() bool {
+		polls++
+		return polls > 20
+	}
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("interrupted solve returned %v, want Unknown", st)
+	}
+	if !s.Interrupted() {
+		t.Error("Interrupted() should report true after a Stop interrupt")
+	}
+	// The hook is polled at every conflict (plus once per restart), so
+	// the search must stop within a few conflicts of the trigger.
+	if s.Stats.Conflicts > 40 {
+		t.Errorf("search ran %d conflicts past a stop at poll 21", s.Stats.Conflicts)
+	}
+}
+
+func TestStopHookClearedAllowsReuse(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5)
+	s.Stop = func() bool { return true }
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("immediate stop returned %v, want Unknown", st)
+	}
+	s.Stop = nil
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("resumed solve returned %v, want Unsat", st)
+	}
+	if s.Interrupted() {
+		t.Error("Interrupted() must reset on the next Solve call")
+	}
+}
+
+func TestNoStopHookSolvesPigeonhole(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(7,6) = %v, want Unsat", st)
+	}
+	if s.Interrupted() {
+		t.Error("uninterrupted solve must not report Interrupted")
+	}
+}

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,6 +37,12 @@ type Context struct {
 	// latencies). span, when set, parents the per-call solve spans.
 	reg  *obs.Registry
 	span *obs.Span
+
+	// ctx, when set by SetInterrupt, cancels in-flight SAT searches:
+	// the solver polls ctx.Done at every conflict. interruptErr records
+	// the cancellation cause once a solve call is actually interrupted.
+	ctx          context.Context
+	interruptErr error
 }
 
 type softConstraint struct {
@@ -177,19 +184,57 @@ func (c *Context) Observe(reg *obs.Registry, span *obs.Span) {
 	}
 }
 
+// SetInterrupt arranges for in-flight and future SAT searches on this
+// context to stop promptly once ctx is canceled: the CDCL solver polls
+// ctx.Done at every conflict. A context that can never be canceled
+// (e.g. context.Background) uninstalls the hook. After an interrupted
+// solve, Err returns the cancellation cause.
+func (c *Context) SetInterrupt(ctx context.Context) {
+	c.interruptErr = nil
+	if ctx == nil || ctx.Done() == nil {
+		c.ctx = nil
+		c.solver.Stop = nil
+		return
+	}
+	c.ctx = ctx
+	done := ctx.Done()
+	c.solver.Stop = func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// Err returns the cancellation cause (ctx.Err of the SetInterrupt
+// context) once a solve call has been interrupted, and nil otherwise.
+// An interrupted solve reports Unknown/no-model; Err distinguishes
+// that from genuine UNSAT.
+func (c *Context) Err() error { return c.interruptErr }
+
 // solveTimed is the instrumented path for every SAT Solve call made by
 // the MaxSAT searches and satisfiability checks: it records per-call
 // latency into the registry when Observe has been installed and is a
-// plain Solve otherwise.
+// plain Solve otherwise. It also latches the interrupt cause when the
+// solver was stopped by a SetInterrupt context.
 func (c *Context) solveTimed(assumptions ...sat.Lit) sat.Status {
+	var st sat.Status
 	if c.reg == nil {
-		return c.solver.Solve(assumptions...)
+		st = c.solver.Solve(assumptions...)
+	} else {
+		start := time.Now()
+		st = c.solver.Solve(assumptions...)
+		c.reg.Counter("solver.calls").Add(1)
+		c.reg.Histogram("solver.solve_ms", obs.LatencyBuckets).
+			Observe(float64(time.Since(start).Microseconds()) / 1000)
 	}
-	start := time.Now()
-	st := c.solver.Solve(assumptions...)
-	c.reg.Counter("solver.calls").Add(1)
-	c.reg.Histogram("solver.solve_ms", obs.LatencyBuckets).
-		Observe(float64(time.Since(start).Microseconds()) / 1000)
+	if st == sat.Unknown && c.ctx != nil && c.solver.Interrupted() {
+		if err := c.ctx.Err(); err != nil {
+			c.interruptErr = err
+		}
+	}
 	return st
 }
 

@@ -35,6 +35,10 @@ type MaxResult struct {
 	Violated []string
 	// Iterations counts solver calls made by the search.
 	Iterations int
+	// Err is non-nil when the search was interrupted by a SetInterrupt
+	// context before completing; Model is nil then and the result must
+	// not be read as UNSAT.
+	Err error
 }
 
 // Maximize finds a model of the hard constraints maximizing the total
@@ -75,6 +79,7 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 	if len(c.soft) == 0 {
 		res.Iterations++
 		if c.solveTimed() != sat.Sat {
+			res.Err = c.Err()
 			return res
 		}
 		res.Model = &Model{ctx: c, assign: c.solver.Model()}
@@ -85,6 +90,7 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 
 	res.Iterations++
 	if c.solveTimed() != sat.Sat {
+		res.Err = c.Err()
 		return res
 	}
 	best := c.solver.Model()
@@ -101,6 +107,12 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 				best = c.solver.Model()
 				hi = c.costOf(best)
 			} else {
+				if err := c.Err(); err != nil {
+					// Interrupted: an improved model may never have
+					// been ruled out, so the search is incomplete.
+					res.Err = err
+					return res
+				}
 				lo = mid + 1
 			}
 		}
@@ -108,6 +120,10 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 		for bestCost > 0 {
 			res.Iterations++
 			if c.solveTimed(outs[bestCost-1].Neg()) != sat.Sat {
+				if err := c.Err(); err != nil {
+					res.Err = err
+					return res
+				}
 				break
 			}
 			best = c.solver.Model()
@@ -176,11 +192,16 @@ func (c *Context) maximizeCoreGuided() *MaxResult {
 			c.finishResult(res, c.solver.Model())
 			return res
 		}
+		if err := c.Err(); err != nil {
+			res.Err = err
+			return res
+		}
 		core := c.solver.Conflict()
 		if len(core) == 0 {
 			// Hard constraints alone are unsatisfiable.
 			res.Iterations++
 			if c.solveTimed() != sat.Sat {
+				res.Err = c.Err()
 				return res
 			}
 			c.finishResult(res, c.solver.Model())
@@ -205,6 +226,7 @@ func (c *Context) maximizeCoreGuided() *MaxResult {
 			// Core only over hard implications: unsat overall.
 			res.Iterations++
 			if c.solveTimed() != sat.Sat {
+				res.Err = c.Err()
 				return res
 			}
 			c.finishResult(res, c.solver.Model())
