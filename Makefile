@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-quick bench-incremental bench-incremental-quick
+.PHONY: check vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-sat bench-sat-quick
 
-check: vet build race bench-incremental-quick
+check: vet build race fuzz-smoke bench-incremental-quick
 
 vet:
 	$(GO) vet ./...
@@ -41,3 +41,22 @@ bench-incremental:
 
 bench-incremental-quick:
 	$(GO) run ./cmd/aedbench -experiment incremental -scale quick -out BENCH_incremental.json
+
+# Ten-second differential fuzz of the CDCL core against brute-force
+# enumeration (assumptions + solver reuse); part of `make check` so the
+# arena/watcher invariants get adversarial coverage on every gate.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSolver -fuzztime 10s ./internal/sat/
+
+# SAT-layer performance: propagation/conflict microbenchmarks
+# (BenchmarkPropagate must report 0 allocs/op) plus the satperf
+# experiment, which writes BENCH_satperf.json — cold synthesis time,
+# propagations/s, peak clause-arena bytes, and CNF size with structural
+# hash-consing on vs off. See docs/PERFORMANCE.md.
+bench-sat:
+	$(GO) test -run '^$$' -bench 'Propagate|ConflictAnalysis' -benchmem ./internal/sat/
+	$(GO) run ./cmd/aedbench -experiment satperf -scale full -out BENCH_satperf.json
+
+bench-sat-quick:
+	$(GO) test -run '^$$' -bench 'Propagate|ConflictAnalysis' -benchmem ./internal/sat/
+	$(GO) run ./cmd/aedbench -experiment satperf -scale quick -out BENCH_satperf.json

@@ -50,6 +50,7 @@ import (
 	"github.com/aed-net/aed/internal/objective"
 	"github.com/aed-net/aed/internal/obs"
 	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/sat"
 	"github.com/aed-net/aed/internal/simulate"
 	"github.com/aed-net/aed/internal/topology"
 )
@@ -393,28 +394,39 @@ func loadPolicies(path string, net *config.Network, topo *topology.Topology, kee
 }
 
 // printStats renders the per-destination solver table followed by the
-// network-wide totals (the field-wise sum across instances).
+// network-wide totals (the field-wise sum across instances). glue is
+// the number of learned clauses with LBD ≤ 2 (never deleted); avgLBD is
+// the mean literal block distance over all learned clauses — low values
+// mean the solver is learning reusable clauses (see docs/PERFORMANCE.md).
 func printStats(res *core.Result) {
-	fmt.Printf("%-20s %-5s %8s %8s %6s %10s %10s %9s %8s %12s %6s\n",
+	avgLBD := func(s sat.Stats) float64 {
+		if s.Learned == 0 {
+			return 0
+		}
+		return float64(s.LBDSum) / float64(s.Learned)
+	}
+	fmt.Printf("%-20s %-5s %8s %8s %6s %10s %10s %9s %8s %6s %6s %12s %6s\n",
 		"destination", "sat", "policies", "vars", "iters",
-		"decisions", "conflicts", "restarts", "learned", "time", "cached")
+		"decisions", "conflicts", "restarts", "learned", "glue", "avgLBD", "time", "cached")
 	var iters, policies int
 	for _, is := range res.Instances {
 		dest := is.Destination.String()
 		if is.Destination.Len == 0 {
 			dest = "(joint)"
 		}
-		fmt.Printf("%-20s %-5v %8d %8d %6d %10d %10d %9d %8d %12v %6v\n",
+		fmt.Printf("%-20s %-5v %8d %8d %6d %10d %10d %9d %8d %6d %6.1f %12v %6v\n",
 			dest, is.Sat, is.Policies, is.NumVars, is.Iterations,
 			is.Solver.Decisions, is.Solver.Conflicts, is.Solver.Restarts,
-			is.Solver.Learned, is.Duration.Round(1000), is.Cached)
+			is.Solver.Learned, is.Solver.GlueLearned, avgLBD(is.Solver),
+			is.Duration.Round(1000), is.Cached)
 		iters += is.Iterations
 		policies += is.Policies
 	}
-	fmt.Printf("%-20s %-5v %8d %8s %6d %10d %10d %9d %8d %12v\n",
+	fmt.Printf("%-20s %-5v %8d %8s %6d %10d %10d %9d %8d %6d %6.1f %12v\n",
 		"total", res.Sat, policies, "-", iters,
 		res.Solver.Decisions, res.Solver.Conflicts, res.Solver.Restarts,
-		res.Solver.Learned, res.SolveTime.Round(1000))
+		res.Solver.Learned, res.Solver.GlueLearned, avgLBD(res.Solver),
+		res.SolveTime.Round(1000))
 }
 
 func check(err error) {

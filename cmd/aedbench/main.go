@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|all
+//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|all
 //	         [-scale quick|full] [-metrics-out FILE] [-out FILE]
 //
 // The incremental experiment measures the session engine's warm-vs-
 // cold solve latency (per-destination cache); -out writes its JSON
-// artifact (BENCH_incremental.json).
+// artifact (BENCH_incremental.json). The satperf experiment measures
+// the SAT layer itself — cold synthesis wall time, propagation
+// throughput, peak clause-arena bytes, and the CNF size with structural
+// hash-consing on vs off; -out writes BENCH_satperf.json.
 //
 // Each experiment prints the rows/series the corresponding paper
 // figure reports; EXPERIMENTS.md records the expected shapes.
@@ -38,7 +41,7 @@ func main() {
 		experiment = flag.String("experiment", "all", "which figure to regenerate")
 		scaleFlag  = flag.String("scale", "quick", "quick or full")
 		metricsOut = flag.String("metrics-out", "", "write a JSONL metrics artifact (spans + solver metrics) to FILE")
-		benchOut   = flag.String("out", "", "write the incremental experiment's JSON artifact to FILE (BENCH_incremental.json)")
+		benchOut   = flag.String("out", "", "write the incremental/satperf experiment's JSON artifact to FILE")
 	)
 	flag.Parse()
 
@@ -98,8 +101,18 @@ func main() {
 				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
 			}
 		},
+		"satperf": func() {
+			res := bench.SatPerf(os.Stdout, scale)
+			if *benchOut != "" {
+				if err := bench.WriteSatPerfJSON(*benchOut, res); err != nil {
+					fmt.Fprintln(os.Stderr, "aedbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
+			}
+		},
 	}
-	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental"}
+	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental", "satperf"}
 
 	runOne := func(name string, run func()) {
 		sp := tracer.Start("experiment")

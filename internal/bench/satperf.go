@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// Pre-PR baseline cold synthesis times for the satperf workload,
+// measured on the pointer-clause solver (before the arena/LBD rewrite
+// and SMT hash-consing) at commit 28f80a9 on the same machine and
+// workload as SatPerf uses: best of 3 sequential runs, validation
+// skipped. They anchor the speedup_vs_baseline field; on a different
+// machine the absolute times shift but the workload is identical, so
+// re-measure the baseline there before comparing across machines.
+const (
+	baselineColdMSQuick = 80.0   // 6x2 leaf-spine, 218,651 propagations
+	baselineColdMSFull  = 2540.0 // 12x3 leaf-spine, 14.13M propagations
+)
+
+// SatPerfVariant is one measured configuration of the satperf workload.
+type SatPerfVariant struct {
+	ColdMS             float64 `json:"cold_ms"`
+	Propagations       int64   `json:"propagations"`
+	PropagationsPerSec float64 `json:"propagations_per_sec"`
+	Conflicts          int64   `json:"conflicts"`
+	Learned            int64   `json:"learned"`
+	GlueLearned        int64   `json:"glue_learned"`
+	AvgLBD             float64 `json:"avg_lbd"`
+	ArenaGCs           int64   `json:"arena_gcs"`
+	PeakClauseBytes    int64   `json:"peak_clause_bytes"`
+	NumVars            int     `json:"num_vars"`
+	NumClauses         int     `json:"num_clauses"`
+}
+
+// SatPerfResult is the SAT-layer performance artifact
+// (BENCH_satperf.json): cold synthesis with structural hash-consing on
+// (the default) and off (the ablation), plus the recorded pre-PR
+// baseline. CNFClauseReductionPct is the headline hash-consing number —
+// how much smaller the post-Tseitin CNF gets when repeated subformulas
+// collapse to one definitional literal.
+type SatPerfResult struct {
+	Leaves                int            `json:"leaves"`
+	Spines                int            `json:"spines"`
+	Destinations          int            `json:"destinations"`
+	Intern                SatPerfVariant `json:"intern"`
+	NoIntern              SatPerfVariant `json:"no_intern"`
+	CNFClauseReductionPct float64        `json:"cnf_clause_reduction_pct"`
+	CNFVarReductionPct    float64        `json:"cnf_var_reduction_pct"`
+	BaselineColdMS        float64        `json:"baseline_cold_ms"`
+	SpeedupVsBaseline     float64        `json:"speedup_vs_baseline"`
+}
+
+// SatPerf measures cold synthesis on the same leaf-spine workload as
+// Incremental (one blocking policy per leaf subnet), best of three
+// sequential runs per variant. The solves run sequentially so the
+// solver counters reflect single-core throughput, and validation is
+// skipped so the measurement isolates encode+solve.
+func SatPerf(w io.Writer, scale Scale) SatPerfResult {
+	leaves, spines := 6, 2
+	baseline := baselineColdMSQuick
+	if scale == Full {
+		leaves, spines = 12, 3
+		baseline = baselineColdMSFull
+	}
+	topo := topology.LeafSpine(leaves, spines, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF, WithRoleFilters: true})
+
+	var text string
+	for d := 0; d < leaves; d++ {
+		text += fmt.Sprintf("block 10.%d.0.0/24 -> 10.%d.0.0/24\n", (d+1)%leaves, d)
+	}
+	ps, err := policy.Parse(text)
+	if err != nil {
+		panic(err)
+	}
+
+	measure := func(noIntern bool) (SatPerfVariant, int) {
+		var best SatPerfVariant
+		dests := 0
+		for run := 0; run < 3; run++ {
+			opts := core.DefaultOptions()
+			opts.Sequential = true
+			opts.SkipValidation = true
+			opts.MinimizeLines = true
+			opts.Encode.NoIntern = noIntern
+			start := time.Now()
+			res, err := core.Synthesize(net, topo, ps, opts)
+			if err != nil {
+				panic(err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if run == 0 || ms < best.ColdMS {
+				vars, clauses := 0, 0
+				for _, in := range res.Instances {
+					vars += in.NumVars
+					clauses += in.NumClauses
+				}
+				best = SatPerfVariant{
+					ColdMS:          ms,
+					Propagations:    res.Solver.Propagations,
+					Conflicts:       res.Solver.Conflicts,
+					Learned:         res.Solver.Learned,
+					GlueLearned:     res.Solver.GlueLearned,
+					ArenaGCs:        res.Solver.ArenaGCs,
+					PeakClauseBytes: res.Solver.PeakClauseBytes,
+					NumVars:         vars,
+					NumClauses:      clauses,
+				}
+				if ms > 0 {
+					best.PropagationsPerSec = float64(best.Propagations) / (ms / 1000)
+				}
+				if best.Learned > 0 {
+					best.AvgLBD = float64(res.Solver.LBDSum) / float64(best.Learned)
+				}
+				dests = len(res.Instances)
+			}
+		}
+		return best, dests
+	}
+
+	noIntern, _ := measure(true)
+	intern, dests := measure(false)
+
+	res := SatPerfResult{
+		Leaves: leaves, Spines: spines, Destinations: dests,
+		Intern: intern, NoIntern: noIntern,
+		BaselineColdMS: baseline,
+	}
+	if noIntern.NumClauses > 0 {
+		res.CNFClauseReductionPct = 100 * (1 - float64(intern.NumClauses)/float64(noIntern.NumClauses))
+	}
+	if noIntern.NumVars > 0 {
+		res.CNFVarReductionPct = 100 * (1 - float64(intern.NumVars)/float64(noIntern.NumVars))
+	}
+	if intern.ColdMS > 0 {
+		res.SpeedupVsBaseline = baseline / intern.ColdMS
+	}
+
+	fmt.Fprintf(w, "%-14s %10s %12s %10s %10s %10s %8s\n",
+		"variant", "cold(ms)", "props/s", "vars", "clauses", "peak(KiB)", "avgLBD")
+	for _, row := range []struct {
+		name string
+		v    SatPerfVariant
+	}{{"no-intern", noIntern}, {"intern", intern}} {
+		fmt.Fprintf(w, "%-14s %10.1f %12.0f %10d %10d %10d %8.1f\n",
+			row.name, row.v.ColdMS, row.v.PropagationsPerSec, row.v.NumVars,
+			row.v.NumClauses, row.v.PeakClauseBytes/1024, row.v.AvgLBD)
+	}
+	fmt.Fprintf(w, "CNF reduction from hash-consing: %.1f%% clauses, %.1f%% vars\n",
+		res.CNFClauseReductionPct, res.CNFVarReductionPct)
+	fmt.Fprintf(w, "speedup vs pre-arena baseline (%.0f ms): %.2fx\n",
+		res.BaselineColdMS, res.SpeedupVsBaseline)
+	return res
+}
+
+// WriteSatPerfJSON writes the benchmark artifact consumed by
+// `make bench-sat`.
+func WriteSatPerfJSON(path string, res SatPerfResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

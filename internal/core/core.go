@@ -200,7 +200,9 @@ type InstanceStats struct {
 	Destination prefix.Prefix
 	Policies    int
 	NumVars     int
-	NumDeltas   int
+	// NumClauses is the instance's post-Tseitin CNF clause count.
+	NumClauses int
+	NumDeltas  int
 	Iterations  int
 	Duration    time.Duration
 	Sat         bool
@@ -333,7 +335,7 @@ func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.To
 	}
 	res.SolveTime = r.Duration
 	res.Instances = append(res.Instances, InstanceStats{
-		Policies: total, NumVars: r.NumVars, NumDeltas: r.NumDeltas,
+		Policies: total, NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 		Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
 		Solver: r.Stats,
 	})
@@ -456,7 +458,7 @@ func solveSplit(ctx context.Context, net *config.Network, topo *topology.Topolog
 		r := o.result
 		res.Instances = append(res.Instances, InstanceStats{
 			Destination: o.dest, Policies: len(groups[dests[i]]),
-			NumVars: r.NumVars, NumDeltas: r.NumDeltas,
+			NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
 			Solver: r.Stats,
 		})

@@ -177,7 +177,7 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 		}
 		res.Instances = append(res.Instances, InstanceStats{
 			Destination: d, Policies: len(groups[d]),
-			NumVars: r.NumVars, NumDeltas: r.NumDeltas,
+			NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
 			Cached: cached[i], Solver: r.Stats,
 		})

@@ -31,9 +31,12 @@ type Result struct {
 	// Iterations counts MaxSAT search steps; Duration the solve time.
 	Iterations int
 	Duration   time.Duration
-	// Problem size, for the scalability experiments.
-	NumVars   int
-	NumDeltas int
+	// Problem size, for the scalability experiments. NumClauses is the
+	// post-Tseitin CNF clause count the solver actually holds (the
+	// quantity hash-consing shrinks; see docs/PERFORMANCE.md).
+	NumVars    int
+	NumClauses int
+	NumDeltas  int
 	// Stats are the instance's cumulative SAT-solver counters
 	// (decisions, conflicts, restarts, ...), aggregated network-wide by
 	// core.Synthesize.
@@ -69,6 +72,7 @@ func solveInstrumented(ctx context.Context, sctx *smt.Context, parent *obs.Span,
 	out := &Result{
 		Iterations: res.Iterations,
 		NumVars:    sctx.NumSATVars(),
+		NumClauses: sctx.NumSATClauses(),
 		NumDeltas:  len(deltas),
 	}
 	if res.Model == nil {

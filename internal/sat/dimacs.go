@@ -44,6 +44,7 @@ func ParseDIMACS(r io.Reader) (*Solver, int, error) {
 				return nil, 0, fmt.Errorf("dimacs: line %d: bad variable count", lineNo)
 			}
 			nVars = n
+			s.Grow(n) // one bulk reservation instead of n incremental appends
 			for i := 0; i < n; i++ {
 				s.NewVar()
 			}

@@ -1,0 +1,120 @@
+package sat
+
+import "testing"
+
+// fuzzCNF derives a small CNF and assumption list deterministically from
+// fuzz bytes: byte 0 picks the variable count (3..10), byte 1 the number
+// of assumptions (0..3), and the rest encode literals (var from the high
+// bits, sign from the low bit), with 0xff acting as a clause break and
+// clauses capped at three literals.
+func fuzzCNF(data []byte) (n int, cnf [][]Lit, assume []Lit) {
+	if len(data) < 3 {
+		return 0, nil, nil
+	}
+	n = 3 + int(data[0])%8
+	nAssume := int(data[1]) % 4
+	body := data[2:]
+	if nAssume > len(body) {
+		nAssume = len(body)
+	}
+	for _, b := range body[:nAssume] {
+		assume = append(assume, NewLit(Var(1+int(b>>1)%n), b&1 == 1))
+	}
+	var cl []Lit
+	for _, b := range body[nAssume:] {
+		if b == 0xff {
+			if len(cl) > 0 {
+				cnf = append(cnf, cl)
+				cl = nil
+			}
+			continue
+		}
+		cl = append(cl, NewLit(Var(1+int(b>>1)%n), b&1 == 1))
+		if len(cl) == 3 {
+			cnf = append(cnf, cl)
+			cl = nil
+		}
+	}
+	if len(cl) > 0 {
+		cnf = append(cnf, cl)
+	}
+	return n, cnf, assume
+}
+
+// satisfies reports whether the solver's current model satisfies cnf.
+func satisfies(s *Solver, cnf [][]Lit) bool {
+	for _, cl := range cnf {
+		ok := false
+		for _, l := range cl {
+			if s.ModelValue(l.Var()) != l.Sign() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSolver cross-checks the CDCL solver against brute-force
+// enumeration on fuzzer-derived instances, covering the three paths the
+// arena rewrite touches most: assumption solving (final-conflict
+// analysis), solver reuse after a Solve call (trail/watch state reset),
+// and determinism against a freshly built solver on the same input.
+func FuzzSolver(f *testing.F) {
+	f.Add([]byte{5, 2, 1, 4, 2, 3, 6, 0xff, 7, 8, 9, 12, 13})
+	f.Add([]byte{3, 0, 2, 3, 4, 5, 0xff, 1, 1, 6})
+	f.Add([]byte{8, 3, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21})
+	f.Add([]byte{4, 1, 9, 9, 8, 0xff, 0xff, 2, 4, 6, 1, 3, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, cnf, assume := fuzzCNF(data)
+		if n == 0 || len(cnf) == 0 {
+			t.Skip()
+		}
+		build := func() *Solver {
+			s := New()
+			s.Grow(n)
+			for i := 0; i < n; i++ {
+				s.NewVar()
+			}
+			for _, cl := range cnf {
+				if !s.AddClause(cl...) {
+					break
+				}
+			}
+			return s
+		}
+
+		s := build()
+		got := s.Solve(assume...)
+		withUnits := make([][]Lit, 0, len(cnf)+len(assume))
+		withUnits = append(withUnits, cnf...)
+		for _, a := range assume {
+			withUnits = append(withUnits, []Lit{a})
+		}
+		if want := brute(n, withUnits); (got == Sat) != want {
+			t.Fatalf("assumption solve: solver=%v brute=%v cnf=%v assume=%v", got, want, cnf, assume)
+		}
+		if got == Sat && !satisfies(s, withUnits) {
+			t.Fatalf("model violates cnf+assumptions: cnf=%v assume=%v", cnf, assume)
+		}
+
+		// Reuse: the same solver, re-solved without assumptions, must
+		// agree with brute force on the bare CNF.
+		got2 := s.Solve()
+		if want2 := brute(n, cnf); (got2 == Sat) != want2 {
+			t.Fatalf("reuse solve: solver=%v brute=%v cnf=%v", got2, want2, cnf)
+		}
+		if got2 == Sat && !satisfies(s, cnf) {
+			t.Fatalf("reuse model violates cnf=%v", cnf)
+		}
+
+		// A freshly built solver must reach the same status under the
+		// same assumptions as the first call did.
+		if got3 := build().Solve(assume...); got3 != got {
+			t.Fatalf("fresh solver disagrees: %v vs %v, cnf=%v assume=%v", got3, got, cnf, assume)
+		}
+	})
+}

@@ -13,6 +13,13 @@ func newVarHeap(act *[]float64) *varHeap {
 	return &varHeap{activity: act, indices: make([]int, 1)}
 }
 
+// grow preallocates heap storage for variables up to index n-1, the
+// varHeap half of Solver.Grow.
+func (h *varHeap) grow(n int) {
+	h.indices = growCap(h.indices, n)
+	h.heap = growCap(h.heap, n)
+}
+
 func (h *varHeap) less(a, b Var) bool {
 	return (*h.activity)[a] > (*h.activity)[b]
 }

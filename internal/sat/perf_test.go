@@ -1,0 +1,63 @@
+package sat
+
+import "testing"
+
+// BenchmarkPropagate measures the propagation inner loop: one decision
+// triggers an implication chain across the whole variable range through
+// binary and ternary clauses, then backtracks. After warm-up the loop
+// must run allocation-free (the acceptance bar for the arena rewrite):
+// watchers, trail, and clause literals all live in preallocated slabs.
+func BenchmarkPropagate(b *testing.B) {
+	const n = 4096
+	s := New()
+	s.Grow(n)
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(NewLit(vars[i], true), NewLit(vars[i+1], false))
+	}
+	for i := 0; i+2 < n; i += 2 {
+		s.AddClause(NewLit(vars[i], true), NewLit(vars[i+1], true), NewLit(vars[i+2], false))
+	}
+	decide := func() {
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(NewLit(vars[0], false), CRefUndef)
+		if s.propagate() != CRefUndef {
+			b.Fatal("unexpected conflict")
+		}
+		s.backtrack(0)
+	}
+	// Warm up twice: the first pass migrates ternary watches and grows
+	// watch lists to steady state.
+	decide()
+	decide()
+	start := s.Stats.Propagations
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decide()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.Stats.Propagations-start)/float64(b.N), "props/op")
+}
+
+// BenchmarkConflictAnalysis measures conflict-dominated search: a
+// pigeonhole refutation exercises analyze, clause minimization, LBD
+// computation, learnt allocation into the arena, and reduceDB.
+func BenchmarkConflictAnalysis(b *testing.B) {
+	b.ReportAllocs()
+	var conflicts int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New()
+		pigeonhole(s, 6)
+		b.StartTimer()
+		if s.Solve() != Unsat {
+			b.Fatal("pigeonhole expected Unsat")
+		}
+		conflicts += s.Stats.Conflicts
+	}
+	b.ReportMetric(float64(conflicts)/float64(b.N), "conflicts/op")
+}

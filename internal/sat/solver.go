@@ -8,28 +8,29 @@ import (
 // ErrBudget is returned by Solve when the conflict budget is exhausted.
 var ErrBudget = errors.New("sat: conflict budget exhausted")
 
-type clause struct {
-	lits     []Lit
-	learnt   bool
-	activity float64
-}
-
 type watcher struct {
-	c       *clause
+	cref    CRef
 	blocker Lit // cached literal; if true the clause is satisfied
 }
 
 type varInfo struct {
-	reason *clause // antecedent clause, nil for decisions
-	level  int32   // decision level at which the variable was assigned
+	reason CRef  // antecedent clause, CRefUndef for decisions
+	level  int32 // decision level at which the variable was assigned
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 // A Solver is not safe for concurrent use; AED's per-destination
 // parallelism uses one Solver per goroutine.
+//
+// Clauses live in a flat arena ([]Lit slab) addressed by 32-bit CRefs
+// instead of per-clause heap allocations; learned clauses carry their
+// literal block distance (LBD) and are managed Glucose-style: glue
+// clauses (LBD ≤ 2) are never deleted, and reduceDB victims are chosen
+// by (LBD, activity). See docs/PERFORMANCE.md.
 type Solver struct {
-	clauses []*clause // problem clauses
-	learnts []*clause // learned clauses
+	arena   arena
+	clauses []CRef // problem clauses
+	learnts []CRef // learned clauses
 
 	watches  [][]watcher // watches[lit] = clauses watching lit
 	assigns  []Tribool   // assigns[var]
@@ -48,6 +49,14 @@ type Solver struct {
 	numVars   int
 	ok        bool  // false once a top-level conflict is derived
 	conflictC []Lit // final conflict clause in assumption terms
+
+	// Reusable conflict-analysis scratch, so the analyze/minimize path
+	// allocates nothing once the buffers have grown to steady state.
+	learntBuf  []Lit   // learned clause under construction
+	preBuf     []Lit   // pre-minimization copy for the onMinimize hook
+	markBuf    []bool  // per-var marks for clause minimization
+	levelStamp []int32 // per-level stamps for LBD computation
+	lbdStamp   int32
 
 	// Budget limits a single Solve call; 0 means unlimited.
 	Budget int64
@@ -95,11 +104,45 @@ func New() *Solver {
 	s.watches = make([][]watcher, 2)
 	s.assigns = make([]Tribool, 1)
 	s.vardata = make([]varInfo, 1)
+	s.vardata[0].reason = CRefUndef
 	s.activity = make([]float64, 1)
 	s.polarity = make([]bool, 1)
 	s.seen = make([]bool, 1)
+	s.markBuf = make([]bool, 1)
+	s.levelStamp = make([]int32, 1)
 	s.heap = newVarHeap(&s.activity)
 	return s
+}
+
+// growCap returns s with capacity for at least n elements, preserving
+// length and contents.
+func growCap[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s
+	}
+	ns := make([]T, len(s), n)
+	copy(ns, s)
+	return ns
+}
+
+// Grow preallocates internal storage for n additional variables, so a
+// following burst of NewVar calls (domain indicators, totalizer trees,
+// Tseitin gates) extends seven per-variable slices in place instead of
+// reallocating them one append at a time.
+func (s *Solver) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	need := s.numVars + n + 1
+	s.watches = growCap(s.watches, 2*need)
+	s.assigns = growCap(s.assigns, need)
+	s.vardata = growCap(s.vardata, need)
+	s.activity = growCap(s.activity, need)
+	s.polarity = growCap(s.polarity, need)
+	s.seen = growCap(s.seen, need)
+	s.markBuf = growCap(s.markBuf, need)
+	s.levelStamp = growCap(s.levelStamp, need)
+	s.heap.grow(need)
 }
 
 // NewVar allocates and returns a fresh variable.
@@ -108,10 +151,12 @@ func (s *Solver) NewVar() Var {
 	v := Var(s.numVars)
 	s.watches = append(s.watches, nil, nil)
 	s.assigns = append(s.assigns, Undef)
-	s.vardata = append(s.vardata, varInfo{})
+	s.vardata = append(s.vardata, varInfo{reason: CRefUndef})
 	s.activity = append(s.activity, 0)
 	s.polarity = append(s.polarity, true) // default phase: false (sign=true)
 	s.seen = append(s.seen, false)
+	s.markBuf = append(s.markBuf, false)
+	s.levelStamp = append(s.levelStamp, 0)
 	s.heap.insert(v)
 	return v
 }
@@ -172,31 +217,39 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		if !s.enqueue(out[0], nil) {
+		if !s.enqueue(out[0], CRefUndef) {
 			s.ok = false
 			return false
 		}
-		if s.propagate() != nil {
+		if s.propagate() != CRefUndef {
 			s.ok = false
 			return false
 		}
 		return true
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
+	c := s.arena.alloc(out, false, 0)
+	s.notePeak()
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
-	w0, w1 := c.lits[0], c.lits[1]
+func (s *Solver) attach(c CRef) {
+	cl := s.arena.lits(c)
+	w0, w1 := cl[0], cl[1]
 	s.watches[w0.Neg()] = append(s.watches[w0.Neg()], watcher{c, w1})
 	s.watches[w1.Neg()] = append(s.watches[w1.Neg()], watcher{c, w0})
 }
 
+func (s *Solver) notePeak() {
+	if b := s.arena.bytes(); b > s.Stats.PeakClauseBytes {
+		s.Stats.PeakClauseBytes = b
+	}
+}
+
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
-func (s *Solver) enqueue(l Lit, from *clause) bool {
+func (s *Solver) enqueue(l Lit, from CRef) bool {
 	switch s.litValue(l) {
 	case True:
 		return true
@@ -216,42 +269,42 @@ func (s *Solver) enqueue(l Lit, from *clause) bool {
 }
 
 // propagate runs unit propagation; it returns the conflicting clause
-// or nil.
-func (s *Solver) propagate() *clause {
+// ref or CRefUndef. This is the solver's hot loop: watchers carry the
+// clause ref plus a blocker literal, so satisfied clauses are skipped
+// without touching the arena at all, and the clause literals are read
+// through one slab index instead of a pointer chase.
+func (s *Solver) propagate() CRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true; clauses watching ¬p must react
 		s.qhead++
 		s.Stats.Propagations++
 		ws := s.watches[p]
 		kept := ws[:0]
-		var confl *clause
+		confl := CRefUndef
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if confl != nil {
-				kept = append(kept, ws[i:]...)
-				break
-			}
 			if s.litValue(w.blocker) == True {
 				kept = append(kept, w)
 				continue
 			}
-			c := w.c
-			// Ensure c.lits[0] is the other watched literal.
+			c := w.cref
+			cl := s.arena.lits(c)
+			// Ensure cl[0] is the other watched literal.
 			falseLit := p.Neg()
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if cl[0] == falseLit {
+				cl[0], cl[1] = cl[1], cl[0]
 			}
-			first := c.lits[0]
+			first := cl[0]
 			if first != w.blocker && s.litValue(first) == True {
 				kept = append(kept, watcher{c, first})
 				continue
 			}
 			// Look for a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.litValue(c.lits[k]) != False {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					nl := c.lits[1].Neg()
+			for k := 2; k < len(cl); k++ {
+				if s.litValue(cl[k]) != False {
+					cl[1], cl[k] = cl[k], cl[1]
+					nl := cl[1].Neg()
 					s.watches[nl] = append(s.watches[nl], watcher{c, first})
 					found = true
 					break
@@ -262,36 +315,62 @@ func (s *Solver) propagate() *clause {
 			}
 			// Clause is unit or conflicting.
 			kept = append(kept, watcher{c, first})
-			if s.litValue(first) == False {
+			if s.litValue(first) == False || !s.enqueue(first, c) {
 				confl = c
 				s.qhead = len(s.trail)
-			} else if !s.enqueue(first, c) {
-				confl = c
-				s.qhead = len(s.trail)
+				kept = append(kept, ws[i+1:]...)
+				break
 			}
 		}
 		s.watches[p] = kept
-		if confl != nil {
+		if confl != CRefUndef {
 			return confl
 		}
 	}
-	return nil
+	return CRefUndef
+}
+
+// computeLBD returns the literal block distance of a clause: the number
+// of distinct decision levels among its literals (Glucose). Low LBD
+// ("glue") clauses connect few decision blocks and are the learned
+// clauses worth keeping forever.
+func (s *Solver) computeLBD(lits []Lit) int {
+	// Decision levels can exceed numVars when duplicate assumptions
+	// open empty levels; size the stamp array to the live level count.
+	if n := s.decisionLevel() + 1; n > len(s.levelStamp) {
+		s.levelStamp = append(s.levelStamp, make([]int32, n-len(s.levelStamp))...)
+	}
+	s.lbdStamp++
+	stamp := s.lbdStamp
+	n := 0
+	for _, l := range lits {
+		lv := s.vardata[l.Var()].level
+		if s.levelStamp[lv] != stamp {
+			s.levelStamp[lv] = stamp
+			n++
+		}
+	}
+	return n
 }
 
 // analyze performs first-UIP conflict analysis, returning the learned
-// clause (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
-	learnt := []Lit{0} // placeholder for the asserting literal
+// clause (asserting literal first), the backtrack level, and the
+// clause's LBD. The returned slice aliases an internal buffer that is
+// reused by the next analysis; callers must copy (arena.alloc does)
+// before the next conflict.
+func (s *Solver) analyze(confl CRef) ([]Lit, int, int) {
+	learnt := append(s.learntBuf[:0], 0) // placeholder for the asserting literal
 	counter := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
 
 	for {
+		cl := s.arena.lits(confl)
 		if s.debugChain != nil {
-			s.debugChain(confl.lits, p)
+			s.debugChain(cl, p)
 		}
 		s.bumpClause(confl)
-		for _, q := range confl.lits {
+		for _, q := range cl {
 			if p != -1 && q == p {
 				continue
 			}
@@ -324,17 +403,17 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	learnt[0] = p.Neg()
 
 	// Clause minimization: drop literals implied by the rest.
-	mark := make(map[Var]bool, len(learnt))
 	for _, l := range learnt[1:] {
-		mark[l.Var()] = true
+		s.markBuf[l.Var()] = true
 	}
 	// Note: seen flags must be cleared for every pre-minimization
 	// literal, not just the survivors, or stale flags poison the next
 	// conflict analysis.
-	pre := append([]Lit(nil), learnt...)
+	pre := append(s.preBuf[:0], learnt...)
+	s.preBuf = pre
 	mini := learnt[:1]
 	for _, l := range learnt[1:] {
-		if !s.redundant(l, mark) {
+		if !s.redundant(l) {
 			mini = append(mini, l)
 		}
 	}
@@ -357,27 +436,30 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	}
 	for _, l := range pre {
 		s.seen[l.Var()] = false
+		s.markBuf[l.Var()] = false
 	}
-	return learnt, btLevel
+	lbd := s.computeLBD(learnt)
+	s.learntBuf = learnt
+	return learnt, btLevel, lbd
 }
 
 // redundant reports whether literal l in a learned clause is implied by
 // the remaining marked literals (local, non-recursive minimization: l is
 // redundant if its reason exists and all reason literals are marked or
 // at level 0).
-func (s *Solver) redundant(l Lit, mark map[Var]bool) bool {
+func (s *Solver) redundant(l Lit) bool {
 	r := s.vardata[l.Var()].reason
-	if r == nil {
+	if r == CRefUndef {
 		return false
 	}
-	for _, q := range r.lits {
+	for _, q := range s.arena.lits(r) {
 		if q.Var() == l.Var() {
 			continue
 		}
 		if s.vardata[q.Var()].level == 0 {
 			continue
 		}
-		if !mark[q.Var()] {
+		if !s.markBuf[q.Var()] {
 			return false
 		}
 	}
@@ -392,7 +474,7 @@ func (s *Solver) backtrack(level int) {
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
 		s.assigns[v] = Undef
-		s.vardata[v].reason = nil
+		s.vardata[v].reason = CRefUndef
 		if !s.heap.inHeap(v) {
 			s.heap.insert(v)
 		}
@@ -415,14 +497,15 @@ func (s *Solver) bumpVar(v Var) {
 	}
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	if !c.learnt {
+func (s *Solver) bumpClause(c CRef) {
+	if !s.arena.learnt(c) {
 		return
 	}
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+	act := float64(s.arena.activity(c)) + s.claInc
+	s.arena.setActivity(c, float32(act))
+	if act > 1e20 {
 		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+			s.arena.setActivity(lc, s.arena.activity(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -462,36 +545,83 @@ func luby(base int64, i int64) int64 {
 	return base << (k - 1)
 }
 
-// reduceDB removes roughly half of the learned clauses, keeping the
-// most active and all binary/locked clauses.
+// reduceDB removes roughly half of the learned clauses. Binary,
+// locked (reason), and glue (LBD ≤ 2) clauses always survive; the
+// rest are ranked by (LBD, activity) so high-glue, low-activity
+// clauses go first. When enough slab space is freed, the arena is
+// compacted in place (garbageCollect).
 func (s *Solver) reduceDB() {
+	a := &s.arena
 	sort.Slice(s.learnts, func(i, j int) bool {
-		return s.learnts[i].activity > s.learnts[j].activity
+		ci, cj := s.learnts[i], s.learnts[j]
+		li, lj := a.lbd(ci), a.lbd(cj)
+		if li != lj {
+			return li < lj
+		}
+		return a.activity(ci) > a.activity(cj)
 	})
 	keep := s.learnts[:0]
 	limit := len(s.learnts) / 2
 	for i, c := range s.learnts {
-		if len(c.lits) <= 2 || s.locked(c) || i < limit {
+		if a.size(c) <= 2 || a.lbd(c) <= glueLBD || s.locked(c) || i < limit {
 			keep = append(keep, c)
 		} else {
 			s.detach(c)
+			a.free(c)
 			s.Stats.Deleted++
 		}
 	}
 	s.learnts = keep
+	if a.wasted*5 > len(a.data) {
+		s.garbageCollect()
+	}
+}
+
+// glueLBD is the protection threshold: learned clauses whose literal
+// block distance is at most this are never deleted (Glucose's "glue").
+const glueLBD = 2
+
+// garbageCollect compacts the clause arena: every live clause is moved
+// into a fresh slab and all aliases — watcher refs, assignment reasons,
+// and the problem/learnt clause lists — are remapped through forwarding
+// records. Runs at root or mid-search; locked clauses keep their role.
+func (s *Solver) garbageCollect() {
+	from := &s.arena
+	to := arena{data: make([]Lit, 0, len(from.data)-from.wasted)}
+	for li := range s.watches {
+		ws := s.watches[li]
+		for i := range ws {
+			ws[i].cref = from.reloc(ws[i].cref, &to)
+		}
+	}
+	for _, l := range s.trail {
+		v := l.Var()
+		if r := s.vardata[v].reason; r != CRefUndef {
+			s.vardata[v].reason = from.reloc(r, &to)
+		}
+	}
+	for i, c := range s.clauses {
+		s.clauses[i] = from.reloc(c, &to)
+	}
+	for i, c := range s.learnts {
+		s.learnts[i] = from.reloc(c, &to)
+	}
+	s.arena = to
+	s.Stats.ArenaGCs++
 }
 
 // locked reports whether c is the reason of an assigned variable.
-func (s *Solver) locked(c *clause) bool {
-	l := c.lits[0]
+func (s *Solver) locked(c CRef) bool {
+	l := s.arena.lits(c)[0]
 	return s.litValue(l) == True && s.vardata[l.Var()].reason == c
 }
 
-func (s *Solver) detach(c *clause) {
-	for _, w := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+func (s *Solver) detach(c CRef) {
+	cl := s.arena.lits(c)
+	for _, w := range []Lit{cl[0].Neg(), cl[1].Neg()} {
 		ws := s.watches[w]
 		for i, x := range ws {
-			if x.c == c {
+			if x.cref == c {
 				ws[i] = ws[len(ws)-1]
 				s.watches[w] = ws[:len(ws)-1]
 				break
@@ -573,7 +703,7 @@ func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *float64) St
 	var conflicts int64
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != CRefUndef {
 			s.Stats.Conflicts++
 			conflicts++
 			if s.Progress != nil && s.Stats.Conflicts%s.progressPeriod() == 0 {
@@ -586,25 +716,30 @@ func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *float64) St
 				s.ok = false
 				return Unsat
 			}
-			learnt, btLevel := s.analyze(confl)
+			learnt, btLevel, lbd := s.analyze(confl)
 			if s.onLearn != nil {
 				s.onLearn(learnt)
 			}
 			// Never backtrack past the assumptions.
 			s.backtrack(btLevel)
 			if len(learnt) == 1 {
-				if !s.enqueue(learnt[0], nil) {
+				if !s.enqueue(learnt[0], CRefUndef) {
 					s.ok = false
 					return Unsat
 				}
 			} else {
-				c := &clause{lits: learnt, learnt: true}
+				c := s.arena.alloc(learnt, true, lbd)
+				s.notePeak()
 				s.learnts = append(s.learnts, c)
 				s.attach(c)
 				s.bumpClause(c)
 				s.enqueue(learnt[0], c)
 			}
 			s.Stats.Learned++
+			s.Stats.LBDSum += int64(lbd)
+			if lbd <= glueLBD {
+				s.Stats.GlueLearned++
+			}
 			s.varInc *= varDecay
 			s.claInc *= claDecay
 			if float64(len(s.learnts)) > *maxLearnts {
@@ -630,7 +765,7 @@ func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *float64) St
 				return Unsat
 			}
 			s.trailLim = append(s.trailLim, len(s.trail))
-			s.enqueue(a, nil)
+			s.enqueue(a, CRefUndef)
 			continue
 		}
 		v := s.pickBranchVar()
@@ -639,7 +774,7 @@ func (s *Solver) search(assumptions []Lit, budget int64, maxLearnts *float64) St
 		}
 		s.Stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(NewLit(v, s.polarity[v]), nil)
+		s.enqueue(NewLit(v, s.polarity[v]), CRefUndef)
 	}
 }
 
@@ -662,12 +797,12 @@ func (s *Solver) analyzeFinal(a Lit, assumptions []Lit) []Lit {
 			continue
 		}
 		r := s.vardata[v].reason
-		if r == nil {
+		if r == CRefUndef {
 			if isAssumption[s.trail[i]] && s.trail[i].Var() != a.Var() {
 				out = append(out, s.trail[i].Neg())
 			}
 		} else {
-			for _, q := range r.lits {
+			for _, q := range s.arena.lits(r) {
 				if s.vardata[q.Var()].level > 0 {
 					seen[q.Var()] = true
 				}

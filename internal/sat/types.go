@@ -128,19 +128,38 @@ type Stats struct {
 	Learned      int64
 	Deleted      int64
 	SolveCalls   int64
+
+	// GlueLearned counts learned clauses whose literal block distance
+	// was at most the glue threshold (LBD ≤ 2) at learning time; these
+	// are protected from deletion (see reduceDB).
+	GlueLearned int64
+	// LBDSum is the sum of LBDs over all learned clauses, so the mean
+	// learned-clause quality is LBDSum/Learned.
+	LBDSum int64
+	// ArenaGCs counts compactions of the clause arena.
+	ArenaGCs int64
+	// PeakClauseBytes is the high-water mark of the clause arena in
+	// bytes. Under Add it sums (aggregate peak memory across per-
+	// destination solvers); under Sub it becomes an increment like any
+	// other counter.
+	PeakClauseBytes int64
 }
 
 // Add returns the field-wise sum s+o, for aggregating per-instance
 // solver stats into network-wide totals.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Decisions:    s.Decisions + o.Decisions,
-		Propagations: s.Propagations + o.Propagations,
-		Conflicts:    s.Conflicts + o.Conflicts,
-		Restarts:     s.Restarts + o.Restarts,
-		Learned:      s.Learned + o.Learned,
-		Deleted:      s.Deleted + o.Deleted,
-		SolveCalls:   s.SolveCalls + o.SolveCalls,
+		Decisions:       s.Decisions + o.Decisions,
+		Propagations:    s.Propagations + o.Propagations,
+		Conflicts:       s.Conflicts + o.Conflicts,
+		Restarts:        s.Restarts + o.Restarts,
+		Learned:         s.Learned + o.Learned,
+		Deleted:         s.Deleted + o.Deleted,
+		SolveCalls:      s.SolveCalls + o.SolveCalls,
+		GlueLearned:     s.GlueLearned + o.GlueLearned,
+		LBDSum:          s.LBDSum + o.LBDSum,
+		ArenaGCs:        s.ArenaGCs + o.ArenaGCs,
+		PeakClauseBytes: s.PeakClauseBytes + o.PeakClauseBytes,
 	}
 }
 
@@ -148,13 +167,17 @@ func (s Stats) Add(o Stats) Stats {
 // progress samples into increments.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Decisions:    s.Decisions - o.Decisions,
-		Propagations: s.Propagations - o.Propagations,
-		Conflicts:    s.Conflicts - o.Conflicts,
-		Restarts:     s.Restarts - o.Restarts,
-		Learned:      s.Learned - o.Learned,
-		Deleted:      s.Deleted - o.Deleted,
-		SolveCalls:   s.SolveCalls - o.SolveCalls,
+		Decisions:       s.Decisions - o.Decisions,
+		Propagations:    s.Propagations - o.Propagations,
+		Conflicts:       s.Conflicts - o.Conflicts,
+		Restarts:        s.Restarts - o.Restarts,
+		Learned:         s.Learned - o.Learned,
+		Deleted:         s.Deleted - o.Deleted,
+		SolveCalls:      s.SolveCalls - o.SolveCalls,
+		GlueLearned:     s.GlueLearned - o.GlueLearned,
+		LBDSum:          s.LBDSum - o.LBDSum,
+		ArenaGCs:        s.ArenaGCs - o.ArenaGCs,
+		PeakClauseBytes: s.PeakClauseBytes - o.PeakClauseBytes,
 	}
 }
 

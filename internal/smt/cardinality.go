@@ -18,9 +18,53 @@ func (c *Context) totalizer(inputs []sat.Lit) []sat.Lit {
 		return inputs
 	}
 	mid := len(inputs) / 2
-	left := c.totalizer(inputs[:mid])
-	right := c.totalizer(inputs[mid:])
-	n := len(inputs)
+	return c.totalizerMerge(c.totalizer(inputs[:mid]), c.totalizer(inputs[mid:]))
+}
+
+// weightedTotalizer builds a totalizer whose k-th output means "total
+// violated weight ≥ k+1", with one input literal per soft constraint
+// and its integer weight alongside. A weight-w leaf is the degenerate
+// unary counter [l, l, …, l] (w copies): its count jumps from 0 to w
+// when l is true, at no extra variables or clauses. The merge tree is
+// the standard totalizer merge, so the outputs stay a monotone unary
+// counter that the bounding search can assume against.
+func (c *Context) weightedTotalizer(inputs []sat.Lit, weights []int) []sat.Lit {
+	if len(inputs) == 0 {
+		return nil
+	}
+	nodes := make([][]sat.Lit, 0, len(inputs))
+	for i, l := range inputs {
+		leaf := make([]sat.Lit, weights[i])
+		for j := range leaf {
+			leaf[j] = l
+		}
+		nodes = append(nodes, leaf)
+	}
+	// Balanced pairwise merging keeps the tree depth logarithmic.
+	for len(nodes) > 1 {
+		next := nodes[:0]
+		for i := 0; i+1 < len(nodes); i += 2 {
+			next = append(next, c.totalizerMerge(nodes[i], nodes[i+1]))
+		}
+		if len(nodes)%2 == 1 {
+			next = append(next, nodes[len(nodes)-1])
+		}
+		nodes = next
+	}
+	return nodes[0]
+}
+
+// totalizerMerge fuses two unary counters into one of width
+// len(left)+len(right), emitting the standard totalizer clauses.
+func (c *Context) totalizerMerge(left, right []sat.Lit) []sat.Lit {
+	if len(left) == 0 {
+		return right
+	}
+	if len(right) == 0 {
+		return left
+	}
+	n := len(left) + len(right)
+	c.Grow(n)
 	out := make([]sat.Lit, n)
 	for i := range out {
 		out[i] = sat.PosLit(c.freshSatVar())
@@ -75,6 +119,7 @@ func (c *Context) AtMost(k int, fs ...*Formula) {
 	// Sequential counter (Sinz 2005): s[i][j] = "at least j+1 true
 	// among the first i+1 inputs".
 	n := len(lits)
+	c.Grow(n * k)
 	s := make([][]sat.Lit, n)
 	for i := range s {
 		s[i] = make([]sat.Lit, k)

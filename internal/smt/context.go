@@ -28,6 +28,20 @@ type Context struct {
 	// encoded once.
 	tseitinCache map[*Formula]sat.Lit
 
+	// Structural hash-consing: the pointer-keyed tseitinCache only
+	// collapses physically shared nodes, but the encoder rebuilds
+	// structurally identical subformulas per env × router × peer
+	// (adjacency sides, `preferred` chains, filter outcomes). internTab
+	// interns encoded nodes by structural key so every such rebuild
+	// reuses one definitional literal instead of emitting fresh CNF;
+	// hashMemo caches the structural hash per node so DAG sharing keeps
+	// hashing linear. See docs/PERFORMANCE.md §hash-consing.
+	internOn     bool
+	hashMemo     map[*Formula]uint64
+	internTab    map[uint64][]internEntry
+	internHits   int
+	internMisses int
+
 	// hardCount counts clauses added as hard constraints, used for
 	// reporting problem sizes in benchmarks.
 	hardCount int
@@ -51,14 +65,38 @@ type softConstraint struct {
 	label  string
 }
 
-// NewContext returns a fresh solving context.
+// internEntry is one hash bucket member: an encoded formula node and
+// its definitional literal.
+type internEntry struct {
+	f   *Formula
+	lit sat.Lit
+}
+
+// NewContext returns a fresh solving context with structural
+// hash-consing enabled.
 func NewContext() *Context {
 	return &Context{
 		solver:       sat.New(),
 		names:        make(map[int]string),
 		vars:         make(map[int]sat.Var),
 		tseitinCache: make(map[*Formula]sat.Lit),
+		internOn:     true,
+		hashMemo:     make(map[*Formula]uint64),
+		internTab:    make(map[uint64][]internEntry),
 	}
+}
+
+// SetInterning toggles structural hash-consing of encoded formula
+// nodes (default on). Disabling it restores the pointer-keyed-only
+// Tseitin cache, which is how benchmarks measure the CNF shrink the
+// interning provides; it must be toggled before constraints that
+// should be affected are asserted.
+func (c *Context) SetInterning(on bool) { c.internOn = on }
+
+// InternStats reports how many Tseitin encodings were served from the
+// structural intern table (hits) versus freshly emitted (misses).
+func (c *Context) InternStats() (hits, misses int) {
+	return c.internHits, c.internMisses
 }
 
 // BoolVar allocates a fresh boolean variable with a debug name and
@@ -141,6 +179,17 @@ func (c *Context) HardClauses() int { return c.hardCount }
 // NumSATVars exposes the size of the underlying SAT problem.
 func (c *Context) NumSATVars() int { return c.solver.NumVars() }
 
+// NumSATClauses exposes the number of CNF clauses held by the
+// underlying solver (the post-Tseitin problem size; unit clauses are
+// absorbed into root-level assignments and not counted).
+func (c *Context) NumSATClauses() int { return c.solver.NumClauses() }
+
+// Grow preallocates solver storage for n upcoming variables; the
+// domain materializers (IntVarOf, NatVarOf, totalizer, AtMost) use it
+// so their variable bursts extend the solver's per-variable slices in
+// one step.
+func (c *Context) Grow(n int) { c.solver.Grow(n) }
+
 // Stats returns the accumulated SAT-solver statistics.
 func (c *Context) Stats() sat.Stats { return c.solver.Stats }
 
@@ -166,8 +215,12 @@ func (c *Context) Observe(reg *obs.Registry, span *obs.Span) {
 	restarts := reg.Counter("solver.restarts")
 	learned := reg.Counter("solver.learned")
 	deleted := reg.Counter("solver.deleted")
+	glue := reg.Counter("solver.glue_learned")
+	lbdSum := reg.Counter("solver.lbd_sum")
+	gcs := reg.Counter("solver.arena_gcs")
 	trail := reg.Gauge("solver.trail_depth")
 	learnts := reg.Gauge("solver.learnt_clauses")
+	peak := reg.Gauge("solver.arena_peak_bytes")
 	trailHist := reg.Histogram("solver.trail_depth_dist", obs.DepthBuckets)
 	c.solver.Progress = func(p sat.ProgressSample) {
 		d := p.Stats.Sub(last)
@@ -178,8 +231,12 @@ func (c *Context) Observe(reg *obs.Registry, span *obs.Span) {
 		restarts.Add(d.Restarts)
 		learned.Add(d.Learned)
 		deleted.Add(d.Deleted)
+		glue.Add(d.GlueLearned)
+		lbdSum.Add(d.LBDSum)
+		gcs.Add(d.ArenaGCs)
 		trail.Set(int64(p.TrailDepth))
 		learnts.Set(int64(p.LearntClauses))
+		peak.Set(p.Stats.PeakClauseBytes)
 		trailHist.Observe(float64(p.TrailDepth))
 	}
 }
@@ -239,14 +296,86 @@ func (c *Context) solveTimed(assumptions ...sat.Lit) sat.Status {
 }
 
 // tseitin returns a literal equisatisfiably representing f, memoized
-// per formula node.
+// per formula node (pointer) and, when interning is on, per structural
+// key: a rebuilt-but-identical subformula reuses the definitional
+// literal of its first encoding and emits no new clauses.
 func (c *Context) tseitin(f *Formula) sat.Lit {
 	if l, ok := c.tseitinCache[f]; ok {
+		return l
+	}
+	if c.internOn && f.op != opVar && f.op != opConst {
+		h := c.structHash(f)
+		for _, e := range c.internTab[h] {
+			if structEq(e.f, f) {
+				c.internHits++
+				c.tseitinCache[f] = e.lit
+				return e.lit
+			}
+		}
+		l := c.tseitinUncached(f)
+		c.internMisses++
+		c.tseitinCache[f] = l
+		c.internTab[h] = append(c.internTab[h], internEntry{f: f, lit: l})
 		return l
 	}
 	l := c.tseitinUncached(f)
 	c.tseitinCache[f] = l
 	return l
+}
+
+// structHash computes a structural FNV-style hash of f, memoized per
+// node so shared subtrees hash once.
+func (c *Context) structHash(f *Formula) uint64 {
+	if h, ok := c.hashMemo[f]; ok {
+		return h
+	}
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime
+	}
+	mix(uint64(f.op) + 1)
+	switch f.op {
+	case opConst:
+		if f.b {
+			mix(1)
+		} else {
+			mix(2)
+		}
+	case opVar:
+		mix(uint64(f.v) + 3)
+	default:
+		for _, k := range f.kids {
+			mix(c.structHash(k))
+		}
+	}
+	c.hashMemo[f] = h
+	return h
+}
+
+// structEq reports structural equality of two formulas. Interned DAGs
+// converge to shared pointers quickly, so the pointer fast path keeps
+// repeated comparisons cheap.
+func structEq(a, b *Formula) bool {
+	if a == b {
+		return true
+	}
+	if a.op != b.op || len(a.kids) != len(b.kids) {
+		return false
+	}
+	switch a.op {
+	case opConst:
+		return a.b == b.b
+	case opVar:
+		return a.v == b.v
+	}
+	for i := range a.kids {
+		if !structEq(a.kids[i], b.kids[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Context) tseitinUncached(f *Formula) sat.Lit {

@@ -35,6 +35,7 @@ func (c *Context) IntVarOf(name string, domain []int) *IntVar {
 	}
 	d = d[:w]
 	iv := &IntVar{name: name, domain: d}
+	c.Grow(len(d)) // one indicator variable per domain value
 	iv.indicators = make([]*Formula, len(d))
 	for i, val := range d {
 		iv.indicators[i] = c.BoolVar(fmt.Sprintf("%s=%d", name, val))

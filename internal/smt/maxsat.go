@@ -55,23 +55,26 @@ func (c *Context) Maximize(strategy Strategy) *MaxResult {
 	}
 }
 
-// relaxed materializes one relaxation literal per unit of soft weight:
-// weight w contributes w copies of its relaxation literal so the unary
-// totalizer counts weighted cost. Weights in AED are tiny (default 1),
-// so cloning is cheap and keeps the encoding simple.
-func (c *Context) relaxSoft() (relax []sat.Lit, total int) {
+// relaxSoft materializes exactly one relaxation literal per soft
+// constraint and returns it with a parallel weight table: r true ⇔ the
+// constraint may be violated, at cost weight. The weighted totalizer
+// consumes (lit, weight) pairs directly, so the input stays one entry
+// per constraint instead of weight-many clones — compact even once
+// non-unit weights appear.
+func (c *Context) relaxSoft() (relax []sat.Lit, weights []int) {
+	c.Grow(len(c.soft))
+	relax = make([]sat.Lit, 0, len(c.soft))
+	weights = make([]int, 0, len(c.soft))
 	for i := range c.soft {
 		s := &c.soft[i]
-		r := sat.PosLit(c.freshSatVar()) // r true ⇔ soft constraint violated (may be violated)
+		r := sat.PosLit(c.freshSatVar())
 		fl := c.tseitin(s.f)
 		// ¬f -> r   (if the soft constraint fails, pay the cost)
 		c.solver.AddClause(fl, r)
-		for w := 0; w < s.weight; w++ {
-			relax = append(relax, r)
-			total++
-		}
+		relax = append(relax, r)
+		weights = append(weights, s.weight)
 	}
-	return relax, total
+	return relax, weights
 }
 
 func (c *Context) maximizeBounded(binary bool) *MaxResult {
@@ -85,8 +88,8 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 		res.Model = &Model{ctx: c, assign: c.solver.Model()}
 		return res
 	}
-	relax, total := c.relaxSoft()
-	outs := c.totalizer(relax)
+	relax, weights := c.relaxSoft()
+	outs := c.weightedTotalizer(relax, weights)
 
 	res.Iterations++
 	if c.solveTimed() != sat.Sat {
@@ -130,7 +133,6 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 			bestCost = c.costOf(best)
 		}
 	}
-	_ = total
 	c.finishResult(res, best)
 	return res
 }

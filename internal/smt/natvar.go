@@ -20,6 +20,7 @@ func (c *Context) NatVarOf(name string, max int) *NatVar {
 		panic("smt: negative NatVar bound")
 	}
 	n := &NatVar{name: name, max: max}
+	c.Grow(max) // one ladder variable per threshold
 	n.ge = make([]*Formula, max)
 	for k := 1; k <= max; k++ {
 		n.ge[k-1] = c.BoolVar(fmt.Sprintf("%s>=%d", name, k))
