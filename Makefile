@@ -5,9 +5,14 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-sat bench-sat-quick
+.PHONY: check fmt vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-sat bench-sat-quick
 
-check: vet build race fuzz-smoke bench-incremental-quick
+check: fmt vet build race fuzz-smoke bench-incremental-quick
+
+# Fails listing the files that need gofmt; run `gofmt -w .` to fix.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

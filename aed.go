@@ -192,8 +192,40 @@ type (
 	InstanceStats = core.InstanceStats
 )
 
+// Flight-recorder and debug-endpoint surface.
+type (
+	// FlightRecorder is a fixed-capacity ring of solver events
+	// (restarts, clause-database reductions, MaxSAT bound movements,
+	// session cache activity) attached to a Tracer via SetRecorder.
+	FlightRecorder = obs.Recorder
+	// RecorderEvent is one drained flight-recorder entry.
+	RecorderEvent = obs.RecorderEvent
+	// Incident is a slow-solve watchdog snapshot (see
+	// Options.SlowSolveAfter and Options.IncidentWriter).
+	Incident = obs.Incident
+	// TraceAnalysis is the offline view of a decoded trace: span tree,
+	// per-phase aggregates, critical path (cmd/aedtrace's engine).
+	TraceAnalysis = obs.Analysis
+)
+
 // NewTracer returns an enabled telemetry collector for Options.Tracer.
 func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewFlightRecorder returns a solver-event ring buffer holding the
+// last capacity events (<=0 selects the default capacity).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewRecorder(capacity) }
+
+// AnalyzeTrace reconstructs the span tree and per-phase timings from
+// decoded trace events (ReadTrace output).
+func AnalyzeTrace(events []TraceEvent) *TraceAnalysis { return obs.Analyze(events) }
+
+// ServeDebug starts an HTTP debug endpoint on addr serving /metrics,
+// /spans (including in-flight spans), /recorder, and /debug/pprof/ for
+// the given tracer. It returns the bound address (useful with ":0")
+// and a function that shuts the listener down.
+func ServeDebug(addr string, t *Tracer) (string, func() error, error) {
+	return obs.ServeDebug(addr, t)
+}
 
 // WriteTrace exports a tracer's spans and metrics as JSONL events.
 func WriteTrace(w io.Writer, t *Tracer) error { return obs.WriteJSONL(w, t) }

@@ -6,12 +6,23 @@
 //	aed -configs DIR -topo FILE -policies FILE [-objectives FILE]
 //	    [-objective NAME] [-min-lines] [-monolithic] [-out DIR]
 //	    [-stats] [-trace FILE] [-timeout D] [-watch D]
+//	    [-debug-addr ADDR] [-slow-solve D] [-incidents FILE]
 //
 // Telemetry: -stats prints a per-destination solver table (decisions,
 // conflicts, restarts, iterations, time) plus the network-wide totals,
 // and -trace FILE writes the full span tree (parse → encode → solve →
 // extract → validate) and metrics registry as JSONL events (see
 // docs/OBSERVABILITY.md for the taxonomy and format).
+//
+// -debug-addr starts an HTTP debug endpoint (e.g. ":6060") serving
+// /metrics, /spans (including in-flight spans), /recorder (the solver
+// flight recorder), and /debug/pprof/ while synthesis runs.
+//
+// -slow-solve arms a watchdog: any single instance solve running longer
+// than D produces a JSONL incident (to -incidents, default stderr dump
+// only) with the open span stack and recent flight-recorder events —
+// without aborting the solve. When -timeout is set and -slow-solve is
+// not, the watchdog defaults to half the timeout.
 //
 // -timeout bounds the solve: when it expires, every in-flight CDCL
 // search stops at its next conflict and aed exits with an error.
@@ -74,6 +85,9 @@ func main() {
 		traceFile = flag.String("trace", "", "write a JSONL telemetry trace (spans + metrics) to FILE")
 		timeout   = flag.Duration("timeout", 0, "abort synthesis after this long (0 = no limit)")
 		watch     = flag.Duration("watch", 0, "poll the input files at this interval and re-solve incrementally on change (0 = solve once)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /spans, /recorder and /debug/pprof on this address (e.g. :6060)")
+		slowSolve = flag.Duration("slow-solve", 0, "record an incident when a solve runs longer than this (0 = half of -timeout, or off)")
+		incidents = flag.String("incidents", "", "append watchdog incidents as JSONL to FILE (default: human dump to stderr only)")
 	)
 	flag.Parse()
 	if *configDir == "" || *topoFile == "" || *policyFile == "" {
@@ -82,8 +96,15 @@ func main() {
 	}
 
 	var tracer *obs.Tracer
-	if *traceFile != "" || *stats {
+	if *traceFile != "" || *stats || *debugAddr != "" || *slowSolve > 0 || *timeout > 0 {
 		tracer = obs.NewTracer()
+		tracer.SetRecorder(obs.NewRecorder(obs.DefaultRecorderCapacity))
+	}
+	if *debugAddr != "" {
+		addr, closeDebug, err := obs.ServeDebug(*debugAddr, tracer)
+		check(err)
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "aed: debug endpoint on http://%s (/metrics /spans /recorder /debug/pprof/)\n", addr)
 	}
 	// The trace must reach disk on every path, including the early
 	// os.Exit ones (unsat, residual violations).
@@ -131,6 +152,18 @@ func main() {
 		opts.MinimizeLines = true
 	}
 	opts.Tracer = tracer
+	opts.SlowSolveAfter = *slowSolve
+	if opts.SlowSolveAfter == 0 && *timeout > 0 {
+		// A solve eating half the budget is worth a snapshot while it
+		// can still finish inside the deadline.
+		opts.SlowSolveAfter = *timeout / 2
+	}
+	if *incidents != "" {
+		f, err := os.OpenFile(*incidents, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		check(err)
+		defer f.Close()
+		opts.IncidentWriter = f
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -398,6 +431,8 @@ func loadPolicies(path string, net *config.Network, topo *topology.Topology, kee
 // the number of learned clauses with LBD ≤ 2 (never deleted); avgLBD is
 // the mean literal block distance over all learned clauses — low values
 // mean the solver is learning reusable clauses (see docs/PERFORMANCE.md).
+// slow marks instances whose solve exceeded the -slow-solve watchdog
+// threshold (each produced an incident record).
 func printStats(res *core.Result) {
 	avgLBD := func(s sat.Stats) float64 {
 		if s.Learned == 0 {
@@ -405,20 +440,20 @@ func printStats(res *core.Result) {
 		}
 		return float64(s.LBDSum) / float64(s.Learned)
 	}
-	fmt.Printf("%-20s %-5s %8s %8s %6s %10s %10s %9s %8s %6s %6s %12s %6s\n",
+	fmt.Printf("%-20s %-5s %8s %8s %6s %10s %10s %9s %8s %6s %6s %12s %6s %5s\n",
 		"destination", "sat", "policies", "vars", "iters",
-		"decisions", "conflicts", "restarts", "learned", "glue", "avgLBD", "time", "cached")
+		"decisions", "conflicts", "restarts", "learned", "glue", "avgLBD", "time", "cached", "slow")
 	var iters, policies int
 	for _, is := range res.Instances {
 		dest := is.Destination.String()
 		if is.Destination.Len == 0 {
 			dest = "(joint)"
 		}
-		fmt.Printf("%-20s %-5v %8d %8d %6d %10d %10d %9d %8d %6d %6.1f %12v %6v\n",
+		fmt.Printf("%-20s %-5v %8d %8d %6d %10d %10d %9d %8d %6d %6.1f %12v %6v %5v\n",
 			dest, is.Sat, is.Policies, is.NumVars, is.Iterations,
 			is.Solver.Decisions, is.Solver.Conflicts, is.Solver.Restarts,
 			is.Solver.Learned, is.Solver.GlueLearned, avgLBD(is.Solver),
-			is.Duration.Round(1000), is.Cached)
+			is.Duration.Round(1000), is.Cached, is.Slow)
 		iters += is.Iterations
 		policies += is.Policies
 	}

@@ -6,6 +6,11 @@
 //
 //	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|all
 //	         [-scale quick|full] [-metrics-out FILE] [-out FILE]
+//	         [-debug-addr ADDR]
+//
+// -debug-addr serves the live debug endpoint (/metrics, /spans,
+// /recorder, /debug/pprof/) while the experiments run — useful for
+// profiling a long full-scale run without waiting for the artifact.
 //
 // The incremental experiment measures the session engine's warm-vs-
 // cold solve latency (per-destination cache); -out writes its JSON
@@ -42,6 +47,7 @@ func main() {
 		scaleFlag  = flag.String("scale", "quick", "quick or full")
 		metricsOut = flag.String("metrics-out", "", "write a JSONL metrics artifact (spans + solver metrics) to FILE")
 		benchOut   = flag.String("out", "", "write the incremental/satperf experiment's JSON artifact to FILE")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /spans, /recorder and /debug/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -54,15 +60,25 @@ func main() {
 	}
 
 	var tracer *obs.Tracer
-	if *metricsOut != "" {
+	if *metricsOut != "" || *debugAddr != "" {
 		tracer = obs.NewTracer()
+		tracer.SetRecorder(obs.NewRecorder(obs.DefaultRecorderCapacity))
 		// The benchmark drivers call core.Synthesize internally, so the
 		// tracer is installed process-wide instead of being threaded
 		// through every workload helper.
 		core.SetTracer(tracer)
 	}
+	if *debugAddr != "" {
+		addr, closeDebug, err := obs.ServeDebug(*debugAddr, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aedbench:", err)
+			os.Exit(1)
+		}
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "aedbench: debug endpoint on http://%s\n", addr)
+	}
 	writeMetrics := func() {
-		if tracer == nil {
+		if tracer == nil || *metricsOut == "" {
 			return
 		}
 		f, err := os.Create(*metricsOut)

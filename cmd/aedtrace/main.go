@@ -1,0 +1,273 @@
+// Command aedtrace analyzes JSONL telemetry traces written by
+// aed -trace, aedbench -metrics-out, or aed.WriteTrace.
+//
+// Usage:
+//
+//	aedtrace [-tree] [-phases] [-flame] [-top N] [-metrics] TRACE.jsonl
+//	aedtrace -diff OLD.jsonl NEW.jsonl
+//
+// With no mode flags aedtrace prints the phase table and the critical
+// path. Modes:
+//
+//	-tree     render the reconstructed span tree with durations
+//	-phases   per-phase aggregates: count, total, self, max (default)
+//	-flame    text flamegraph: bar width proportional to duration
+//	-top N    the N slowest individual spans (default 10 with -top)
+//	-metrics  dump the counter/gauge/histogram events in the trace
+//	-diff     compare two traces' per-phase totals (new - old)
+//
+// Phase totals here match the per-span durations WriteTraceSummary
+// prints (aggregated by span name), so the two views can be
+// cross-checked (see docs/OBSERVABILITY.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/aed-net/aed/internal/obs"
+)
+
+func main() {
+	var (
+		tree    = flag.Bool("tree", false, "print the reconstructed span tree")
+		phases  = flag.Bool("phases", false, "print per-phase aggregate timings")
+		flame   = flag.Bool("flame", false, "print a text flamegraph")
+		top     = flag.Int("top", 0, "print the N slowest individual spans")
+		metrics = flag.Bool("metrics", false, "print the trace's metric events")
+		diff    = flag.Bool("diff", false, "compare two traces' per-phase totals (OLD NEW)")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "aedtrace: -diff needs exactly two traces: OLD.jsonl NEW.jsonl")
+			os.Exit(2)
+		}
+		printDiff(load(flag.Arg(0)), load(flag.Arg(1)))
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a := load(flag.Arg(0))
+
+	// Default view: phases + critical path.
+	if !*tree && !*phases && !*flame && *top == 0 && !*metrics {
+		*phases = true
+		printCriticalPath(a)
+		fmt.Println()
+	}
+	first := true
+	section := func() {
+		if !first {
+			fmt.Println()
+		}
+		first = false
+	}
+	if *tree {
+		section()
+		printTree(a)
+	}
+	if *phases {
+		section()
+		printPhases(a)
+	}
+	if *flame {
+		section()
+		printFlame(a)
+	}
+	if *top > 0 {
+		section()
+		printSlowest(a, *top)
+	}
+	if *metrics {
+		section()
+		printMetrics(a)
+	}
+}
+
+func load(path string) *obs.Analysis {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aedtrace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aedtrace:", err)
+		os.Exit(1)
+	}
+	return obs.Analyze(events)
+}
+
+// ms renders a microsecond quantity as milliseconds.
+func ms(us int64) string { return fmt.Sprintf("%.3fms", float64(us)/1000) }
+
+func printTree(a *obs.Analysis) {
+	fmt.Println("span tree:")
+	var walk func(n *obs.SpanNode, depth int)
+	walk = func(n *obs.SpanNode, depth int) {
+		open := ""
+		if n.Open {
+			open = "  (open)"
+		}
+		fmt.Printf("  %s%-*s %12s%s%s\n", strings.Repeat("  ", depth),
+			36-2*depth, n.Name, ms(n.DurUS), attrSuffix(n.Attrs), open)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range a.Roots {
+		walk(r, 0)
+	}
+}
+
+func attrSuffix(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, attrs[k]))
+	}
+	return "  {" + strings.Join(parts, " ") + "}"
+}
+
+func printPhases(a *obs.Analysis) {
+	fmt.Println("phases (by total time):")
+	fmt.Printf("  %-32s %6s %14s %14s %14s\n", "phase", "count", "total", "self", "max")
+	for _, p := range a.Phases() {
+		fmt.Printf("  %-32s %6d %14s %14s %14s\n",
+			p.Name, p.Count, ms(p.TotalUS), ms(p.SelfUS), ms(p.MaxUS))
+	}
+}
+
+func printCriticalPath(a *obs.Analysis) {
+	path := a.CriticalPath()
+	if len(path) == 0 {
+		fmt.Println("critical path: (empty trace)")
+		return
+	}
+	fmt.Println("critical path:")
+	for i, n := range path {
+		fmt.Printf("  %s%s %s\n", strings.Repeat("  ", i), n.Name, ms(n.DurUS))
+	}
+}
+
+// printFlame renders a text flamegraph: each span is one row, indented
+// by depth, with a bar proportional to its share of the widest root.
+func printFlame(a *obs.Analysis) {
+	const width = 60
+	var max int64
+	for _, r := range a.Roots {
+		if r.DurUS > max {
+			max = r.DurUS
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	fmt.Println("flamegraph (bar ∝ duration):")
+	var walk func(n *obs.SpanNode, depth int)
+	walk = func(n *obs.SpanNode, depth int) {
+		bar := int(n.DurUS * width / max)
+		if bar == 0 && n.DurUS > 0 {
+			bar = 1
+		}
+		fmt.Printf("  %-28s %12s |%s\n",
+			strings.Repeat(" ", depth)+n.Name, ms(n.DurUS), strings.Repeat("█", bar))
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range a.Roots {
+		walk(r, 0)
+	}
+}
+
+func printSlowest(a *obs.Analysis, n int) {
+	fmt.Printf("slowest %d spans:\n", n)
+	fmt.Printf("  %-32s %14s %14s\n", "span", "start", "duration")
+	for _, sp := range a.Slowest(n) {
+		fmt.Printf("  %-32s %14s %14s%s\n", sp.Name, ms(sp.StartUS), ms(sp.DurUS), attrSuffix(sp.Attrs))
+	}
+}
+
+func printMetrics(a *obs.Analysis) {
+	fmt.Println("metrics:")
+	for _, ev := range a.Metrics {
+		switch ev.Type {
+		case "counter":
+			fmt.Printf("  counter   %-32s %d\n", ev.Name, ev.Value)
+		case "gauge":
+			fmt.Printf("  gauge     %-32s %d (max %d)\n", ev.Name, ev.Value, ev.Max)
+		case "histogram":
+			fmt.Printf("  histogram %-32s n=%d sum=%.3f\n", ev.Name, ev.Count, ev.Sum)
+		}
+	}
+}
+
+// printDiff compares per-phase totals: new minus old, sorted by the
+// absolute change. Phases present in only one trace show as added or
+// removed.
+func printDiff(oldA, newA *obs.Analysis) {
+	oldP := make(map[string]obs.PhaseStat)
+	for _, p := range oldA.Phases() {
+		oldP[p.Name] = p
+	}
+	newP := make(map[string]obs.PhaseStat)
+	for _, p := range newA.Phases() {
+		newP[p.Name] = p
+	}
+	names := make(map[string]bool)
+	for n := range oldP {
+		names[n] = true
+	}
+	for n := range newP {
+		names[n] = true
+	}
+	type row struct {
+		name              string
+		oldUS, newUS, dUS int64
+		oldN, newN        int
+	}
+	var rows []row
+	for n := range names {
+		o, nw := oldP[n], newP[n]
+		rows = append(rows, row{n, o.TotalUS, nw.TotalUS, nw.TotalUS - o.TotalUS, o.Count, nw.Count})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := rows[i].dUS, rows[j].dUS
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].name < rows[j].name
+	})
+	fmt.Println("phase diff (new - old, by |change|):")
+	fmt.Printf("  %-32s %14s %14s %14s %9s\n", "phase", "old", "new", "change", "count")
+	for _, r := range rows {
+		sign := ""
+		if r.dUS > 0 {
+			sign = "+"
+		}
+		fmt.Printf("  %-32s %14s %14s %13s%s %4d→%-4d\n",
+			r.name, ms(r.oldUS), ms(r.newUS), sign, ms(r.dUS), r.oldN, r.newN)
+	}
+}

@@ -9,6 +9,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -68,6 +70,17 @@ type Options struct {
 	// with SetTracer, and disables telemetry at zero overhead when
 	// that too is unset.
 	Tracer *obs.Tracer
+	// SlowSolveAfter arms the slow-solve watchdog: an instance solve
+	// still running after this long produces an incident — a JSONL
+	// record to IncidentWriter and a human-readable dump to stderr —
+	// without aborting the solve, and the instance is flagged
+	// InstanceStats.Slow once it completes. Zero (the default) disables
+	// the watchdog. The aed CLI defaults this to half of -timeout when
+	// only a timeout is given.
+	SlowSolveAfter time.Duration
+	// IncidentWriter, when non-nil, receives one JSON line per watchdog
+	// incident (see obs.Incident for the schema).
+	IncidentWriter io.Writer
 }
 
 // defaultTracer is the process-wide fallback used when Options.Tracer
@@ -86,6 +99,25 @@ func (o Options) tracer() *obs.Tracer {
 		return o.Tracer
 	}
 	return defaultTracer.Load()
+}
+
+// watchdog builds the slow-solve watchdog for one Solve/Synthesize
+// call (nil — a valid no-op — when SlowSolveAfter is unset). One
+// watchdog is shared by all parallel instance solves of the call so
+// incident output is serialized.
+func (o Options) watchdog(tr *obs.Tracer) *obs.Watchdog {
+	w := obs.NewWatchdog(o.SlowSolveAfter, tr)
+	if w != nil {
+		w.Incidents = o.IncidentWriter
+		w.Dump = os.Stderr
+	}
+	return w
+}
+
+// markSlow flags instances whose solve outlived the watchdog
+// threshold, which is what `aed -stats` renders as the slow column.
+func (o Options) markSlow(d time.Duration) bool {
+	return o.SlowSolveAfter > 0 && d >= o.SlowSolveAfter
 }
 
 // DefaultOptions returns the paper's fully optimized configuration.
@@ -203,13 +235,17 @@ type InstanceStats struct {
 	// NumClauses is the instance's post-Tseitin CNF clause count.
 	NumClauses int
 	NumDeltas  int
-	Iterations  int
-	Duration    time.Duration
-	Sat         bool
+	Iterations int
+	Duration   time.Duration
+	Sat        bool
 	// Cached marks an instance whose result was reused from a session
 	// cache instead of being re-solved in this call; its Solver
 	// counters describe the original solve.
 	Cached bool
+	// Slow marks an instance whose solve outlived Options.SlowSolveAfter
+	// (the slow-solve watchdog fired for it). Always false when the
+	// watchdog is disabled.
+	Slow bool
 	// Solver holds the instance's cumulative SAT-solver counters
 	// (decisions, conflicts, restarts, ...).
 	Solver sat.Stats
@@ -240,12 +276,13 @@ func SynthesizeContext(ctx context.Context, net *config.Network, topo *topology.
 	gsp.SetInt("destinations", int64(len(dests)))
 	gsp.End()
 
+	wd := opts.watchdog(tr)
 	res := &Result{Sat: true}
 	if opts.Monolithic {
-		if err := solveMonolithic(ctx, net, topo, groups, dests, opts, res, tr, root); err != nil {
+		if err := solveMonolithic(ctx, net, topo, groups, dests, opts, res, tr, root, wd); err != nil {
 			return nil, err
 		}
-	} else if err := solveSplit(ctx, net, topo, groups, dests, opts, res, tr, root); err != nil {
+	} else if err := solveSplit(ctx, net, topo, groups, dests, opts, res, tr, root, wd); err != nil {
 		return nil, err
 	}
 	for _, is := range res.Instances {
@@ -308,10 +345,12 @@ func instantiateObjectives(net *config.Network, objs []objective.Objective, delt
 
 func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.Topology,
 	groups map[prefix.Prefix][]policy.Policy, dests []prefix.Prefix,
-	opts Options, res *Result, tr *obs.Tracer, root *obs.Span) error {
+	opts Options, res *Result, tr *obs.Tracer, root *obs.Span, wd *obs.Watchdog) error {
 
 	msp := root.Child("monolithic")
 	defer msp.End()
+	stop := wd.Watch("monolithic")
+	defer stop()
 	j := encode.NewJoint(net, topo, opts.Encode)
 	j.Observe(msp, tr.Metrics())
 	esp := msp.Child("encode")
@@ -337,6 +376,7 @@ func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.To
 	res.Instances = append(res.Instances, InstanceStats{
 		Policies: total, NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 		Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
+		Slow:   opts.markSlow(r.Duration),
 		Solver: r.Stats,
 	})
 	if !r.Sat {
@@ -355,11 +395,16 @@ func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.To
 // work shared by the one-shot split path and the session engine.
 func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topology,
 	d prefix.Prefix, group []policy.Policy, opts Options,
-	tr *obs.Tracer, root *obs.Span) (*encode.Result, error) {
+	tr *obs.Tracer, root *obs.Span, wd *obs.Watchdog) (*encode.Result, error) {
 
+	dest := d.String()
 	dsp := root.Child("destination")
-	dsp.SetStr("dest", d.String())
+	dsp.SetStr("dest", dest)
 	defer dsp.End()
+	stop := wd.Watch(dest)
+	defer stop()
+	rec := tr.Recorder()
+	rec.RecordLabeled(obs.EvSolveStart, dest, 0, 0)
 	e := encode.New(net, topo, d, opts.Encode)
 	e.Observe(dsp, tr.Metrics())
 	esp := dsp.Child("encode")
@@ -374,7 +419,13 @@ func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topo
 	esp.SetInt("vars", int64(e.Ctx.NumSATVars()))
 	esp.SetInt("deltas", int64(len(e.Deltas())))
 	esp.End()
-	return e.SolveContext(ctx, opts.Strategy), nil
+	r := e.SolveContext(ctx, opts.Strategy)
+	var satBit int64
+	if r.Sat {
+		satBit = 1
+	}
+	rec.RecordLabeled(obs.EvSolveEnd, dest, satBit, r.Duration.Milliseconds())
+	return r, nil
 }
 
 // runInstances executes n index-addressed solve tasks, concurrently
@@ -418,7 +469,7 @@ func explainDest(net *config.Network, topo *topology.Topology, d prefix.Prefix,
 
 func solveSplit(ctx context.Context, net *config.Network, topo *topology.Topology,
 	groups map[prefix.Prefix][]policy.Policy, dests []prefix.Prefix,
-	opts Options, res *Result, tr *obs.Tracer, root *obs.Span) error {
+	opts Options, res *Result, tr *obs.Tracer, root *obs.Span, wd *obs.Watchdog) error {
 
 	type outcome struct {
 		dest   prefix.Prefix
@@ -435,7 +486,7 @@ func solveSplit(ctx context.Context, net *config.Network, topo *topology.Topolog
 			outcomes[i] = outcome{dest: d, err: err}
 			return
 		}
-		r, err := solveInstance(ctx, net, topo, d, groups[d], opts, tr, root)
+		r, err := solveInstance(ctx, net, topo, d, groups[d], opts, tr, root, wd)
 		outcomes[i] = outcome{dest: d, result: r, err: err}
 	})
 
@@ -460,6 +511,7 @@ func solveSplit(ctx context.Context, net *config.Network, topo *topology.Topolog
 			Destination: o.dest, Policies: len(groups[dests[i]]),
 			NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
+			Slow:   opts.markSlow(r.Duration),
 			Solver: r.Stats,
 		})
 		res.SolveTime += r.Duration

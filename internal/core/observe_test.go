@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aed-net/aed/internal/obs"
+	"github.com/aed-net/aed/internal/policy"
+)
+
+// recorderKinds tallies a drained recorder by kind name.
+func recorderKinds(rec *obs.Recorder) map[string]int {
+	counts := make(map[string]int)
+	for _, ev := range rec.Events() {
+		counts[ev.Kind]++
+	}
+	return counts
+}
+
+// TestFlightRecorderFeedsFromSynthesis checks the end-to-end event
+// plumbing: a recorder attached to the tracer sees per-destination
+// solve boundaries from core and MaxSAT bound movements from smt,
+// without any extra wiring at the call site.
+func TestFlightRecorderFeedsFromSynthesis(t *testing.T) {
+	net, topo := leafSpineNet(t, 3, 2)
+	ps, _ := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
+block 10.2.0.0/24 -> 10.0.0.0/24
+reach 10.1.0.0/24 -> 10.2.0.0/24
+`)
+	tr := obs.NewTracer()
+	rec := obs.NewRecorder(1024)
+	tr.SetRecorder(rec)
+	opts := DefaultOptions()
+	opts.Objectives = minDevices(t)
+	opts.Tracer = tr
+	res, err := Synthesize(net, topo, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sat {
+		t.Fatalf("unsat: %v", res.UnsatDestinations)
+	}
+
+	counts := recorderKinds(rec)
+	if counts["solve_start"] != len(res.Instances) || counts["solve_end"] != len(res.Instances) {
+		t.Errorf("solve boundary events = %d/%d, want %d each (all: %v)",
+			counts["solve_start"], counts["solve_end"], len(res.Instances), counts)
+	}
+	if counts["bound_tighten"] == 0 {
+		t.Errorf("no MaxSAT bound events recorded (all: %v)", counts)
+	}
+	// Every solve_end carries the sat bit and a duration payload.
+	for _, ev := range rec.Events() {
+		if ev.Kind == "solve_end" {
+			if ev.A != 1 {
+				t.Errorf("solve_end for %s reports sat=%d on a sat run", ev.Label, ev.A)
+			}
+			if ev.B < 0 {
+				t.Errorf("solve_end duration = %dms", ev.B)
+			}
+			if ev.Label == "" {
+				t.Error("solve_end missing destination label")
+			}
+		}
+	}
+}
+
+// TestSessionCacheRecorderEvents checks the session engine streams its
+// cache classification into the recorder: misses on the cold run, hits
+// on the warm one, invalidations when a destination's policies change.
+func TestSessionCacheRecorderEvents(t *testing.T) {
+	net, topo := leafSpineNet(t, 3, 2)
+	ps, _ := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
+block 10.2.0.0/24 -> 10.0.0.0/24
+`)
+	tr := obs.NewTracer()
+	rec := obs.NewRecorder(1024)
+	tr.SetRecorder(rec)
+	opts := DefaultOptions()
+	opts.Tracer = tr
+	eng := NewEngine(net, topo, opts)
+
+	if _, err := eng.Solve(context.Background(), ps); err != nil {
+		t.Fatal(err)
+	}
+	cold := recorderKinds(rec)
+	if cold["cache_miss"] != 2 || cold["cache_hit"] != 0 {
+		t.Fatalf("cold run events = %v", cold)
+	}
+
+	if _, err := eng.Solve(context.Background(), ps); err != nil {
+		t.Fatal(err)
+	}
+	warm := recorderKinds(rec)
+	if warm["cache_hit"] != 2 {
+		t.Errorf("warm run hits = %d, want 2 (all: %v)", warm["cache_hit"], warm)
+	}
+
+	// Change one destination's policy group: that destination is
+	// invalidated and re-missed, the other stays a hit.
+	ps2, _ := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
+block 10.2.0.0/24 -> 10.0.0.0/24
+reach 10.1.0.0/24 -> 10.0.0.0/24
+`)
+	if _, err := eng.Solve(context.Background(), ps2); err != nil {
+		t.Fatal(err)
+	}
+	all := recorderKinds(rec)
+	if all["cache_invalidate"] != 1 {
+		t.Errorf("invalidations = %d, want 1 (all: %v)", all["cache_invalidate"], all)
+	}
+	if all["cache_hit"] != warm["cache_hit"]+1 {
+		t.Errorf("unchanged destination was not served from cache (all: %v)", all)
+	}
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSlowSolveWatchdogIntegration arms an immediately-firing watchdog
+// through Options and checks the full chain: incident JSONL on the
+// configured writer, Slow flags on the instance stats, and the
+// solve.slow_ms histogram — with the solve itself completing normally.
+//
+// With a 1ns threshold the timer can still lose the arm/stop race on a
+// sub-millisecond solve, so the test re-runs synthesis until at least
+// one incident lands (in practice the first attempt).
+func TestSlowSolveWatchdogIntegration(t *testing.T) {
+	net, topo := leafSpineNet(t, 3, 2)
+	ps, _ := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
+block 10.2.0.0/24 -> 10.0.0.0/24
+reach 10.1.0.0/24 -> 10.2.0.0/24
+`)
+	tr := obs.NewTracer()
+	tr.SetRecorder(obs.NewRecorder(256))
+	var incidents lockedBuffer
+	opts := DefaultOptions()
+	opts.Objectives = minDevices(t)
+	opts.Tracer = tr
+	opts.SlowSolveAfter = time.Nanosecond // every solve counts as slow
+	opts.IncidentWriter = &incidents
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := Synthesize(net, topo, ps, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Sat {
+			t.Fatal("watchdog must not affect the solve outcome")
+		}
+		for _, is := range res.Instances {
+			if !is.Slow {
+				t.Errorf("instance %s not flagged slow under a 1ns threshold", is.Destination)
+			}
+		}
+		if h := tr.Metrics().Snapshot().Histograms["solve.slow_ms"]; h.Count == 0 {
+			t.Error("no solve.slow_ms observations")
+		}
+		// The incident is written on the watchdog's timer goroutine;
+		// give stragglers a moment before retrying.
+		time.Sleep(20 * time.Millisecond)
+		if strings.Contains(incidents.String(), "\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no incident record written across repeated slow solves")
+		}
+	}
+	var inc obs.Incident
+	line := strings.SplitN(incidents.String(), "\n", 2)[0]
+	if err := json.Unmarshal([]byte(line), &inc); err != nil {
+		t.Fatalf("incident line is not JSON: %v\n%s", err, line)
+	}
+	if inc.Solve == "" || inc.RunningMS < 0 {
+		t.Errorf("incident = %+v", inc)
+	}
+	if tr.Metrics().Snapshot().Counters["watchdog.incidents"] == 0 {
+		t.Error("watchdog.incidents counter not bumped")
+	}
+}

@@ -109,7 +109,10 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 	gsp.End()
 
 	// Fingerprint every destination unit and split clean from dirty.
+	// Cache classification is also streamed into the flight recorder so
+	// a live /recorder drain shows which destinations stayed warm.
 	fsp := root.Child("fingerprint")
+	rec := tr.Recorder()
 	shared := sharedFingerprint(s.net, s.topo, s.opts)
 	fps := make([]uint64, len(dests))
 	results := make([]*encode.Result, len(dests))
@@ -125,10 +128,13 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 				conflicts[i] = e.conflict
 				cached[i] = true
 				hits++
+				rec.RecordLabeled(obs.EvCacheHit, d.String(), int64(fps[i]), 0)
 				continue
 			}
 			invalidations++
+			rec.RecordLabeled(obs.EvCacheInvalidate, d.String(), int64(fps[i]), int64(e.fp))
 		}
+		rec.RecordLabeled(obs.EvCacheMiss, d.String(), int64(fps[i]), 0)
 		dirty = append(dirty, i)
 	}
 	fsp.SetInt("hits", int64(hits))
@@ -136,6 +142,7 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 	fsp.End()
 
 	// Re-solve only the dirty destinations.
+	wd := s.opts.watchdog(tr)
 	errs := make([]error, len(dests))
 	runInstances(len(dirty), s.opts, func(k int) {
 		i := dirty[k]
@@ -144,7 +151,7 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 			errs[i] = err
 			return
 		}
-		results[i], errs[i] = solveInstance(ctx, s.net, s.topo, d, groups[d], s.opts, tr, root)
+		results[i], errs[i] = solveInstance(ctx, s.net, s.topo, d, groups[d], s.opts, tr, root, wd)
 	})
 
 	for _, i := range dirty {
@@ -179,7 +186,8 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 			Destination: d, Policies: len(groups[d]),
 			NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
-			Cached: cached[i], Solver: r.Stats,
+			Cached: cached[i], Slow: !cached[i] && s.opts.markSlow(r.Duration),
+			Solver: r.Stats,
 		})
 		if !cached[i] {
 			res.Solver = res.Solver.Add(r.Stats)

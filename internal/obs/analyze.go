@@ -1,0 +1,156 @@
+package obs
+
+import "sort"
+
+// Analysis is the offline view of a recorded trace: the span tree
+// reconstructed from parent IDs, per-phase aggregates, and the metric
+// events that followed the spans in the JSONL stream. Built by Analyze
+// from ReadEvents output (or from the /spans live payload); consumed
+// by cmd/aedtrace.
+type Analysis struct {
+	// Roots are the top-level spans in start order.
+	Roots []*SpanNode
+	// Metrics holds the non-span events (counter/gauge/histogram).
+	Metrics []Event
+
+	byID map[uint64]*SpanNode
+}
+
+// SpanNode is one span with its children resolved (children sorted by
+// start offset).
+type SpanNode struct {
+	Event
+	Children []*SpanNode
+}
+
+// PhaseStat aggregates every span sharing one name.
+type PhaseStat struct {
+	Name  string
+	Count int
+	// TotalUS sums the spans' durations; SelfUS subtracts each span's
+	// direct children (time attributable to the phase itself); MaxUS is
+	// the slowest single span.
+	TotalUS int64
+	SelfUS  int64
+	MaxUS   int64
+}
+
+// Analyze reconstructs the span tree from a decoded trace. Spans whose
+// parent is missing from the trace (e.g. a truncated file) are treated
+// as roots rather than dropped.
+func Analyze(events []Event) *Analysis {
+	a := &Analysis{byID: make(map[uint64]*SpanNode)}
+	var spans []*SpanNode
+	for _, ev := range events {
+		if ev.Type != "" && ev.Type != "span" {
+			a.Metrics = append(a.Metrics, ev)
+			continue
+		}
+		n := &SpanNode{Event: ev}
+		spans = append(spans, n)
+		a.byID[ev.ID] = n
+	}
+	for _, n := range spans {
+		if p, ok := a.byID[n.Parent]; ok && n.Parent != n.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			a.Roots = append(a.Roots, n)
+		}
+	}
+	sortNodes(a.Roots)
+	for _, n := range spans {
+		sortNodes(n.Children)
+	}
+	return a
+}
+
+func sortNodes(ns []*SpanNode) {
+	sort.SliceStable(ns, func(i, j int) bool { return ns[i].StartUS < ns[j].StartUS })
+}
+
+// Spans returns every span node (pre-order over the roots).
+func (a *Analysis) Spans() []*SpanNode {
+	var out []*SpanNode
+	var walk func(*SpanNode)
+	walk = func(n *SpanNode) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range a.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// Phases aggregates spans by name, sorted by total duration
+// descending. These totals match what WriteSummary prints per span,
+// summed per name (aedtrace's round-trip guarantee).
+func (a *Analysis) Phases() []PhaseStat {
+	byName := make(map[string]*PhaseStat)
+	for _, n := range a.Spans() {
+		ps := byName[n.Name]
+		if ps == nil {
+			ps = &PhaseStat{Name: n.Name}
+			byName[n.Name] = ps
+		}
+		ps.Count++
+		ps.TotalUS += n.DurUS
+		self := n.DurUS
+		for _, c := range n.Children {
+			self -= c.DurUS
+		}
+		if self > 0 {
+			ps.SelfUS += self
+		}
+		if n.DurUS > ps.MaxUS {
+			ps.MaxUS = n.DurUS
+		}
+	}
+	out := make([]PhaseStat, 0, len(byName))
+	for _, ps := range byName {
+		out = append(out, *ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalUS != out[j].TotalUS {
+			return out[i].TotalUS > out[j].TotalUS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Slowest returns the n longest individual spans, longest first.
+func (a *Analysis) Slowest(n int) []*SpanNode {
+	all := a.Spans()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].DurUS > all[j].DurUS })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// CriticalPath walks from the longest root span down through each
+// level's longest child: the chain of phases that bounded the run's
+// wall time. Empty for an empty trace.
+func (a *Analysis) CriticalPath() []*SpanNode {
+	var longest *SpanNode
+	for _, r := range a.Roots {
+		if longest == nil || r.DurUS > longest.DurUS {
+			longest = r
+		}
+	}
+	var path []*SpanNode
+	for n := longest; n != nil; {
+		path = append(path, n)
+		var next *SpanNode
+		for _, c := range n.Children {
+			if next == nil || c.DurUS > next.DurUS {
+				next = c
+			}
+		}
+		n = next
+	}
+	return path
+}

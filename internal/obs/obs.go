@@ -1,14 +1,15 @@
 // Package obs is AED's telemetry layer: hierarchical spans over the
 // synthesis pipeline (parse → encode → solve → extract → validate), a
 // goroutine-safe registry of counters/gauges/histograms fed by the SAT
-// solver's progress hooks, and sinks that export both as JSONL events
-// or a human-readable summary.
+// solver's progress hooks, a fixed-capacity flight recorder of solver
+// events, and sinks that export all of it as JSONL events, a
+// human-readable summary, or live over the HTTP debug endpoint.
 //
 // The package is stdlib-only and allocation-free when disabled: every
-// method on *Tracer, *Span, *Counter, *Gauge and *Histogram is nil-safe,
-// so callers thread a possibly-nil tracer through the pipeline without
-// guards and pay only a nil check when telemetry is off (verified by
-// TestNilTracerZeroAlloc).
+// method on *Tracer, *Span, *Counter, *Gauge, *Histogram and *Recorder
+// is nil-safe, so callers thread a possibly-nil tracer through the
+// pipeline without guards and pay only a nil check when telemetry is
+// off (verified by TestNilTracerZeroAlloc).
 package obs
 
 import (
@@ -25,6 +26,7 @@ import (
 type Tracer struct {
 	mu      sync.Mutex
 	spans   []SpanRecord
+	open    map[uint64]*Span // in-flight spans, for the live /spans view
 	nextID  atomic.Uint64
 	metrics *Registry
 	epoch   time.Time
@@ -32,7 +34,7 @@ type Tracer struct {
 
 // NewTracer returns an enabled tracer with a fresh metrics registry.
 func NewTracer() *Tracer {
-	return &Tracer{metrics: NewRegistry(), epoch: time.Now()}
+	return &Tracer{metrics: NewRegistry(), open: make(map[uint64]*Span), epoch: time.Now()}
 }
 
 // Metrics returns the tracer's registry (nil for a nil tracer, which
@@ -58,7 +60,19 @@ func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{t: t, id: t.nextID.Add(1), name: name, start: time.Now()}
+	return t.newSpan(name, 0)
+}
+
+// newSpan allocates a span and registers it as in-flight.
+func (t *Tracer) newSpan(name string, parent uint64) *Span {
+	s := &Span{t: t, id: t.nextID.Add(1), parent: parent, name: name, start: time.Now()}
+	t.mu.Lock()
+	if t.open == nil { // tolerate a zero-value Tracer
+		t.open = make(map[uint64]*Span)
+	}
+	t.open[s.id] = s
+	t.mu.Unlock()
+	return s
 }
 
 // Spans returns a copy of the finished spans in end order (children
@@ -74,18 +88,49 @@ func (t *Tracer) Spans() []SpanRecord {
 	return out
 }
 
+// OpenSpans returns a snapshot of the spans currently in flight, with
+// Duration set to the time elapsed so far. This is what makes a live
+// solve inspectable: the /spans debug route merges it with Spans() so
+// a stuck MaxSMT instance shows up as a long-running open span instead
+// of being invisible until it ends. Attribute maps are copied; the
+// snapshot never races with the owning goroutine's SetX calls.
+func (t *Tracer) OpenSpans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	live := make([]*Span, 0, len(t.open))
+	for _, s := range t.open {
+		live = append(live, s)
+	}
+	t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(live))
+	for _, s := range live {
+		out = append(out, s.snapshot(now))
+	}
+	return out
+}
+
 // Span is one timed phase of the pipeline. A nil *Span is a valid
-// no-op span. A Span must not be shared across goroutines (create one
-// child span per worker instead); the tracer it records into is
-// goroutine-safe.
+// no-op span. A Span's setters must be called from the goroutine that
+// created it (create one child span per worker instead); concurrent
+// *readers* — the live /spans view, the slow-solve watchdog — are safe,
+// because the mutable attribute state is mutex-guarded and End takes an
+// atomic snapshot. Setter calls after End are rejected, so a recorded
+// SpanRecord is immutable.
 type Span struct {
 	t      *Tracer
 	id     uint64
 	parent uint64
 	name   string
 	start  time.Time
-	attrs  []attr
-	ended  bool
+
+	// mu guards attrs and ended: the owning goroutine appends
+	// attributes, while live-tree readers snapshot them concurrently.
+	mu    sync.Mutex
+	attrs []attr
+	ended bool
 }
 
 type attr struct {
@@ -107,7 +152,17 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{t: s.t, id: s.t.nextID.Add(1), parent: s.id, name: name, start: time.Now()}
+	return s.t.newSpan(name, s.id)
+}
+
+// setAttr appends one attribute unless the span has already ended
+// (late sets are rejected: the record taken by End is final).
+func (s *Span) setAttr(a attr) {
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, a)
+	}
+	s.mu.Unlock()
 }
 
 // SetInt attaches an integer attribute. The typed setters exist (in
@@ -117,7 +172,7 @@ func (s *Span) SetInt(key string, v int64) {
 	if s == nil {
 		return
 	}
-	s.attrs = append(s.attrs, attr{key: key, kind: attrInt, num: v})
+	s.setAttr(attr{key: key, kind: attrInt, num: v})
 }
 
 // SetStr attaches a string attribute.
@@ -125,7 +180,7 @@ func (s *Span) SetStr(key, v string) {
 	if s == nil {
 		return
 	}
-	s.attrs = append(s.attrs, attr{key: key, kind: attrStr, str: v})
+	s.setAttr(attr{key: key, kind: attrStr, str: v})
 }
 
 // SetBool attaches a boolean attribute.
@@ -137,7 +192,7 @@ func (s *Span) SetBool(key string, v bool) {
 	if v {
 		n = 1
 	}
-	s.attrs = append(s.attrs, attr{key: key, kind: attrBool, num: n})
+	s.setAttr(attr{key: key, kind: attrBool, num: n})
 }
 
 // SetDur attaches a duration attribute (exported in microseconds).
@@ -145,13 +200,59 @@ func (s *Span) SetDur(key string, v time.Duration) {
 	if s == nil {
 		return
 	}
-	s.attrs = append(s.attrs, attr{key: key, kind: attrDur, num: int64(v)})
+	s.setAttr(attr{key: key, kind: attrDur, num: int64(v)})
+}
+
+// attrMap materializes the attribute slice as the exported map form.
+// Caller must hold s.mu (or own the span exclusively).
+func attrMap(attrs []attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		switch a.kind {
+		case attrInt:
+			m[a.key] = a.num
+		case attrStr:
+			m[a.key] = a.str
+		case attrBool:
+			m[a.key] = a.num == 1
+		case attrDur:
+			m[a.key] = time.Duration(a.num).Microseconds()
+		}
+	}
+	return m
+}
+
+// snapshot returns the span's current state as a record; Duration is
+// elapsed-so-far for an open span.
+func (s *Span) snapshot(now time.Time) SpanRecord {
+	s.mu.Lock()
+	rec := SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: now.Sub(s.start),
+		Attrs:    attrMap(s.attrs),
+		Open:     !s.ended,
+	}
+	s.mu.Unlock()
+	return rec
 }
 
 // End records the span into its tracer. Ending a span twice records it
-// once.
+// once; attribute setters called after End are ignored (the recorded
+// attribute map is snapshotted once, so sinks and live readers never
+// observe a half-written mutation).
 func (s *Span) End() {
-	if s == nil || s.ended {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
 		return
 	}
 	s.ended = true
@@ -161,29 +262,18 @@ func (s *Span) End() {
 		Name:     s.name,
 		Start:    s.start,
 		Duration: time.Since(s.start),
+		Attrs:    attrMap(s.attrs),
 	}
-	if len(s.attrs) > 0 {
-		rec.Attrs = make(map[string]any, len(s.attrs))
-		for _, a := range s.attrs {
-			switch a.kind {
-			case attrInt:
-				rec.Attrs[a.key] = a.num
-			case attrStr:
-				rec.Attrs[a.key] = a.str
-			case attrBool:
-				rec.Attrs[a.key] = a.num == 1
-			case attrDur:
-				rec.Attrs[a.key] = time.Duration(a.num).Microseconds()
-			}
-		}
-	}
+	s.mu.Unlock()
 	s.t.mu.Lock()
+	delete(s.t.open, s.id)
 	s.t.spans = append(s.t.spans, rec)
 	s.t.mu.Unlock()
 }
 
 // SpanRecord is a finished span as stored by the tracer and exported
-// by the sinks.
+// by the sinks (or an in-flight one, when Open is set, as returned by
+// OpenSpans with elapsed-so-far Duration).
 type SpanRecord struct {
 	ID       uint64
 	Parent   uint64 // 0 for root spans
@@ -191,4 +281,5 @@ type SpanRecord struct {
 	Start    time.Time
 	Duration time.Duration
 	Attrs    map[string]any
+	Open     bool
 }

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderRetainsAndDrops(t *testing.T) {
+	r := NewRecorder(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d, want 4", r.Cap())
+	}
+	for i := 0; i < 6; i++ {
+		r.Record(EvRestart, int64(i), int64(2*i))
+	}
+	if r.Len() != 4 {
+		t.Errorf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", r.Dropped())
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("drained %d events, want 4", len(events))
+	}
+	for i, ev := range events {
+		wantSeq := uint64(i + 2) // oldest retained is seq 2
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.A != int64(wantSeq) || ev.B != int64(2*wantSeq) {
+			t.Errorf("event %d payload = (%d,%d), want (%d,%d)", i, ev.A, ev.B, wantSeq, 2*wantSeq)
+		}
+		if ev.Kind != "restart" {
+			t.Errorf("event %d kind = %q", i, ev.Kind)
+		}
+	}
+	if !events[0].Time.After(events[len(events)-1].Time.Add(-1e9)) {
+		t.Error("event times look wrong")
+	}
+}
+
+func TestRecorderLabels(t *testing.T) {
+	r := NewRecorder(8)
+	r.RecordLabeled(EvCacheHit, "10.0.0.0/24", 7, 0)
+	r.Record(EvReduceDB, 100, 40)
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Label != "10.0.0.0/24" || events[0].Kind != "cache_hit" {
+		t.Errorf("labeled event = %+v", events[0])
+	}
+	if events[1].Label != "" {
+		t.Errorf("unlabeled event has label %q", events[1].Label)
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	if got := NewRecorder(0).Cap(); got != DefaultRecorderCapacity {
+		t.Errorf("cap = %d, want %d", got, DefaultRecorderCapacity)
+	}
+	if got := NewRecorder(-5).Cap(); got != DefaultRecorderCapacity {
+		t.Errorf("cap = %d, want %d", got, DefaultRecorderCapacity)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record(EvRestart, 1, 2)
+	r.RecordLabeled(EvCacheHit, "d", 1, 2)
+	if r.Events() != nil || r.Len() != 0 || r.Dropped() != 0 || r.Cap() != 0 {
+		t.Error("nil recorder must report empty state")
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	for k := EvNone; k < evKindCount; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Error("out-of-range kind must stringify as unknown")
+	}
+}
+
+func TestTracerRecorderAttachment(t *testing.T) {
+	tr := NewTracer()
+	if tr.Recorder() != nil {
+		t.Fatal("fresh tracer must have no recorder")
+	}
+	rec := NewRecorder(16)
+	tr.SetRecorder(rec)
+	if tr.Recorder() != rec {
+		t.Fatal("recorder not attached")
+	}
+	if tr.Metrics().FlightRecorder() != rec {
+		t.Fatal("registry must expose the attached recorder")
+	}
+	tr.SetRecorder(nil)
+	if tr.Recorder() != nil {
+		t.Fatal("detach failed")
+	}
+
+	var nilTr *Tracer
+	nilTr.SetRecorder(rec)
+	if nilTr.Recorder() != nil {
+		t.Fatal("nil tracer must stay recorder-free")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64)
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record(EvRestart, int64(w), int64(i))
+				if i%100 == 0 {
+					r.Events() // concurrent drains must be safe
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Dropped() + uint64(r.Len()); got != workers*each {
+		t.Errorf("retained+dropped = %d, want %d", got, workers*each)
+	}
+	events := r.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+// TestRecorderZeroAlloc pins the steady-state guarantee: recording into
+// a warmed ring allocates nothing (the labels are stored by reference,
+// the columns are preallocated).
+func TestRecorderZeroAlloc(t *testing.T) {
+	r := NewRecorder(256)
+	label := "10.0.0.0/24"
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Record(EvRestart, 3, 4)
+		r.RecordLabeled(EvSolveEnd, label, 1, 12)
+	})
+	if allocs != 0 {
+		t.Fatalf("recorder append allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkRecorderRecord measures the hot append path; run with
+// -benchmem to confirm 0 allocs/op.
+func BenchmarkRecorderRecord(b *testing.B) {
+	r := NewRecorder(DefaultRecorderCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(EvRestart, int64(i), int64(i))
+	}
+}
+
+func BenchmarkRecorderRecordLabeled(b *testing.B) {
+	r := NewRecorder(DefaultRecorderCapacity)
+	label := "10.0.0.0/24"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.RecordLabeled(EvSolveEnd, label, 1, int64(i))
+	}
+}

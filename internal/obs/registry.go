@@ -18,6 +18,11 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// recorder optionally carries a flight recorder alongside the
+	// instruments, so every layer that already receives the registry can
+	// feed the event ring (see recorder.go).
+	recorder recorderRef
 }
 
 // NewRegistry returns an empty registry.
@@ -215,6 +220,49 @@ func (s HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the bucket that contains
+// it, Prometheus-style: observations are assumed uniformly spread
+// within a bucket, the first bucket interpolates from 0 (the
+// histograms here record non-negative latencies and depths), and a
+// quantile landing in the +Inf overflow bucket reports the largest
+// finite bound (the estimate cannot exceed what the buckets resolve).
+// Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank || c == 0 {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - float64(cum)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of every instrument in a registry —

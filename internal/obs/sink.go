@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Event is one exported telemetry record: a finished span or one
@@ -23,6 +24,10 @@ type Event struct {
 	StartUS int64          `json:"start_us,omitempty"` // offset from the tracer epoch
 	DurUS   int64          `json:"dur_us,omitempty"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
+	// Open marks an in-flight span (live /spans view and incident
+	// records only; DurUS is elapsed-so-far then). Never set in traces
+	// written by WriteJSONL, which exports finished spans.
+	Open bool `json:"open,omitempty"`
 
 	// Metric fields.
 	Value  int64     `json:"value,omitempty"`
@@ -33,22 +38,28 @@ type Event struct {
 	Counts []int64   `json:"counts,omitempty"`
 }
 
+// spanEvent converts a span record to its exported event form, with
+// the start offset relative to epoch.
+func spanEvent(sp SpanRecord, epoch time.Time) Event {
+	return Event{
+		Type:    "span",
+		ID:      sp.ID,
+		Parent:  sp.Parent,
+		Name:    sp.Name,
+		StartUS: sp.Start.Sub(epoch).Microseconds(),
+		DurUS:   sp.Duration.Microseconds(),
+		Attrs:   sp.Attrs,
+		Open:    sp.Open,
+	}
+}
+
 // WriteJSONL exports the tracer's finished spans followed by its
 // metrics registry as JSON-Lines events.
 func WriteJSONL(w io.Writer, t *Tracer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, sp := range t.Spans() {
-		ev := Event{
-			Type:    "span",
-			ID:      sp.ID,
-			Parent:  sp.Parent,
-			Name:    sp.Name,
-			StartUS: sp.Start.Sub(t.Epoch()).Microseconds(),
-			DurUS:   sp.Duration.Microseconds(),
-			Attrs:   sp.Attrs,
-		}
-		if err := enc.Encode(ev); err != nil {
+		if err := enc.Encode(spanEvent(sp, t.Epoch())); err != nil {
 			return err
 		}
 	}
@@ -144,7 +155,8 @@ func WriteSummary(w io.Writer, t *Tracer) {
 		fmt.Fprintln(w, "histograms:")
 		for _, name := range sortedKeys(snap.Histograms) {
 			h := snap.Histograms[name]
-			fmt.Fprintf(w, "  %-32s n=%d mean=%.3f sum=%.3f\n", name, h.Count, h.Mean(), h.Sum)
+			fmt.Fprintf(w, "  %-32s n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f sum=%.3f\n",
+				name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Sum)
 		}
 	}
 }

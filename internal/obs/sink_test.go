@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct {
+	n       int
+	written int
+}
+
+var errSink = errors.New("sink broke")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		allowed := w.n - w.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		w.written += allowed
+		return allowed, errSink
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteJSONLFailingWriter(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("solve").End()
+	tr.Metrics().Counter("c").Add(1)
+	if err := WriteJSONL(&failWriter{}, tr); !errors.Is(err, errSink) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+}
+
+// TestWriteJSONLFailingWriterMidStream forces the failure past the
+// bufio buffer so it surfaces from an Encode call, not just the final
+// flush.
+func TestWriteJSONLFailingWriterMidStream(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 500; i++ {
+		sp := tr.Start("solve")
+		sp.SetStr("dest", fmt.Sprintf("10.%d.0.0/24", i))
+		sp.End()
+	}
+	if err := WriteJSONL(&failWriter{n: 8192}, tr); !errors.Is(err, errSink) {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+}
+
+func TestWriteJSONLPartialFailureKeepsValidPrefix(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 500; i++ {
+		tr.Start("solve").End()
+	}
+	var buf bytes.Buffer
+	// Tee-like writer: fail late, keep what got through.
+	w := &prefixWriter{limit: 8192, buf: &buf}
+	if err := WriteJSONL(w, tr); !errors.Is(err, errSink) {
+		t.Fatalf("err = %v", err)
+	}
+	// Whatever bytes landed before the failure must decode line by line
+	// up to the truncation point (the aedtrace reader tolerates a
+	// truncated tail by skipping the broken final line).
+	data := buf.Bytes()
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		events, err := ReadEvents(bytes.NewReader(data[:i+1]))
+		if err != nil {
+			t.Fatalf("valid prefix failed to parse: %v", err)
+		}
+		if len(events) == 0 {
+			t.Error("no events survived in the prefix")
+		}
+	}
+}
+
+type prefixWriter struct {
+	limit   int
+	written int
+	buf     *bytes.Buffer
+}
+
+func (w *prefixWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		allowed := w.limit - w.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		w.buf.Write(p[:allowed])
+		w.written += allowed
+		return allowed, errSink
+	}
+	w.buf.Write(p)
+	w.written += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog flags slow solves without aborting them: Watch arms a
+// per-solve deadline, and when a solve outlives it the watchdog
+// snapshots the live telemetry — open spans, the metrics registry, and
+// the flight-recorder tail — into an Incident, written as one JSONL
+// record to Incidents and as a human-readable dump to Dump. The solve
+// itself keeps running; the watchdog only observes.
+//
+// A nil *Watchdog is a valid no-op watchdog (Watch returns a no-op
+// stop function), so callers arm it unconditionally.
+//
+// A Watchdog is safe for concurrent use: the parallel per-destination
+// workers each Watch their own solve against one shared Watchdog, and
+// incident writes are serialized.
+type Watchdog struct {
+	// After is the slow-solve threshold; a solve still running after
+	// this long triggers an incident.
+	After time.Duration
+	// Tracer is the telemetry source snapshotted into incidents, and
+	// the sink for the incident span, the watchdog.incidents counter,
+	// and the solve.slow_ms histogram.
+	Tracer *Tracer
+	// Incidents, when non-nil, receives one JSON record per incident,
+	// one per line.
+	Incidents io.Writer
+	// Dump, when non-nil, receives a human-readable incident report
+	// (typically os.Stderr).
+	Dump io.Writer
+	// RecorderTail bounds how many trailing flight-recorder events are
+	// embedded in an incident (0 = DefaultRecorderTail).
+	RecorderTail int
+
+	mu       sync.Mutex // serializes incident output
+	fired    atomic.Int64
+	disarmed atomic.Bool
+}
+
+// DefaultRecorderTail is the number of trailing flight-recorder events
+// embedded in an incident record when RecorderTail is 0.
+const DefaultRecorderTail = 64
+
+// NewWatchdog returns a watchdog with the given threshold observing
+// tr. It returns nil — the valid no-op watchdog — when after <= 0.
+func NewWatchdog(after time.Duration, tr *Tracer) *Watchdog {
+	if after <= 0 {
+		return nil
+	}
+	return &Watchdog{After: after, Tracer: tr}
+}
+
+// Incidents counts how many times the watchdog has fired.
+func (w *Watchdog) Count() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.fired.Load()
+}
+
+// Disarm stops future timers from firing (in-flight Watch timers are
+// suppressed too). Used at shutdown so a dying process does not spray
+// incident dumps.
+func (w *Watchdog) Disarm() {
+	if w == nil {
+		return
+	}
+	w.disarmed.Store(true)
+}
+
+// Watch arms the deadline for one named solve and returns the function
+// to call when the solve finishes (however it finishes). If the solve
+// outlives After, an incident fires once, on a timer goroutine; the
+// returned stop function then records the total duration into the
+// solve.slow_ms histogram. stop is idempotent.
+func (w *Watchdog) Watch(name string) (stop func()) {
+	if w == nil || w.After <= 0 {
+		return func() {}
+	}
+	start := time.Now()
+	timer := time.AfterFunc(w.After, func() { w.incident(name, start) })
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			timer.Stop()
+			if elapsed := time.Since(start); elapsed >= w.After {
+				w.Tracer.Metrics().Histogram("solve.slow_ms", LatencyBuckets).
+					Observe(float64(elapsed.Microseconds()) / 1000)
+			}
+		})
+	}
+}
+
+// Incident is the snapshot taken when a solve exceeds the watchdog
+// deadline: what was running (open spans), what the solver counters
+// said (metrics), and what just happened (recorder tail).
+type Incident struct {
+	// Solve names the watched solve (e.g. the destination prefix).
+	Solve string `json:"solve"`
+	// At is when the incident fired; the solve had been running for
+	// RunningMS milliseconds by then (>= the threshold ThresholdMS).
+	At          time.Time `json:"at"`
+	RunningMS   int64     `json:"running_ms"`
+	ThresholdMS int64     `json:"threshold_ms"`
+	// OpenSpans is the live span tree at incident time (Open spans
+	// report elapsed-so-far durations).
+	OpenSpans []Event `json:"open_spans,omitempty"`
+	// Counters and Gauges are the registry snapshot at incident time.
+	Counters map[string]int64         `json:"counters,omitempty"`
+	Gauges   map[string]GaugeSnapshot `json:"gauges,omitempty"`
+	// RecorderEvents is the flight-recorder tail (newest last).
+	RecorderEvents []RecorderEvent `json:"recorder_events,omitempty"`
+	// RecorderDropped counts ring overwrites before the tail.
+	RecorderDropped uint64 `json:"recorder_dropped,omitempty"`
+}
+
+// incident snapshots the tracer and emits the record. Runs on the
+// timer goroutine while the watched solve is still going.
+func (w *Watchdog) incident(name string, start time.Time) {
+	if w.disarmed.Load() {
+		return
+	}
+	w.fired.Add(1)
+	now := time.Now()
+	tr := w.Tracer
+
+	// Taxonomy entry: incidents appear in the trace itself, so offline
+	// analysis (aedtrace) sees them inline with the phases they hit.
+	sp := tr.Start("incident")
+	sp.SetStr("solve", name)
+	sp.SetDur("threshold", w.After)
+	sp.SetDur("running", now.Sub(start))
+	sp.End()
+	tr.Metrics().Counter("watchdog.incidents").Add(1)
+	tr.Recorder().RecordLabeled(EvIncident, name, w.After.Milliseconds(), 0)
+
+	inc := Incident{
+		Solve:       name,
+		At:          now,
+		RunningMS:   now.Sub(start).Milliseconds(),
+		ThresholdMS: w.After.Milliseconds(),
+	}
+	for _, s := range tr.OpenSpans() {
+		inc.OpenSpans = append(inc.OpenSpans, spanEvent(s, tr.Epoch()))
+	}
+	snap := tr.Metrics().Snapshot()
+	inc.Counters = snap.Counters
+	inc.Gauges = snap.Gauges
+	if rec := tr.Recorder(); rec != nil {
+		events := rec.Events()
+		tail := w.RecorderTail
+		if tail <= 0 {
+			tail = DefaultRecorderTail
+		}
+		if len(events) > tail {
+			events = events[len(events)-tail:]
+		}
+		inc.RecorderEvents = events
+		inc.RecorderDropped = rec.Dropped()
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.Incidents != nil {
+		if data, err := json.Marshal(inc); err == nil {
+			data = append(data, '\n')
+			w.Incidents.Write(data)
+		}
+	}
+	if w.Dump != nil {
+		w.dump(inc)
+	}
+}
+
+// dump renders an incident for a human watching stderr. Caller holds
+// w.mu.
+func (w *Watchdog) dump(inc Incident) {
+	fmt.Fprintf(w.Dump, "aed: WATCHDOG: solve %q still running after %dms (threshold %dms)\n",
+		inc.Solve, inc.RunningMS, inc.ThresholdMS)
+	if len(inc.OpenSpans) > 0 {
+		fmt.Fprintln(w.Dump, "  in-flight spans:")
+		for _, ev := range inc.OpenSpans {
+			fmt.Fprintf(w.Dump, "    %-24s %8.1fms%s\n", ev.Name, float64(ev.DurUS)/1000, attrString(ev.Attrs))
+		}
+	}
+	if len(inc.Counters) > 0 {
+		fmt.Fprintln(w.Dump, "  counters:")
+		for _, name := range sortedKeys(inc.Counters) {
+			fmt.Fprintf(w.Dump, "    %-32s %d\n", name, inc.Counters[name])
+		}
+	}
+	if len(inc.RecorderEvents) > 0 {
+		fmt.Fprintf(w.Dump, "  last %d recorder events (%d dropped):\n", len(inc.RecorderEvents), inc.RecorderDropped)
+		for _, ev := range inc.RecorderEvents {
+			label := ev.Kind
+			if ev.Label != "" {
+				label += " " + ev.Label
+			}
+			fmt.Fprintf(w.Dump, "    #%-8d %-28s a=%-12d b=%d\n", ev.Seq, label, ev.A, ev.B)
+		}
+	}
+}

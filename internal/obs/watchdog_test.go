@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test poll writer output produced on the watchdog
+// timer goroutine without racing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestWatchdogFiresIncidentWithoutAborting(t *testing.T) {
+	tr := NewTracer()
+	rec := NewRecorder(32)
+	tr.SetRecorder(rec)
+	rec.RecordLabeled(EvSolveStart, "10.7.0.0/24", 0, 0)
+	rec.Record(EvRestart, 1, 120)
+
+	var incidents, dump syncBuffer
+	w := NewWatchdog(5*time.Millisecond, tr)
+	w.Incidents = &incidents
+	w.Dump = &dump
+
+	sp := tr.Start("solve")
+	sp.SetStr("dest", "10.7.0.0/24")
+	stop := w.Watch("10.7.0.0/24")
+
+	waitFor(t, "incident JSONL", func() bool {
+		return strings.Contains(incidents.String(), "\n")
+	})
+	// The solve is still running: stop after the incident, as a real
+	// slow solve would.
+	stop()
+	sp.End()
+
+	if w.Count() != 1 {
+		t.Errorf("incident count = %d, want 1", w.Count())
+	}
+	var inc Incident
+	if err := json.Unmarshal([]byte(strings.SplitN(incidents.String(), "\n", 2)[0]), &inc); err != nil {
+		t.Fatalf("incident is not valid JSON: %v", err)
+	}
+	if inc.Solve != "10.7.0.0/24" {
+		t.Errorf("incident solve = %q", inc.Solve)
+	}
+	if inc.ThresholdMS != 5 || inc.RunningMS < inc.ThresholdMS {
+		t.Errorf("incident timing = running %dms threshold %dms", inc.RunningMS, inc.ThresholdMS)
+	}
+	var foundOpen bool
+	for _, ev := range inc.OpenSpans {
+		if ev.Name == "solve" && ev.Open && ev.Attrs["dest"] == "10.7.0.0/24" {
+			foundOpen = true
+		}
+	}
+	if !foundOpen {
+		t.Errorf("incident open spans missing the live solve span: %+v", inc.OpenSpans)
+	}
+	var sawSolveStart bool
+	for _, ev := range inc.RecorderEvents {
+		if ev.Kind == "solve_start" && ev.Label == "10.7.0.0/24" {
+			sawSolveStart = true
+		}
+	}
+	if !sawSolveStart {
+		t.Errorf("incident recorder tail missing events: %+v", inc.RecorderEvents)
+	}
+
+	// Telemetry side effects: incident span, counter, recorder event,
+	// and — after stop — the slow-solve histogram.
+	if inc.Counters["watchdog.incidents"] != 1 {
+		t.Errorf("watchdog.incidents in snapshot = %d", inc.Counters["watchdog.incidents"])
+	}
+	var incidentSpan bool
+	for _, s := range tr.Spans() {
+		if s.Name == "incident" && s.Attrs["solve"] == "10.7.0.0/24" {
+			incidentSpan = true
+		}
+	}
+	if !incidentSpan {
+		t.Error("no incident span recorded in the trace")
+	}
+	var evIncident bool
+	for _, ev := range rec.Events() {
+		if ev.Kind == "incident" && ev.Label == "10.7.0.0/24" {
+			evIncident = true
+		}
+	}
+	if !evIncident {
+		t.Error("no incident event in the flight recorder")
+	}
+	if h := tr.Metrics().Snapshot().Histograms["solve.slow_ms"]; h.Count != 1 {
+		t.Errorf("solve.slow_ms count = %d, want 1", h.Count)
+	}
+	if out := dump.String(); !strings.Contains(out, "WATCHDOG") || !strings.Contains(out, "10.7.0.0/24") {
+		t.Errorf("human dump missing content:\n%s", out)
+	}
+}
+
+func TestWatchdogQuietOnFastSolve(t *testing.T) {
+	tr := NewTracer()
+	var incidents syncBuffer
+	w := NewWatchdog(time.Hour, tr)
+	w.Incidents = &incidents
+
+	stop := w.Watch("fast")
+	stop()
+	stop() // idempotent
+
+	if w.Count() != 0 {
+		t.Errorf("incident count = %d, want 0", w.Count())
+	}
+	if incidents.String() != "" {
+		t.Errorf("unexpected incident output: %q", incidents.String())
+	}
+	if h := tr.Metrics().Snapshot().Histograms["solve.slow_ms"]; h.Count != 0 {
+		t.Errorf("fast solve observed into solve.slow_ms (%d)", h.Count)
+	}
+}
+
+func TestWatchdogNilAndDisabled(t *testing.T) {
+	if NewWatchdog(0, NewTracer()) != nil {
+		t.Error("threshold 0 must yield the nil no-op watchdog")
+	}
+	var w *Watchdog
+	stop := w.Watch("anything")
+	stop()
+	if w.Count() != 0 {
+		t.Error("nil watchdog count must be 0")
+	}
+	w.Disarm()
+}
+
+func TestWatchdogDisarm(t *testing.T) {
+	tr := NewTracer()
+	var incidents syncBuffer
+	w := NewWatchdog(time.Millisecond, tr)
+	w.Incidents = &incidents
+	w.Disarm()
+	stop := w.Watch("late")
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	if w.Count() != 0 || incidents.String() != "" {
+		t.Errorf("disarmed watchdog fired: count=%d out=%q", w.Count(), incidents.String())
+	}
+}

@@ -58,8 +58,8 @@ func (a *arena) alloc(lits []Lit, learnt bool, lbd int) CRef {
 	return c
 }
 
-func (a *arena) size(c CRef) int     { return int(a.data[c]) >> 1 }
-func (a *arena) learnt(c CRef) bool  { return a.data[c]&hdrLearntBit != 0 }
+func (a *arena) size(c CRef) int    { return int(a.data[c]) >> 1 }
+func (a *arena) learnt(c CRef) bool { return a.data[c]&hdrLearntBit != 0 }
 func (a *arena) words(c CRef) int {
 	n := a.size(c)
 	if a.learnt(c) {

@@ -1,0 +1,86 @@
+package sat
+
+import "testing"
+
+// TestOnEventRestarts drives a conflict-heavy instance and checks the
+// edge-triggered event hook reports every restart with cumulative,
+// monotone payloads matching the final Stats.
+func TestOnEventRestarts(t *testing.T) {
+	s := New()
+	randomInstance(s, 11, 60, 255)
+	type ev struct {
+		kind SolverEvent
+		a, b int64
+	}
+	var events []ev
+	s.OnEvent = func(kind SolverEvent, a, b int64) {
+		events = append(events, ev{kind, a, b})
+	}
+	s.Solve()
+
+	var restarts []ev
+	for _, e := range events {
+		if e.kind == EventRestart {
+			restarts = append(restarts, e)
+		}
+	}
+	if int64(len(restarts)) != s.Stats.Restarts {
+		t.Fatalf("got %d restart events, stats say %d restarts", len(restarts), s.Stats.Restarts)
+	}
+	for i, e := range restarts {
+		if e.a != int64(i+1) {
+			t.Errorf("restart %d reported cumulative count %d", i, e.a)
+		}
+		if i > 0 && e.b < restarts[i-1].b {
+			t.Errorf("restart %d conflict count went backwards: %d then %d", i, restarts[i-1].b, e.b)
+		}
+	}
+}
+
+// TestOnEventReduceDB forces learned-clause reductions on a pigeonhole
+// instance and checks the before/deleted payloads are coherent.
+func TestOnEventReduceDB(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7)
+	var reduces, gcs int
+	s.OnEvent = func(kind SolverEvent, a, b int64) {
+		switch kind {
+		case EventReduceDB:
+			reduces++
+			if b < 0 || b > a {
+				t.Errorf("reduceDB deleted %d of %d learned clauses", b, a)
+			}
+		case EventArenaGC:
+			gcs++
+			if b > a {
+				t.Errorf("arena grew during GC: %d -> %d bytes", a, b)
+			}
+		}
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("pigeonhole must be unsat")
+	}
+	if s.Stats.ArenaGCs != int64(gcs) {
+		t.Errorf("arena GC events %d != stats %d", gcs, s.Stats.ArenaGCs)
+	}
+	if reduces == 0 && s.Stats.Deleted > 0 {
+		t.Error("clauses were deleted but no reduceDB event fired")
+	}
+}
+
+// TestOnEventNilIsFree: with no hook installed the solver must behave
+// identically (the hook is one predictable branch at rare maintenance
+// events).
+func TestOnEventNilHook(t *testing.T) {
+	a, b := New(), New()
+	randomInstance(a, 3, 50, 210)
+	randomInstance(b, 3, 50, 210)
+	b.OnEvent = func(SolverEvent, int64, int64) {}
+	ra, rb := a.Solve(), b.Solve()
+	if ra != rb {
+		t.Fatalf("hook changed the outcome: %v vs %v", ra, rb)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("hook changed the search: %+v vs %+v", a.Stats, b.Stats)
+	}
+}

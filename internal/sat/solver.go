@@ -75,6 +75,16 @@ type Solver struct {
 
 	model []Tribool // assignment snapshot from the last Sat result
 
+	// OnEvent, if non-nil, observes discrete solver-state transitions
+	// from the solving goroutine: restarts, learned-clause database
+	// reductions, and arena compactions (see SolverEvent for the
+	// per-kind payloads). Unlike the periodic Progress samples these are
+	// edge-triggered, which is what a flight recorder wants: the hook
+	// fires exactly when the solver changes regime. It must be cheap and
+	// must not call back into the Solver. A nil OnEvent costs one
+	// predictable branch per restart/reduction and allocates nothing.
+	OnEvent func(ev SolverEvent, a, b int64)
+
 	// Progress, if non-nil, receives periodic ProgressSamples from the
 	// solving goroutine: every ProgressEvery conflicts, at each restart,
 	// and (with Final set) just before Solve returns. Because samples
@@ -562,6 +572,7 @@ func (s *Solver) reduceDB() {
 	})
 	keep := s.learnts[:0]
 	limit := len(s.learnts) / 2
+	before := len(s.learnts)
 	for i, c := range s.learnts {
 		if a.size(c) <= 2 || a.lbd(c) <= glueLBD || s.locked(c) || i < limit {
 			keep = append(keep, c)
@@ -572,6 +583,7 @@ func (s *Solver) reduceDB() {
 		}
 	}
 	s.learnts = keep
+	s.emitEvent(EventReduceDB, int64(before), int64(before-len(keep)))
 	if a.wasted*5 > len(a.data) {
 		s.garbageCollect()
 	}
@@ -587,6 +599,7 @@ const glueLBD = 2
 // records. Runs at root or mid-search; locked clauses keep their role.
 func (s *Solver) garbageCollect() {
 	from := &s.arena
+	bytesBefore := from.bytes()
 	to := arena{data: make([]Lit, 0, len(from.data)-from.wasted)}
 	for li := range s.watches {
 		ws := s.watches[li]
@@ -608,6 +621,7 @@ func (s *Solver) garbageCollect() {
 	}
 	s.arena = to
 	s.Stats.ArenaGCs++
+	s.emitEvent(EventArenaGC, bytesBefore, s.arena.bytes())
 }
 
 // locked reports whether c is the reason of an assigned variable.
@@ -627,6 +641,13 @@ func (s *Solver) detach(c CRef) {
 				break
 			}
 		}
+	}
+}
+
+// emitEvent delivers one edge-triggered event to the OnEvent hook.
+func (s *Solver) emitEvent(ev SolverEvent, a, b int64) {
+	if s.OnEvent != nil {
+		s.OnEvent(ev, a, b)
 	}
 }
 
@@ -692,6 +713,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Unknown
 		}
 		s.Stats.Restarts++
+		s.emitEvent(EventRestart, s.Stats.Restarts, s.Stats.Conflicts)
 		s.emitProgress(false)
 		s.backtrack(0)
 	}

@@ -181,6 +181,21 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// SolverEvent classifies one edge-triggered solver-state transition
+// delivered through the OnEvent hook (the flight-recorder feed; the
+// periodic counterpart is the Progress hook).
+type SolverEvent uint8
+
+// Solver event kinds and their (a, b) payloads.
+const (
+	// EventRestart: a = cumulative restarts, b = cumulative conflicts.
+	EventRestart SolverEvent = iota
+	// EventReduceDB: a = learned clauses before the pass, b = deleted.
+	EventReduceDB
+	// EventArenaGC: a = arena bytes before compaction, b = bytes after.
+	EventArenaGC
+)
+
 // ProgressSample is a consistent snapshot of a running solver, emitted
 // through the Progress hook from inside the solving goroutine.
 type ProgressSample struct {

@@ -49,8 +49,13 @@ type Context struct {
 	// reg, when set by Observe, receives solver metrics (decision/
 	// conflict/restart counters, trail-depth samples, per-call solve
 	// latencies). span, when set, parents the per-call solve spans.
+	// rec is the registry's attached flight recorder (nil, a valid
+	// no-op, when none is attached): restarts/reduceDB/arena-GC events
+	// from the SAT layer and bound tightenings from the MaxSAT search
+	// land in its ring.
 	reg  *obs.Registry
 	span *obs.Span
+	rec  *obs.Recorder
 
 	// ctx, when set by SetInterrupt, cancels in-flight SAT searches:
 	// the solver polls ctx.Done at every conflict. interruptErr records
@@ -204,9 +209,25 @@ func (c *Context) Stats() sat.Stats { return c.solver.Stats }
 func (c *Context) Observe(reg *obs.Registry, span *obs.Span) {
 	c.reg = reg
 	c.span = span
+	c.rec = reg.FlightRecorder()
 	if reg == nil {
 		c.solver.Progress = nil
+		c.solver.OnEvent = nil
 		return
+	}
+	if rec := c.rec; rec != nil {
+		c.solver.OnEvent = func(ev sat.SolverEvent, a, b int64) {
+			switch ev {
+			case sat.EventRestart:
+				rec.Record(obs.EvRestart, a, b)
+			case sat.EventReduceDB:
+				rec.Record(obs.EvReduceDB, a, b)
+			case sat.EventArenaGC:
+				rec.Record(obs.EvArenaGC, a, b)
+			}
+		}
+	} else {
+		c.solver.OnEvent = nil
 	}
 	var last sat.Stats
 	decisions := reg.Counter("solver.decisions")

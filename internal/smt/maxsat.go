@@ -3,6 +3,7 @@ package smt
 import (
 	"sort"
 
+	"github.com/aed-net/aed/internal/obs"
 	"github.com/aed-net/aed/internal/sat"
 )
 
@@ -98,6 +99,11 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 	}
 	best := c.solver.Model()
 	bestCost := c.costOf(best)
+	// The flight recorder sees every bound movement of the search: the
+	// initial feasible cost and each subsequent tightening, so a live
+	// /recorder drain shows whether a long MaxSAT solve is converging
+	// or stuck re-proving the same bound.
+	c.rec.Record(obs.EvBoundTighten, int64(bestCost), int64(res.Iterations))
 
 	if binary {
 		lo, hi := 0, bestCost // optimum in [lo, hi]; hi achievable
@@ -109,6 +115,7 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 			if mid < len(outs) && c.solveTimed(outs[mid].Neg()) == sat.Sat {
 				best = c.solver.Model()
 				hi = c.costOf(best)
+				c.rec.Record(obs.EvBoundTighten, int64(hi), int64(res.Iterations))
 			} else {
 				if err := c.Err(); err != nil {
 					// Interrupted: an improved model may never have
@@ -131,6 +138,7 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 			}
 			best = c.solver.Model()
 			bestCost = c.costOf(best)
+			c.rec.Record(obs.EvBoundTighten, int64(bestCost), int64(res.Iterations))
 		}
 	}
 	c.finishResult(res, best)
@@ -234,6 +242,7 @@ func (c *Context) maximizeCoreGuided() *MaxResult {
 			c.finishResult(res, c.solver.Model())
 			return res
 		}
+		c.rec.Record(obs.EvCoreRelaxed, int64(len(idxs)), int64(wmin))
 		// Relax the core: each member gets a fresh relaxation r; the
 		// old assumption is replaced by a new one allowing violation
 		// when r is true, and at most one r per core may be true.
