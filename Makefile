@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-sat bench-sat-quick
+.PHONY: check fmt vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-resolve bench-resolve-quick bench-sat bench-sat-quick
 
-check: fmt vet build race fuzz-smoke bench-incremental-quick
+check: fmt vet build race fuzz-smoke bench-incremental-quick bench-resolve-quick
 
 # Fails listing the files that need gofmt; run `gofmt -w .` to fix.
 fmt:
@@ -46,6 +46,17 @@ bench-incremental:
 
 bench-incremental-quick:
 	$(GO) run ./cmd/aedbench -experiment incremental -scale quick -out BENCH_incremental.json
+
+# Live-instance re-solve benchmark (tier-2 of the session ladder): a
+# one-line local-preference edit re-solved by flipping retractable
+# bindings on the warm solver, against the cold and re-encode
+# baselines; writes BENCH_resolve.json. The quick variant runs as part
+# of `make check`.
+bench-resolve:
+	$(GO) run ./cmd/aedbench -experiment resolve -scale full -out BENCH_resolve.json
+
+bench-resolve-quick:
+	$(GO) run ./cmd/aedbench -experiment resolve -scale quick -out BENCH_resolve.json
 
 # Ten-second differential fuzz of the CDCL core against brute-force
 # enumeration (assumptions + solver reuse); part of `make check` so the

@@ -66,7 +66,7 @@ func TestPublicAPISynthesize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat {
+	if res.Unsat() != nil {
 		t.Fatal("unsat")
 	}
 	if len(res.Violations) != 0 {
@@ -94,7 +94,7 @@ func TestPublicAPIZeroOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat || res.Diff.LinesChanged() != 0 {
+	if res.Unsat() != nil || res.Diff.LinesChanged() != 0 {
 		t.Error("min-lines synthesis on a satisfied policy should be a no-op")
 	}
 	if res.Unsat() != nil {
@@ -135,11 +135,11 @@ func TestPublicAPISession(t *testing.T) {
 	ps, _ := ParsePolicies("block 10.0.0.0/24 -> 10.1.0.0/24\n")
 	sess := NewSession(net, topo, Options{MinimizeLines: true})
 	res, err := sess.Solve(context.Background(), ps)
-	if err != nil || !res.Sat {
+	if err != nil || res.Unsat() != nil {
 		t.Fatalf("session solve: err=%v", err)
 	}
 	warm, err := sess.Solve(context.Background(), ps)
-	if err != nil || !warm.Sat {
+	if err != nil || warm.Unsat() != nil {
 		t.Fatalf("warm session solve: err=%v", err)
 	}
 	for _, in := range warm.Instances {
@@ -188,7 +188,7 @@ func TestPublicAPIPlanDeployment(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MinimizeLines = true
 	res, err := Synthesize(net, topo, ps, opts)
-	if err != nil || !res.Sat {
+	if err != nil || res.Unsat() != nil {
 		t.Fatal("synthesis failed")
 	}
 	plan := PlanDeployment(net, topo, res.Edits, ps)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|all
+//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|resolve|all
 //	         [-scale quick|full] [-metrics-out FILE] [-out FILE]
 //	         [-debug-addr ADDR]
 //
@@ -17,7 +17,11 @@
 // artifact (BENCH_incremental.json). The satperf experiment measures
 // the SAT layer itself — cold synthesis wall time, propagation
 // throughput, peak clause-arena bytes, and the CNF size with structural
-// hash-consing on vs off; -out writes BENCH_satperf.json.
+// hash-consing on vs off; -out writes BENCH_satperf.json. The resolve
+// experiment measures the session's tier-2 path — a one-line config
+// edit re-solved by flipping the live instance's retractable bindings
+// against the cold and re-encode baselines; -out writes
+// BENCH_resolve.json.
 //
 // Each experiment prints the rows/series the corresponding paper
 // figure reports; EXPERIMENTS.md records the expected shapes.
@@ -127,8 +131,18 @@ func main() {
 				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
 			}
 		},
+		"resolve": func() {
+			res := bench.Resolve(os.Stdout, scale)
+			if *benchOut != "" {
+				if err := bench.WriteResolveJSON(*benchOut, res); err != nil {
+					fmt.Fprintln(os.Stderr, "aedbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
+			}
+		},
 	}
-	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental", "satperf"}
+	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental", "satperf", "resolve"}
 
 	runOne := func(name string, run func()) {
 		sp := tracer.Start("experiment")

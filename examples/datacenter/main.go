@@ -60,8 +60,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !res.Sat {
-			log.Fatalf("%s: unsat", label)
+		if u := res.Unsat(); u != nil {
+			log.Fatalf("%s: %v", label, u)
 		}
 		violations := config.TemplateViolations(net, res.Updated)
 		fmt.Printf("%-28s devices=%d lines=%d template-violations=%d\n",

@@ -41,8 +41,8 @@ reach 10.1.0.0/24 -> 10.0.0.0/24
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Sat {
-		log.Fatal("unsat")
+	if u := res.Unsat(); u != nil {
+		log.Fatal(u)
 	}
 	fmt.Printf("synthesized %d edit(s) across %d device(s):\n",
 		len(res.Edits), res.Diff.DevicesChanged)

@@ -65,8 +65,8 @@ NOMODIFY //Router GROUPBY name
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Sat {
-		log.Fatal("unsat")
+	if u := res.Unsat(); u != nil {
+		log.Fatal(u)
 	}
 	fmt.Printf("solved in %v; %d device(s) changed\n",
 		res.Duration.Round(1e6), res.Diff.DevicesChanged)

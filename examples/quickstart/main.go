@@ -80,8 +80,8 @@ reach 10.1.0.0/24 -> 10.0.0.0/24
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Sat {
-		log.Fatalf("policies unimplementable for destinations %v", res.UnsatDestinations)
+	if u := res.Unsat(); u != nil {
+		log.Fatalf("policies unimplementable for destinations %v", u.Destinations)
 	}
 
 	fmt.Printf("solved in %v; %d device(s), %d line(s) changed\n",

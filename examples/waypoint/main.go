@@ -48,8 +48,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Sat {
-		log.Fatal("path preference unimplementable")
+	if u := res.Unsat(); u != nil {
+		log.Fatalf("path preference unimplementable: %v", u)
 	}
 	fmt.Printf("synthesized in %v with %d edit(s):\n", res.Duration.Round(1e6), len(res.Edits))
 	for _, e := range res.Edits {

@@ -227,3 +227,21 @@ func TestIncrementalQuick(t *testing.T) {
 		t.Errorf("warm solve (%.1fms) not faster than cold (%.1fms)", res.WarmMS, res.ColdMS)
 	}
 }
+
+func TestResolveQuick(t *testing.T) {
+	var buf bytes.Buffer
+	res := Resolve(&buf, Quick)
+	if res.Destinations != res.Leaves {
+		t.Errorf("destinations = %d, want one per leaf (%d)", res.Destinations, res.Leaves)
+	}
+	if res.Rebound != 1 {
+		t.Errorf("rebound instances = %d, want exactly 1 (the edited destination)", res.Rebound)
+	}
+	// The rebind flips assumptions on one warm instance while the cold
+	// solve encodes and solves all of them; assert a lenient bound so
+	// loaded CI machines do not flake (the artifact records the real
+	// speedup).
+	if res.RebindMS >= res.ColdMS {
+		t.Errorf("rebind re-solve (%.1fms) not faster than cold (%.1fms)", res.RebindMS, res.ColdMS)
+	}
+}

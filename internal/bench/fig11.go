@@ -61,7 +61,7 @@ func Fig11a(w io.Writer, scale Scale) []Fig11aRow {
 		opts := core.DefaultOptions()
 		opts.Objectives = objs
 		aedRes, err := core.Synthesize(dc.Net, dc.Topo, ps, opts)
-		if err != nil || !aedRes.Sat {
+		if err != nil || aedRes.Unsat() != nil {
 			continue
 		}
 		cprRes, err := cpr.Repair(dc.Net, dc.Topo, ps)
@@ -127,7 +127,7 @@ func Fig11b(w io.Writer, scale Scale) []Fig11bRow {
 		opts := core.DefaultOptions()
 		opts.Objectives = objs
 		aedRes, err := core.Synthesize(zw.Net, zw.Topo, ps, opts)
-		if err != nil || !aedRes.Sat {
+		if err != nil || aedRes.Unsat() != nil {
 			fmt.Fprintf(w, "  n=%-4d AED failed (%v)\n", size, err)
 			continue
 		}

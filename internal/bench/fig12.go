@@ -43,7 +43,7 @@ func Fig12(w io.Writer, scale Scale) []Fig12Row {
 			opts := core.DefaultOptions()
 			opts.Objectives = objs
 			res, err := core.Synthesize(zw.Net, zw.Topo, ps, opts)
-			if err != nil || !res.Sat {
+			if err != nil || res.Unsat() != nil {
 				fmt.Fprintf(w, "  base=%-4d added=%-4d failed\n", base, added)
 				continue
 			}

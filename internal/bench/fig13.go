@@ -64,7 +64,7 @@ func Fig13(w io.Writer, scale Scale) []Fig13Row {
 			opts := core.DefaultOptions()
 			opts.Objectives = objs
 			res, err := core.Synthesize(dc.Net, dc.Topo, ps, opts)
-			if err != nil || !res.Sat {
+			if err != nil || res.Unsat() != nil {
 				continue
 			}
 			key := groupOf(len(dc.Net.Routers)) + "|" + class

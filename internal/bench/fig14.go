@@ -49,14 +49,14 @@ func Fig14(w io.Writer, scale Scale) []Fig14Row {
 		par := core.DefaultOptions()
 		par.Objectives = objs
 		parRes, err := core.Synthesize(dc.Net, dc.Topo, ps, par)
-		if err != nil || !parRes.Sat {
+		if err != nil || parRes.Unsat() != nil {
 			continue
 		}
 		mono := core.DefaultOptions()
 		mono.Objectives = objs
 		mono.Monolithic = true
 		monoRes, err := core.Synthesize(dc.Net, dc.Topo, ps, mono)
-		if err != nil || !monoRes.Sat {
+		if err != nil || monoRes.Unsat() != nil {
 			continue
 		}
 		row := Fig14Row{

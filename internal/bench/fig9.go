@@ -157,7 +157,7 @@ func runAED(net *config.Network, topo *topology.Topology, ps []policy.Policy,
 	opts := core.DefaultOptions()
 	opts.Objectives = objs
 	res, err := core.Synthesize(net, topo, ps, opts)
-	if err == nil && res.Sat && len(res.Violations) == 0 {
+	if err == nil && res.Unsat() == nil && len(res.Violations) == 0 {
 		sink(res.Diff)
 	}
 }
@@ -167,7 +167,7 @@ func runAEDMinLines(net *config.Network, topo *topology.Topology, ps []policy.Po
 	sink func(*config.DiffStats)) {
 	opts := core.MinLinesOptions(core.DefaultOptions())
 	res, err := core.Synthesize(net, topo, ps, opts)
-	if err == nil && res.Sat && len(res.Violations) == 0 {
+	if err == nil && res.Unsat() == nil && len(res.Violations) == 0 {
 		sink(res.Diff)
 	}
 }

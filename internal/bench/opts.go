@@ -46,7 +46,7 @@ func BoolRank(w io.Writer, scale Scale) []BoolRankRow {
 			objs, _ := objective.Named("min-devices")
 			opts.Objectives = objs
 			res, err := core.Synthesize(net, topo, ps, opts)
-			if err != nil || !res.Sat || len(res.Violations) != 0 {
+			if err != nil || res.Unsat() != nil || len(res.Violations) != 0 {
 				return 0, false
 			}
 			return res.Duration, true
@@ -140,7 +140,7 @@ func Pruning(w io.Writer, scale Scale) []PruningRow {
 			opts.Encode.NoPrune = !prune
 			opts.Objectives = objs
 			res, err := core.Synthesize(net, dc.Topo, ps, opts)
-			if err != nil || !res.Sat || len(res.Violations) != 0 {
+			if err != nil || res.Unsat() != nil || len(res.Violations) != 0 {
 				return 0, false
 			}
 			return res.Duration, true

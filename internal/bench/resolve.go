@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/policy"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// ResolveResult is the live-instance re-solve benchmark artifact
+// (BENCH_resolve.json). It measures the session engine's tier-2 path —
+// a one-line configuration edit re-solved by flipping the live
+// instance's retractable bindings — against both a cold solve and the
+// tier-3 fallback (same edit with live-instance retention disabled, so
+// the dirty destination re-encodes from scratch).
+type ResolveResult struct {
+	Leaves       int `json:"leaves"`
+	Spines       int `json:"spines"`
+	Destinations int `json:"destinations"`
+	// ColdMS is the initial full solve over every destination.
+	ColdMS float64 `json:"cold_ms"`
+	// RebindMS re-solves a one-line local-preference edit on the live
+	// instance (assumption flips, warm solver).
+	RebindMS float64 `json:"rebind_ms"`
+	// RebindBackMS reverts the edit; the anchor assertions are memoized
+	// so this flip adds no new clauses at all.
+	RebindBackMS float64 `json:"rebind_back_ms"`
+	// ReencodeMS is the same one-line edit solved with
+	// Options.NoLiveInstances: the dirty destination re-encodes and
+	// solves on a fresh context (tier-3).
+	ReencodeMS float64 `json:"reencode_ms"`
+	// Rebound counts instances the rebind run actually re-solved live
+	// (must be 1: the edit dirties exactly one destination).
+	Rebound int `json:"rebound"`
+	// SpeedupVsCold is cold_ms / rebind_ms; SpeedupVsReencode is
+	// reencode_ms / rebind_ms (the tier-2 vs tier-3 gap on an identical
+	// edit).
+	SpeedupVsCold     float64 `json:"speedup_vs_cold"`
+	SpeedupVsReencode float64 `json:"speedup_vs_reencode"`
+}
+
+// Resolve measures assumption-based re-solving on a leaf-spine fabric
+// with one blocking policy per leaf subnet. The editable knob is a
+// route filter on spine0's inbound adjacency from leaf0 whose rule
+// matches the 10.0.0.0/24 destination; an unattached anchor filter
+// pins both local-preference values into the network-wide rank domain
+// so toggling the rule between them is a pure volatile edit. The
+// solves run sequentially with validation skipped, as in Incremental,
+// so the timings isolate solver work.
+func Resolve(w io.Writer, scale Scale) ResolveResult {
+	leaves, spines := 6, 2
+	if scale == Full {
+		leaves, spines = 12, 3
+	}
+	topo := topology.LeafSpine(leaves, spines, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF, WithRoleFilters: true})
+
+	spine := net.Routers["spine0"]
+	spine.RouteFilters = append(spine.RouteFilters,
+		&config.RouteFilter{Name: "rf_edit", Rules: []*config.RouteRule{
+			{Permit: true, Prefix: prefix.MustParse("10.0.0.0/24"), LocalPref: 110},
+		}},
+		&config.RouteFilter{Name: "rf_anchor", Rules: []*config.RouteRule{
+			{Permit: true, Prefix: prefix.MustParse("10.200.0.0/24"), LocalPref: 110},
+			{Permit: true, Prefix: prefix.MustParse("10.200.0.0/24"), LocalPref: 120},
+		}},
+	)
+	spine.Process(config.OSPF).Adjacency("leaf0").InFilter = "rf_edit"
+
+	var text string
+	for d := 0; d < leaves; d++ {
+		text += fmt.Sprintf("block 10.%d.0.0/24 -> 10.%d.0.0/24\n", (d+1)%leaves, d)
+	}
+	ps, err := policy.Parse(text)
+	if err != nil {
+		panic(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Sequential = true
+	opts.SkipValidation = true
+	opts.MinimizeLines = true
+	ctx := context.Background()
+
+	solve := func(eng *core.Engine, label string) (*core.Result, float64) {
+		start := time.Now()
+		res, err := eng.Solve(ctx, ps)
+		if err != nil {
+			panic(fmt.Sprintf("resolve bench %s: %v", label, err))
+		}
+		if res.Unsat() != nil {
+			panic(fmt.Sprintf("resolve bench %s: %v", label, res.Unsat()))
+		}
+		return res, float64(time.Since(start).Microseconds()) / 1000
+	}
+	withLP := func(lp int) *config.Network {
+		next := net.Clone()
+		next.Routers["spine0"].RouteFilter("rf_edit").Rules[0].LocalPref = lp
+		return next
+	}
+
+	live := core.NewEngine(net, topo, opts)
+	cold, coldMS := solve(live, "cold")
+
+	// One-line edit: local preference 110 -> 120. Tier-2 on the live
+	// engine; the same edit on the control engine below re-encodes.
+	live.SetNetwork(withLP(120))
+	warm, rebindMS := solve(live, "rebind")
+	rebound := 0
+	for _, in := range warm.Instances {
+		if in.Rebound {
+			rebound++
+		}
+	}
+
+	// Revert: both anchor assertions now exist, so this flip is pure
+	// assumption work.
+	live.SetNetwork(withLP(110))
+	_, rebindBackMS := solve(live, "rebind_back")
+
+	ctrlOpts := opts
+	ctrlOpts.NoLiveInstances = true
+	ctrl := core.NewEngine(net, topo, ctrlOpts)
+	solve(ctrl, "control_cold")
+	ctrl.SetNetwork(withLP(120))
+	_, reencodeMS := solve(ctrl, "reencode")
+
+	res := ResolveResult{
+		Leaves: leaves, Spines: spines, Destinations: len(cold.Instances),
+		ColdMS: coldMS, RebindMS: rebindMS, RebindBackMS: rebindBackMS,
+		ReencodeMS: reencodeMS, Rebound: rebound,
+	}
+	if rebindMS > 0 {
+		res.SpeedupVsCold = coldMS / rebindMS
+		res.SpeedupVsReencode = reencodeMS / rebindMS
+	}
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %8s %10s %8s\n",
+		"fabric", "cold(ms)", "rebind(ms)", "back(ms)", "reenc(ms)", "rebound", "vs-cold", "vs-reenc")
+	fmt.Fprintf(w, "%-14s %10.1f %10.2f %10.2f %10.2f %8d %9.1fx %7.1fx\n",
+		fmt.Sprintf("%dx%d", leaves, spines), res.ColdMS, res.RebindMS, res.RebindBackMS,
+		res.ReencodeMS, res.Rebound, res.SpeedupVsCold, res.SpeedupVsReencode)
+	return res
+}
+
+// WriteResolveJSON writes the benchmark artifact consumed by
+// `make bench-resolve`.
+func WriteResolveJSON(path string, res ResolveResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -64,7 +64,7 @@ func MaxSATStrategies(w io.Writer, scale Scale) []StrategyRow {
 			opts.Objectives = objs
 			opts.Strategy = st.s
 			res, err := core.Synthesize(dc.Net, dc.Topo, ps, opts)
-			if err != nil || !res.Sat || len(res.Violations) != 0 {
+			if err != nil || res.Unsat() != nil || len(res.Violations) != 0 {
 				continue
 			}
 			accs[si].d += res.Duration

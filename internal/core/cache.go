@@ -205,6 +205,20 @@ func destFingerprint(shared uint64, net *config.Network, d prefix.Prefix,
 	return f.sum()
 }
 
+// groupFingerprint hashes just a destination's policy group (the
+// non-configuration part of destFingerprint). The session engine uses
+// it to classify a dirty destination: when the shared inputs and the
+// group are unchanged, the only thing that moved is router
+// configuration, and the live instance may be rebindable (tier-2).
+func groupFingerprint(d prefix.Prefix, group []policy.Policy) uint64 {
+	f := newFP()
+	f.pfx(d)
+	for _, p := range group {
+		f.str(p.String())
+	}
+	return f.sum()
+}
+
 // hashRouter hashes the slice of one router's configuration this
 // destination's instance can read.
 func hashRouter(f *fp, r *config.Router, d prefix.Prefix, srcs []prefix.Prefix, opts Options) {

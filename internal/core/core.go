@@ -81,6 +81,14 @@ type Options struct {
 	// IncidentWriter, when non-nil, receives one JSON line per watchdog
 	// incident (see obs.Incident for the schema).
 	IncidentWriter io.Writer
+	// NoLiveInstances stops a session Engine from retaining each
+	// destination's live solver instance between Solve calls. The
+	// default (false) keeps instances alive so that an edit-only
+	// configuration change re-solves by flipping retractable bindings
+	// on the warm solver (tier-2 in DESIGN.md) instead of re-encoding;
+	// set it to trade that speed for the memory of the cached SMT
+	// contexts. One-shot SynthesizeContext runs ignore it.
+	NoLiveInstances bool
 }
 
 // defaultTracer is the process-wide fallback used when Options.Tracer
@@ -153,26 +161,6 @@ func (e *UnsatError) Error() string {
 type Result struct {
 	// Updated is the synthesized network (nil when Unsat() is non-nil).
 	Updated *config.Network
-	// Sat reports whether every instance was satisfiable.
-	//
-	// Deprecated: use Unsat, which also carries the conflicting
-	// destinations keyed by prefix. Sat remains populated for one
-	// release.
-	Sat bool
-	// UnsatDestinations lists destinations whose instances were
-	// unsatisfiable (conflicting or unimplementable policies).
-	//
-	// Deprecated: use Unsat().Destinations. Remains populated for one
-	// release.
-	UnsatDestinations []prefix.Prefix
-	// Conflicts explains unsatisfiable destinations: for each, a
-	// minimal mutually-unimplementable policy subset (computed when
-	// Options.Explain is set).
-	//
-	// Deprecated: use Unsat().Conflicts, which is keyed by
-	// prefix.Prefix instead of the prefix's string form. Remains
-	// populated for one release.
-	Conflicts map[string][]policy.Policy
 	// Edits are the merged configuration changes.
 	Edits []encode.Edit
 	// Diff summarizes the change w.r.t. the input snapshot.
@@ -202,28 +190,21 @@ type Result struct {
 }
 
 // Unsat returns the structured unsatisfiability report, or nil when
-// every instance was satisfiable. This replaces reading the deprecated
-// Sat/UnsatDestinations/Conflicts fields.
+// every instance was satisfiable.
 func (r *Result) Unsat() *UnsatError { return r.unsat }
 
-// setUnsat records one unsatisfiable destination (keeping the
-// deprecated fields in sync) with its optional minimal conflict.
+// setUnsat records one unsatisfiable destination with its optional
+// minimal conflict.
 func (r *Result) setUnsat(d prefix.Prefix, conflict []policy.Policy) {
-	r.Sat = false
 	if r.unsat == nil {
 		r.unsat = &UnsatError{}
 	}
 	r.unsat.Destinations = append(r.unsat.Destinations, d)
-	r.UnsatDestinations = append(r.UnsatDestinations, d)
 	if len(conflict) > 0 {
 		if r.unsat.Conflicts == nil {
 			r.unsat.Conflicts = make(map[prefix.Prefix][]policy.Policy)
 		}
 		r.unsat.Conflicts[d] = conflict
-		if r.Conflicts == nil {
-			r.Conflicts = make(map[string][]policy.Policy)
-		}
-		r.Conflicts[d.String()] = conflict
 	}
 }
 
@@ -242,6 +223,11 @@ type InstanceStats struct {
 	// cache instead of being re-solved in this call; its Solver
 	// counters describe the original solve.
 	Cached bool
+	// Rebound marks an instance re-solved on its live solver after an
+	// edit-only configuration change: the session flipped retractable
+	// bindings and re-ran the search instead of re-encoding, so its
+	// Solver counters cover only the incremental work of this call.
+	Rebound bool
 	// Slow marks an instance whose solve outlived Options.SlowSolveAfter
 	// (the slow-solve watchdog fired for it). Always false when the
 	// watchdog is disabled.
@@ -277,7 +263,7 @@ func SynthesizeContext(ctx context.Context, net *config.Network, topo *topology.
 	gsp.End()
 
 	wd := opts.watchdog(tr)
-	res := &Result{Sat: true}
+	res := &Result{}
 	if opts.Monolithic {
 		if err := solveMonolithic(ctx, net, topo, groups, dests, opts, res, tr, root, wd); err != nil {
 			return nil, err
@@ -291,7 +277,7 @@ func SynthesizeContext(ctx context.Context, net *config.Network, topo *topology.
 
 	applyAndValidate(net, topo, ps, opts, res, root)
 	res.Duration = time.Since(start)
-	root.SetBool("sat", res.Sat)
+	root.SetBool("sat", res.unsat == nil)
 	root.SetInt("decisions", res.Solver.Decisions)
 	root.SetInt("conflicts", res.Solver.Conflicts)
 	tr.Metrics().Counter("synthesize.runs").Add(1)
@@ -318,7 +304,7 @@ func groupDests(ps []policy.Policy) ([]policy.Policy, map[prefix.Prefix][]policy
 // edits, diff against the input snapshot, and (unless skipped) re-check
 // the updated network with the concrete simulator.
 func applyAndValidate(net *config.Network, topo *topology.Topology, ps []policy.Policy, opts Options, res *Result, root *obs.Span) {
-	if !res.Sat {
+	if res.unsat != nil {
 		return
 	}
 	asp := root.Child("apply")
@@ -380,7 +366,6 @@ func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.To
 		Solver: r.Stats,
 	})
 	if !r.Sat {
-		res.Sat = false
 		for _, d := range dests {
 			res.setUnsat(d, nil)
 		}
@@ -392,10 +377,12 @@ func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.To
 }
 
 // solveInstance encodes and solves one destination group: the unit of
-// work shared by the one-shot split path and the session engine.
+// work shared by the one-shot split path and the session engine. It
+// also returns the live encoder so a session can retain the instance
+// and later re-solve it in place (see resolveLive in session.go).
 func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topology,
 	d prefix.Prefix, group []policy.Policy, opts Options,
-	tr *obs.Tracer, root *obs.Span, wd *obs.Watchdog) (*encode.Result, error) {
+	tr *obs.Tracer, root *obs.Span, wd *obs.Watchdog) (*encode.Result, *encode.Encoder, error) {
 
 	dest := d.String()
 	dsp := root.Child("destination")
@@ -410,7 +397,7 @@ func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topo
 	esp := dsp.Child("encode")
 	if err := e.EncodePolicies(group); err != nil {
 		esp.End()
-		return nil, err
+		return nil, nil, err
 	}
 	e.AddObjectives(instantiateObjectives(net, opts.Objectives, e.Deltas()))
 	if opts.MinimizeLines {
@@ -425,7 +412,7 @@ func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topo
 		satBit = 1
 	}
 	rec.RecordLabeled(obs.EvSolveEnd, dest, satBit, r.Duration.Milliseconds())
-	return r, nil
+	return r, e, nil
 }
 
 // runInstances executes n index-addressed solve tasks, concurrently
@@ -486,7 +473,7 @@ func solveSplit(ctx context.Context, net *config.Network, topo *topology.Topolog
 			outcomes[i] = outcome{dest: d, err: err}
 			return
 		}
-		r, err := solveInstance(ctx, net, topo, d, groups[d], opts, tr, root, wd)
+		r, _, err := solveInstance(ctx, net, topo, d, groups[d], opts, tr, root, wd)
 		outcomes[i] = outcome{dest: d, result: r, err: err}
 	})
 

@@ -41,8 +41,8 @@ reach 10.1.0.0/24 -> 10.2.0.0/24
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat {
-		t.Fatalf("unsat: %v", res.UnsatDestinations)
+	if res.Unsat() != nil {
+		t.Fatalf("unsat: %v", res.Unsat())
 	}
 	if len(res.Violations) != 0 {
 		t.Fatalf("violations after synthesis: %v", res.Violations)
@@ -70,7 +70,7 @@ func TestSynthesizeSequentialMatchesParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res1.Sat || !res2.Sat {
+	if res1.Unsat() != nil || res2.Unsat() != nil {
 		t.Fatal("both modes must be sat")
 	}
 	if res1.Diff.DevicesChanged != res2.Diff.DevicesChanged {
@@ -89,8 +89,8 @@ func TestSynthesizeMonolithic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat || len(res.Violations) != 0 {
-		t.Fatalf("monolithic failed: sat=%v violations=%v", res.Sat, res.Violations)
+	if res.Unsat() != nil || len(res.Violations) != 0 {
+		t.Fatalf("monolithic failed: unsat=%v violations=%v", res.Unsat(), res.Violations)
 	}
 	if len(res.Instances) != 1 {
 		t.Errorf("monolithic should report one instance, got %d", len(res.Instances))
@@ -106,12 +106,12 @@ block 10.0.0.0/24 -> 10.1.0.0/24
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Sat {
+	if res.Unsat() == nil {
 		t.Fatal("contradictory policies must be unsat")
 	}
-	if len(res.UnsatDestinations) != 1 ||
-		!res.UnsatDestinations[0].Equal(prefix.MustParse("10.1.0.0/24")) {
-		t.Errorf("unsat destinations = %v", res.UnsatDestinations)
+	if u := res.Unsat(); len(u.Destinations) != 1 ||
+		!u.Destinations[0].Equal(prefix.MustParse("10.1.0.0/24")) {
+		t.Errorf("unsat destinations = %v", u.Destinations)
 	}
 }
 
@@ -129,10 +129,10 @@ reach 10.2.0.0/24 -> 10.1.0.0/24
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Sat {
+	if res.Unsat() == nil {
 		t.Fatal("want unsat")
 	}
-	conflict := res.Conflicts["10.1.0.0/24"]
+	conflict := res.Unsat().Conflicts[prefix.MustParse("10.1.0.0/24")]
 	if len(conflict) != 2 {
 		t.Fatalf("conflict = %v, want the contradicting pair", conflict)
 	}
@@ -152,7 +152,7 @@ func TestSynthesizeNoChangesWhenSatisfied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat || res.Diff.LinesChanged() != 0 {
+	if res.Unsat() != nil || res.Diff.LinesChanged() != 0 {
 		t.Errorf("satisfied policies should produce no edits: %+v", res.Diff)
 	}
 }
@@ -179,8 +179,8 @@ func TestSynthesizePreservesBasePolicies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat {
-		t.Fatalf("unsat: %v", res.UnsatDestinations)
+	if res.Unsat() != nil {
+		t.Fatalf("unsat: %v", res.Unsat())
 	}
 	if len(res.Violations) != 0 {
 		t.Fatalf("violations: %v", res.Violations)
@@ -195,7 +195,7 @@ func TestMinLinesObjectives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat || len(res.Violations) != 0 {
+	if res.Unsat() != nil || len(res.Violations) != 0 {
 		t.Fatal("min-lines synthesis failed")
 	}
 	// One added deny rule (plus possibly one attach) should suffice.
@@ -215,7 +215,7 @@ func TestSynthesizeStrategies(t *testing.T) {
 		if err != nil {
 			t.Fatalf("strategy %v: %v", strat, err)
 		}
-		if !res.Sat || len(res.Violations) != 0 {
+		if res.Unsat() != nil || len(res.Violations) != 0 {
 			t.Fatalf("strategy %v failed", strat)
 		}
 	}
@@ -225,7 +225,7 @@ func TestSortEdits(t *testing.T) {
 	net, topo := leafSpineNet(t, 2, 1)
 	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\nblock 10.1.0.0/24 -> 10.0.0.0/24\n")
 	res, err := Synthesize(net, topo, ps, DefaultOptions())
-	if err != nil || !res.Sat {
+	if err != nil || res.Unsat() != nil {
 		t.Fatal("setup failed")
 	}
 	SortEdits(res.Edits)
@@ -269,7 +269,7 @@ func TestSynthesizeWaypointOnZoo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat {
+	if res.Unsat() != nil {
 		t.Fatal("waypoint unsat")
 	}
 	if len(res.Violations) != 0 {

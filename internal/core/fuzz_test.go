@@ -79,10 +79,10 @@ func TestSynthesizeRandomized(t *testing.T) {
 		if err != nil {
 			t.Fatalf("iter %d (%s): %v", iter, topo.Name, err)
 		}
-		if !res.Sat {
+		if res.Unsat() != nil {
 			// Blocking+reach mixes are always implementable on these
 			// workloads (the blocked pairs were removed from base).
-			t.Fatalf("iter %d (%s): unexpected unsat for %v", iter, topo.Name, res.UnsatDestinations)
+			t.Fatalf("iter %d (%s): unexpected unsat: %v", iter, topo.Name, res.Unsat())
 		}
 		if len(res.Violations) != 0 {
 			t.Fatalf("iter %d (%s, monolithic=%v): violations after synthesis: %v",
@@ -108,11 +108,11 @@ func TestSynthesizeIdempotent(t *testing.T) {
 
 	opts := MinLinesOptions(DefaultOptions())
 	res1, err := Synthesize(net, topo, ps, opts)
-	if err != nil || !res1.Sat || len(res1.Violations) != 0 {
+	if err != nil || res1.Unsat() != nil || len(res1.Violations) != 0 {
 		t.Fatalf("first run failed: %v", err)
 	}
 	res2, err := Synthesize(res1.Updated, topo, ps, opts)
-	if err != nil || !res2.Sat {
+	if err != nil || res2.Unsat() != nil {
 		t.Fatalf("second run failed: %v", err)
 	}
 	if res2.Diff.LinesChanged() != 0 {

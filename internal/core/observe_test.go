@@ -42,8 +42,8 @@ reach 10.1.0.0/24 -> 10.2.0.0/24
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat {
-		t.Fatalf("unsat: %v", res.UnsatDestinations)
+	if res.Unsat() != nil {
+		t.Fatalf("unsat: %v", res.Unsat())
 	}
 
 	counts := recorderKinds(rec)
@@ -165,7 +165,7 @@ reach 10.1.0.0/24 -> 10.2.0.0/24
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !res.Sat {
+		if res.Unsat() != nil {
 			t.Fatal("watchdog must not affect the solve outcome")
 		}
 		for _, is := range res.Instances {

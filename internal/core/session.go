@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/aed-net/aed/internal/config"
@@ -19,9 +20,20 @@ import (
 // calls, re-solves only the per-destination instances whose inputs
 // changed. Each destination unit — its policy group, the relevant
 // configuration subtree, the objectives, and the encoding options — is
-// fingerprinted (see cache.go); instances whose fingerprint is
-// unchanged reuse the cached encode.Result, so the operator loop of
-// §9 (edit a policy, re-run, repeat) pays only for what changed.
+// fingerprinted (see cache.go), and a dirty destination is re-solved
+// through a three-tier ladder:
+//
+//	tier 1 — fingerprint identical: reuse the cached encode.Result,
+//	         zero solver work;
+//	tier 2 — only volatile router configuration moved (same shared
+//	         inputs, same policy group, no objectives): flip the live
+//	         instance's retractable bindings (encode.Rebind) and re-run
+//	         the search on the warm solver, keeping its learned clauses
+//	         and heuristic state;
+//	tier 3 — anything else: re-encode and solve from scratch.
+//
+// So the operator loop of §9 (edit a line, re-run, repeat) pays for an
+// edit-only change an assumption-based re-solve, not a rebuild.
 //
 // Split-mode instances are independent by construction (deltas that
 // could affect other destinations' traffic are suppressed), which is
@@ -37,11 +49,16 @@ type Engine struct {
 	cache map[prefix.Prefix]*cacheEntry
 }
 
-// cacheEntry is one destination's cached solve.
+// cacheEntry is one destination's cached solve, including — unless
+// Options.NoLiveInstances — the live encoder whose SMT context is kept
+// warm for tier-2 re-solves.
 type cacheEntry struct {
 	fp       uint64
+	shared   uint64 // sharedFingerprint component of fp
+	groupFP  uint64 // policy-group component (see groupFingerprint)
 	res      *encode.Result
 	conflict []policy.Policy // Explain output for a cached unsat entry
+	enc      *encode.Encoder // live instance; nil when retention is off
 }
 
 // NewEngine starts an incremental session over net and topo. The
@@ -85,10 +102,12 @@ func (s *Engine) Invalidate() {
 
 // Solve synthesizes updates for the session's network against ps,
 // reusing cached per-destination results where the fingerprint proves
-// the instance's inputs are unchanged. Cache activity is exported as
-// session.cache.hits / .misses / .invalidations counters, and per-call
-// latency lands in session.solve.warm_ms or .cold_ms depending on
-// whether any hit occurred.
+// the instance's inputs are unchanged, and rebinding live instances
+// where only volatile configuration moved (see the tier ladder on
+// Engine). Cache activity is exported as session.cache.hits / .misses /
+// .invalidations counters, tier-2 activity as session.rebind.resolves /
+// .ineligible, and per-call latency lands in session.solve.warm_ms or
+// .cold_ms depending on whether any hit occurred.
 func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -115,13 +134,18 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 	rec := tr.Recorder()
 	shared := sharedFingerprint(s.net, s.topo, s.opts)
 	fps := make([]uint64, len(dests))
+	groupFPs := make([]uint64, len(dests))
 	results := make([]*encode.Result, len(dests))
 	cached := make([]bool, len(dests))
 	conflicts := make([][]policy.Policy, len(dests))
+	liveable := make([]*cacheEntry, len(dests))
+	encs := make([]*encode.Encoder, len(dests))
+	rebound := make([]bool, len(dests))
 	var dirty []int
 	hits, invalidations := 0, 0
 	for i, d := range dests {
 		fps[i] = destFingerprint(shared, s.net, d, groups[d], s.opts)
+		groupFPs[i] = groupFingerprint(d, groups[d])
 		if e, ok := s.cache[d]; ok {
 			if e.fp == fps[i] {
 				results[i] = e.res
@@ -130,6 +154,15 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 				hits++
 				rec.RecordLabeled(obs.EvCacheHit, d.String(), int64(fps[i]), 0)
 				continue
+			}
+			// Dirty with a live instance: when the shared inputs and the
+			// policy group are untouched, only router configuration
+			// moved — a tier-2 rebind candidate. Objectives are excluded
+			// because their value companions stay anchored at the
+			// encode-time configuration (see encode.Rebind).
+			if e.enc != nil && e.shared == shared && e.groupFP == groupFPs[i] &&
+				len(s.opts.Objectives) == 0 {
+				liveable[i] = e
 			}
 			invalidations++
 			rec.RecordLabeled(obs.EvCacheInvalidate, d.String(), int64(fps[i]), int64(e.fp))
@@ -141,9 +174,12 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 	fsp.SetInt("misses", int64(len(dirty)))
 	fsp.End()
 
-	// Re-solve only the dirty destinations.
+	// Re-solve only the dirty destinations: by rebinding the live
+	// instance when the configuration delta allows it, from scratch
+	// otherwise.
 	wd := s.opts.watchdog(tr)
 	errs := make([]error, len(dests))
+	var rebinds, ineligible int64
 	runInstances(len(dirty), s.opts, func(k int) {
 		i := dirty[k]
 		d := dests[i]
@@ -151,7 +187,15 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 			errs[i] = err
 			return
 		}
-		results[i], errs[i] = solveInstance(ctx, s.net, s.topo, d, groups[d], s.opts, tr, root, wd)
+		if ent := liveable[i]; ent != nil {
+			if r, ok := resolveLive(ctx, ent.enc, s.net, d, s.opts, tr, root, wd); ok {
+				results[i], encs[i], rebound[i] = r, ent.enc, true
+				atomic.AddInt64(&rebinds, 1)
+				return
+			}
+			atomic.AddInt64(&ineligible, 1)
+		}
+		results[i], encs[i], errs[i] = solveInstance(ctx, s.net, s.topo, d, groups[d], s.opts, tr, root, wd)
 	})
 
 	for _, i := range dirty {
@@ -171,22 +215,31 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 	// Merge cached and fresh results, updating the cache. SolveTime and
 	// Solver count only work done in this call: cached instances are
 	// free (their InstanceStats keep the original solve's counters,
-	// flagged Cached).
-	res := &Result{Sat: true}
+	// flagged Cached), and rebound instances count only the incremental
+	// search.
+	res := &Result{}
 	for i, d := range dests {
 		r := results[i]
 		if !cached[i] {
 			if !r.Sat && s.opts.Explain {
 				conflicts[i] = explainDest(s.net, s.topo, d, groups[d], s.opts)
 			}
-			s.cache[d] = &cacheEntry{fp: fps[i], res: r, conflict: conflicts[i]}
+			enc := encs[i]
+			if s.opts.NoLiveInstances {
+				enc = nil
+			}
+			s.cache[d] = &cacheEntry{
+				fp: fps[i], shared: shared, groupFP: groupFPs[i],
+				res: r, conflict: conflicts[i], enc: enc,
+			}
 			res.SolveTime += r.Duration
 		}
 		res.Instances = append(res.Instances, InstanceStats{
 			Destination: d, Policies: len(groups[d]),
 			NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
-			Cached: cached[i], Slow: !cached[i] && s.opts.markSlow(r.Duration),
+			Cached: cached[i], Rebound: rebound[i],
+			Slow:   !cached[i] && s.opts.markSlow(r.Duration),
 			Solver: r.Stats,
 		})
 		if !cached[i] {
@@ -203,13 +256,16 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 	applyAndValidate(s.net, s.topo, ps, s.opts, res, root)
 	res.Duration = time.Since(start)
 
-	root.SetBool("sat", res.Sat)
+	root.SetBool("sat", res.unsat == nil)
 	root.SetInt("cache_hits", int64(hits))
 	root.SetInt("cache_misses", int64(len(dirty)))
+	root.SetInt("rebinds", rebinds)
 	m := tr.Metrics()
 	m.Counter("session.cache.hits").Add(int64(hits))
 	m.Counter("session.cache.misses").Add(int64(len(dirty)))
 	m.Counter("session.cache.invalidations").Add(int64(invalidations))
+	m.Counter("session.rebind.resolves").Add(rebinds)
+	m.Counter("session.rebind.ineligible").Add(ineligible)
 	ms := float64(res.Duration.Microseconds()) / 1000
 	m.Histogram("session.solve_ms", obs.LatencyBuckets).Observe(ms)
 	if hits > 0 {
@@ -218,4 +274,38 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 		m.Histogram("session.solve.cold_ms", obs.LatencyBuckets).Observe(ms)
 	}
 	return res, nil
+}
+
+// resolveLive attempts a tier-2 re-solve: retarget the destination's
+// live encoder at the session's current network by flipping its
+// retractable bindings, then re-run the MaxSAT search on the warm
+// solver. Returns ok=false — leaving the instance untouched — when the
+// configuration delta is not rebindable, in which case the caller
+// falls back to a full re-encode.
+func resolveLive(ctx context.Context, enc *encode.Encoder, net *config.Network,
+	d prefix.Prefix, opts Options, tr *obs.Tracer, root *obs.Span, wd *obs.Watchdog) (*encode.Result, bool) {
+
+	swapped, ok := enc.Rebind(net)
+	if !ok {
+		return nil, false
+	}
+	dest := d.String()
+	dsp := root.Child("destination")
+	dsp.SetStr("dest", dest)
+	dsp.SetBool("rebind", true)
+	dsp.SetInt("bindings_swapped", int64(swapped))
+	defer dsp.End()
+	stop := wd.Watch(dest)
+	defer stop()
+	enc.Observe(dsp, tr.Metrics())
+	rec := tr.Recorder()
+	rec.RecordLabeled(obs.EvSolveStart, dest, 0, 0)
+	r := enc.ReSolveContext(ctx, opts.Strategy)
+	rec.RecordLabeled(obs.EvRebind, dest, int64(swapped), r.Duration.Milliseconds())
+	var satBit int64
+	if r.Sat {
+		satBit = 1
+	}
+	rec.RecordLabeled(obs.EvSolveEnd, dest, satBit, r.Duration.Milliseconds())
+	return r, true
 }

@@ -56,8 +56,8 @@ func TestSessionWarmSolveAllHits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cold.Sat || len(cold.Violations) != 0 {
-		t.Fatalf("cold solve failed: sat=%v violations=%v", cold.Sat, cold.Violations)
+	if cold.Unsat() != nil || len(cold.Violations) != 0 {
+		t.Fatalf("cold solve failed: unsat=%v violations=%v", cold.Unsat(), cold.Violations)
 	}
 	hits, misses, inval := cacheCounters(tr)
 	if hits != 0 || misses != 3 || inval != 0 {
@@ -80,8 +80,8 @@ func TestSessionWarmSolveAllHits(t *testing.T) {
 	if n := len(freshInstances(warm)); n != 0 {
 		t.Errorf("identical warm solve re-solved %d instances, want 0", n)
 	}
-	if !warm.Sat || len(warm.Violations) != 0 {
-		t.Errorf("warm solve diverged: sat=%v violations=%v", warm.Sat, warm.Violations)
+	if warm.Unsat() != nil || len(warm.Violations) != 0 {
+		t.Errorf("warm solve diverged: unsat=%v violations=%v", warm.Unsat(), warm.Violations)
 	}
 	if len(warm.Edits) != len(cold.Edits) {
 		t.Errorf("warm solve returned %d edits, cold %d", len(warm.Edits), len(cold.Edits))
@@ -110,8 +110,8 @@ block 10.2.0.0/24 -> 10.0.0.0/24
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat || len(res.Violations) != 0 {
-		t.Fatalf("edited solve failed: sat=%v violations=%v", res.Sat, res.Violations)
+	if res.Unsat() != nil || len(res.Violations) != 0 {
+		t.Fatalf("edited solve failed: unsat=%v violations=%v", res.Unsat(), res.Violations)
 	}
 
 	hits, misses, inval := cacheCounters(tr)
@@ -230,8 +230,8 @@ block 10.2.0.0/24 -> 10.0.0.0/24
 		go func(i int) {
 			defer wg.Done()
 			res, err := eng.Solve(context.Background(), ps)
-			if err == nil && !res.Sat {
-				err = &UnsatError{Destinations: res.UnsatDestinations}
+			if err == nil && res.Unsat() != nil {
+				err = res.Unsat()
 			}
 			errs[i] = err
 		}(i)
@@ -263,7 +263,183 @@ func TestSessionSolveCanceled(t *testing.T) {
 	}
 	// The session must remain usable after a canceled call.
 	res, err := eng.Solve(context.Background(), ps)
-	if err != nil || !res.Sat {
+	if err != nil || res.Unsat() != nil {
 		t.Fatalf("solve after cancellation: err=%v", err)
+	}
+}
+
+// rebindFixture is a 2-leaf/1-spine fabric with an editable route
+// filter on spine0's adjacency toward leaf1, matching destination
+// 10.1.0.0/24 only. An unattached anchor filter pins local preferences
+// 110 and 120 into the network-wide lp domain so toggling the editable
+// rule between them keeps the shared fingerprint (and hence tier-2
+// eligibility) stable.
+func rebindFixture(t *testing.T, opts Options) (*Engine, []policy.Policy, *obs.Tracer) {
+	t.Helper()
+	net, topo := leafSpineNet(t, 2, 1)
+	spine := net.Routers["spine0"]
+	spine.RouteFilters = append(spine.RouteFilters,
+		&config.RouteFilter{Name: "rf_edit", Rules: []*config.RouteRule{
+			{Permit: true, Prefix: prefix.MustParse("10.1.0.0/24"), LocalPref: 110},
+		}},
+		&config.RouteFilter{Name: "rf_anchor", Rules: []*config.RouteRule{
+			{Permit: true, Prefix: prefix.MustParse("10.9.0.0/24"), LocalPref: 110},
+			{Permit: true, Prefix: prefix.MustParse("10.9.0.0/24"), LocalPref: 120},
+		}},
+	)
+	spine.Process(config.OSPF).Adjacency("leaf1").InFilter = "rf_edit"
+	ps, err := policy.Parse(`block 10.0.0.0/24 -> 10.1.0.0/24
+block 10.1.0.0/24 -> 10.0.0.0/24
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	opts.Sequential = true
+	opts.MinimizeLines = true
+	opts.Tracer = tr
+	return NewEngine(net, topo, opts), ps, tr
+}
+
+func rebindCounters(tr *obs.Tracer) (resolves, ineligible int64) {
+	m := tr.Metrics()
+	return m.Counter("session.rebind.resolves").Value(),
+		m.Counter("session.rebind.ineligible").Value()
+}
+
+// editLocalPref returns a clone of the engine's network with the
+// editable rule's local preference set to lp.
+func editLocalPref(eng *Engine, lp int) *config.Network {
+	next := eng.Network().Clone()
+	next.Routers["spine0"].RouteFilter("rf_edit").Rules[0].LocalPref = lp
+	return next
+}
+
+func TestSessionRebindOnVolatileEdit(t *testing.T) {
+	eng, ps, tr := rebindFixture(t, DefaultOptions())
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	eng.SetNetwork(editLocalPref(eng, 120))
+	res, err := eng.Solve(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat() != nil || len(res.Violations) != 0 {
+		t.Fatalf("rebind solve failed: unsat=%v violations=%v", res.Unsat(), res.Violations)
+	}
+
+	// Only destination 10.1.0.0/24 is dirtied (the rule matches nothing
+	// else), and it must have been re-solved on the live instance.
+	var rebound []prefix.Prefix
+	for _, in := range res.Instances {
+		if in.Rebound {
+			rebound = append(rebound, in.Destination)
+		}
+		if in.Cached && in.Rebound {
+			t.Errorf("%v flagged both cached and rebound", in.Destination)
+		}
+	}
+	if len(rebound) != 1 || !rebound[0].Equal(prefix.MustParse("10.1.0.0/24")) {
+		t.Fatalf("rebound destinations = %v, want exactly [10.1.0.0/24]", rebound)
+	}
+	if resolves, ineligible := rebindCounters(tr); resolves != 1 || ineligible != 0 {
+		t.Errorf("rebind counters = %d resolves / %d ineligible, want 1/0", resolves, ineligible)
+	}
+	hits, _, inval := cacheCounters(tr)
+	if hits != 1 || inval != 1 {
+		t.Errorf("cache counters = %d hits / %d invalidations, want 1/1", hits, inval)
+	}
+
+	// Toggle back: the live instance survives its own rebind and flips
+	// again, this round fully from memoized handles.
+	eng.SetNetwork(editLocalPref(eng, 110))
+	res, err = eng.Solve(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat() != nil || len(res.Violations) != 0 {
+		t.Fatalf("second rebind solve failed: unsat=%v violations=%v", res.Unsat(), res.Violations)
+	}
+	if resolves, _ := rebindCounters(tr); resolves != 2 {
+		t.Errorf("rebind resolves = %d after round trip, want 2", resolves)
+	}
+}
+
+func TestSessionStructuralEditFallsBackToReencode(t *testing.T) {
+	eng, ps, tr := rebindFixture(t, DefaultOptions())
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	// Adding a rule is structural: the rebind attempt must refuse and
+	// the destination re-encodes from scratch.
+	next := eng.Network().Clone()
+	f := next.Routers["spine0"].RouteFilter("rf_edit")
+	f.Rules = append(f.Rules, &config.RouteRule{Permit: true, Prefix: prefix.MustParse("10.1.0.0/24")})
+	eng.SetNetwork(next)
+
+	res, err := eng.Solve(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat() != nil || len(res.Violations) != 0 {
+		t.Fatalf("structural solve failed: unsat=%v violations=%v", res.Unsat(), res.Violations)
+	}
+	for _, in := range res.Instances {
+		if in.Rebound {
+			t.Errorf("%v rebound across a structural change", in.Destination)
+		}
+	}
+	if resolves, ineligible := rebindCounters(tr); resolves != 0 || ineligible != 1 {
+		t.Errorf("rebind counters = %d resolves / %d ineligible, want 0/1", resolves, ineligible)
+	}
+}
+
+func TestSessionNoLiveInstancesNeverRebinds(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NoLiveInstances = true
+	eng, ps, tr := rebindFixture(t, opts)
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+
+	eng.SetNetwork(editLocalPref(eng, 120))
+	res, err := eng.Solve(ctx, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat() != nil || len(res.Violations) != 0 {
+		t.Fatalf("solve failed: unsat=%v violations=%v", res.Unsat(), res.Violations)
+	}
+	for _, in := range res.Instances {
+		if in.Rebound {
+			t.Errorf("%v rebound with live-instance retention disabled", in.Destination)
+		}
+	}
+	if resolves, ineligible := rebindCounters(tr); resolves != 0 || ineligible != 0 {
+		t.Errorf("rebind counters = %d resolves / %d ineligible, want 0/0", resolves, ineligible)
+	}
+}
+
+func TestSessionInvalidateDropsLiveInstances(t *testing.T) {
+	eng, ps, tr := rebindFixture(t, DefaultOptions())
+	ctx := context.Background()
+	if _, err := eng.Solve(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+	eng.Invalidate()
+
+	// With the cache gone, an otherwise-rebindable edit solves cold.
+	eng.SetNetwork(editLocalPref(eng, 120))
+	if _, err := eng.Solve(ctx, ps); err != nil {
+		t.Fatal(err)
+	}
+	if resolves, ineligible := rebindCounters(tr); resolves != 0 || ineligible != 0 {
+		t.Errorf("rebind counters = %d resolves / %d ineligible after Invalidate, want 0/0", resolves, ineligible)
 	}
 }

@@ -28,8 +28,8 @@ reach 10.1.0.0/24 -> 10.2.0.0/24
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat {
-		t.Fatalf("unsat: %v", res.UnsatDestinations)
+	if res.Unsat() != nil {
+		t.Fatalf("unsat: %v", res.Unsat())
 	}
 	if len(res.Instances) < 2 {
 		t.Fatalf("race test needs >1 destination, got %d", len(res.Instances))
@@ -105,7 +105,7 @@ func TestMonolithicTelemetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Sat {
+	if res.Unsat() != nil {
 		t.Fatal("unsat")
 	}
 	if res.Solver.SolveCalls == 0 || res.Solver != res.Instances[0].Solver {

@@ -97,6 +97,12 @@ type Encoder struct {
 	// adjacencies shares its rule deltas and symbolic actions.
 	rfChainCache map[string]rfChain
 
+	// ruleBind holds, per encoded route-filter rule, the retractable
+	// binding of its volatile attributes (action, local preference) so
+	// Rebind can retarget the live encoding at an edited configuration
+	// without rebuilding it (see rebind.go).
+	ruleBind map[string]*ruleBinding
+
 	// pendingRedist defers redistribution wiring within a router.
 	pendingRedist []redistLink
 }
@@ -148,6 +154,7 @@ func New(net *config.Network, topo *topology.Topology, dst prefix.Prefix, opts O
 		pfAllowCache: make(map[string]*smt.Formula),
 		pfChainCache: make(map[string]*smt.Formula),
 		rfChainCache: make(map[string]rfChain),
+		ruleBind:     make(map[string]*ruleBinding),
 	}
 	e.lpDomain = e.buildLPDomain()
 	e.maxCost = opts.MaxCost

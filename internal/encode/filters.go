@@ -260,40 +260,50 @@ func (e *Encoder) filterChain(r *config.Router, filterName, self, other, dir str
 				Edit{Kind: FlipRouteRuleAction, Router: r.Name, Filter: f.Name, RuleIndex: i},
 			)
 			matchedF := smt.And(smt.Const(matches), smt.Not(rmD.Bool))
-			// allow = original action XOR flip.
-			var allowF *smt.Formula
-			if rule.Permit {
-				allowF = smt.Not(flipD.Bool)
-			} else {
-				allowF = flipD.Bool
-			}
+			// The rule's configured action lives in a retractable
+			// binding (rebind.go) so an external edit of the action is
+			// an assumption flip, not a re-encode:
+			// allow = bound action XOR flip.
+			bind := e.bindRule(r.Name, f.Name, i, rule)
+			allowF := smt.Not(smt.Iff(bind.actV, flipD.Bool))
 			lnk := link{matched: matchedF, allow: allowF}
+			if withLP {
+				bind.inLPChain = true
+			}
 			if withLP && rule.Permit {
 				cur := rule.LocalPref
 				if cur == 0 {
 					cur = 100
 				}
-				lpVar := e.Ctx.IntVarOf(fmt.Sprintf("%s_rFil_%s_%d_lp", r.Name, f.Name, i), e.lpDomain)
-				// lp change is itself a (modify) delta with a derived
-				// change indicator.
-				lpD := e.reg.get(
-					fmt.Sprintf("mod_%s_rFil_%s_%d_lp", r.Name, f.Name, i),
-					DeltaModify,
-					fmt.Sprintf("%s/RouteFilter[%s]/Rule[%d]", r.Name, f.Name, i),
-					Edit{Kind: SetRouteRuleLP, Router: r.Name, Filter: f.Name, RuleIndex: i},
-				)
-				e.Ctx.Assert(smt.Iff(lpD.Bool, smt.Not(lpVar.EqConst(cur))))
-				lpD.ValueOf = func(m *smt.Model, ed *Edit) { ed.LocalPref = m.Int(lpVar) }
-				// Value companions: EQUATE must match the chosen rank,
-				// not just the fact of a change.
-				for _, lp := range e.lpDomain {
-					if lp == cur {
-						continue
+				if bind.lpVar == nil {
+					lpVar := e.Ctx.IntVarOf(fmt.Sprintf("%s_rFil_%s_%d_lp", r.Name, f.Name, i), e.lpDomain)
+					// lp change is itself a (modify) delta with a derived
+					// change indicator. The indicator's anchor to the
+					// configured value is retractable so a config-side
+					// re-rank re-anchors it without re-encoding.
+					lpD := e.reg.get(
+						fmt.Sprintf("mod_%s_rFil_%s_%d_lp", r.Name, f.Name, i),
+						DeltaModify,
+						fmt.Sprintf("%s/RouteFilter[%s]/Rule[%d]", r.Name, f.Name, i),
+						Edit{Kind: SetRouteRuleLP, Router: r.Name, Filter: f.Name, RuleIndex: i},
+					)
+					h := e.Ctx.AssertRetractable(smt.Iff(lpD.Bool, smt.Not(lpVar.EqConst(cur))))
+					lpD.ValueOf = func(m *smt.Model, ed *Edit) { ed.LocalPref = m.Int(lpVar) }
+					// Value companions: EQUATE must match the chosen rank,
+					// not just the fact of a change.
+					for _, lp := range e.lpDomain {
+						if lp == cur {
+							continue
+						}
+						e.reg.getAux(fmt.Sprintf("%s_is%d", lpD.Name, lp), DeltaModify,
+							lpD.Path, fmt.Sprintf("lp=%d", lp), lpVar.EqConst(lp))
 					}
-					e.reg.getAux(fmt.Sprintf("%s_is%d", lpD.Name, lp), DeltaModify,
-						lpD.Path, fmt.Sprintf("lp=%d", lp), lpVar.EqConst(lp))
+					bind.lpVar = lpVar
+					bind.lpD = lpD
+					bind.lpCur = cur
+					bind.lpHandles = map[int]smt.Handle{cur: h}
 				}
-				lnk.lp = lpVar
+				lnk.lp = bind.lpVar
 			} else if rule.LocalPref != 0 {
 				lnk.lpConst = rule.LocalPref
 			}

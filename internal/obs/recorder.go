@@ -47,6 +47,10 @@ const (
 	// EvIncident marks a slow-solve watchdog firing: A = threshold in
 	// milliseconds.
 	EvIncident
+	// EvRebind marks a session re-solving a destination by flipping the
+	// live instance's retractable bindings instead of re-encoding:
+	// A = bindings swapped, B = re-solve duration in milliseconds.
+	EvRebind
 	evKindCount
 )
 
@@ -63,6 +67,7 @@ var eventKindNames = [evKindCount]string{
 	EvSolveStart:      "solve_start",
 	EvSolveEnd:        "solve_end",
 	EvIncident:        "incident",
+	EvRebind:          "rebind",
 }
 
 func (k EventKind) String() string {

@@ -1,0 +1,200 @@
+package sat
+
+import "testing"
+
+// newSolver returns a solver with n fresh variables v1..vn.
+func newSolver(n int) *Solver {
+	s := New()
+	s.Grow(n)
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	return s
+}
+
+// litIn reports whether l occurs in ls.
+func litIn(l Lit, ls []Lit) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFinalCoreSubsetAndMinimalExample checks the analyzeFinal
+// contract on a hand-built instance where the responsible assumption
+// subset is known: with clauses (¬a ∨ x) and (¬b ∨ ¬x), assuming
+// {a, b, c} is Unsat, the core must be a subset of the assumptions,
+// must include a and b, and must not drag in the irrelevant c.
+func TestFinalCoreSubsetAndMinimalExample(t *testing.T) {
+	s := newSolver(4)
+	a, b, c, x := PosLit(1), PosLit(2), PosLit(3), PosLit(4)
+	s.AddClause(a.Neg(), x)
+	s.AddClause(b.Neg(), x.Neg())
+
+	if st := s.Solve(a, b, c); st != Unsat {
+		t.Fatalf("Solve(a,b,c) = %v, want Unsat", st)
+	}
+	core := s.FinalCore()
+	if len(core) == 0 {
+		t.Fatal("FinalCore is empty for an assumption-driven Unsat")
+	}
+	for _, l := range core {
+		if !litIn(l, []Lit{a, b, c}) {
+			t.Errorf("core literal %v is not one of the assumptions", l)
+		}
+	}
+	if !litIn(a, core) || !litIn(b, core) {
+		t.Errorf("core %v must contain both a and b", core)
+	}
+	if litIn(c, core) {
+		t.Errorf("core %v contains the irrelevant assumption c", core)
+	}
+	// Conflict() is the same set negated (a clause over ¬core).
+	confl := s.Conflict()
+	if len(confl) != len(core) {
+		t.Fatalf("Conflict len %d != FinalCore len %d", len(confl), len(core))
+	}
+	for _, l := range core {
+		if !litIn(l.Neg(), confl) {
+			t.Errorf("Conflict %v missing negation of core literal %v", confl, l)
+		}
+	}
+}
+
+// TestFinalCoreReassertUnsat checks that the core is genuinely
+// responsible: re-solving under exactly the returned core stays Unsat,
+// and asserting the negated core (the conflict clause) as a permanent
+// clause makes the original assumption set root-unsatisfiable.
+func TestFinalCoreReassertUnsat(t *testing.T) {
+	s := newSolver(4)
+	a, b, c, x := PosLit(1), PosLit(2), PosLit(3), PosLit(4)
+	s.AddClause(a.Neg(), x)
+	s.AddClause(b.Neg(), x.Neg())
+
+	if st := s.Solve(a, b, c); st != Unsat {
+		t.Fatalf("Solve(a,b,c) = %v, want Unsat", st)
+	}
+	core := append([]Lit(nil), s.FinalCore()...)
+	if st := s.Solve(core...); st != Unsat {
+		t.Fatalf("re-solve under the core %v = %v, want Unsat", core, st)
+	}
+	// Without the core assumptions the instance is satisfiable.
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("assumption-free solve = %v, want Sat", st)
+	}
+	// Re-assert the negated core as a clause: each assumption literal
+	// individually still works, but the full set conflicts at once.
+	neg := make([]Lit, len(core))
+	for i, l := range core {
+		neg[i] = l.Neg()
+	}
+	if !s.AddClause(neg...) {
+		t.Fatal("adding the negated core made the solver root-unsat")
+	}
+	if st := s.Solve(a, b, c); st != Unsat {
+		t.Fatalf("solve under original assumptions after negated-core clause = %v, want Unsat", st)
+	}
+}
+
+// TestFinalCoreSingleton: a single assumption contradicted by a unit
+// clause yields exactly that assumption as the core.
+func TestFinalCoreSingleton(t *testing.T) {
+	s := newSolver(2)
+	a := PosLit(1)
+	s.AddClause(a.Neg())
+	if st := s.Solve(a); st != Unsat {
+		t.Fatalf("Solve(a) = %v, want Unsat", st)
+	}
+	core := s.FinalCore()
+	if len(core) != 1 || core[0] != a {
+		t.Fatalf("FinalCore = %v, want [%v]", core, a)
+	}
+}
+
+// TestFinalCoreEmptyCases: a root-level contradiction (no assumptions
+// involved) and an assumption-free Unsat both report an empty core.
+func TestFinalCoreEmptyCases(t *testing.T) {
+	// Root conflict before any Solve: AddClause derives it eagerly.
+	s := newSolver(1)
+	x := PosLit(1)
+	s.AddClause(x)
+	s.AddClause(x.Neg())
+	if st := s.Solve(PosLit(1)); st != Unsat {
+		t.Fatalf("root-unsat Solve = %v, want Unsat", st)
+	}
+	if core := s.FinalCore(); len(core) != 0 {
+		t.Errorf("root-unsat FinalCore = %v, want empty", core)
+	}
+
+	// Assumption-free Unsat discovered during search.
+	s2 := newSolver(2)
+	p, q := PosLit(1), PosLit(2)
+	s2.AddClause(p, q)
+	s2.AddClause(p, q.Neg())
+	s2.AddClause(p.Neg(), q)
+	s2.AddClause(p.Neg(), q.Neg())
+	if st := s2.Solve(); st != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", st)
+	}
+	if core := s2.FinalCore(); len(core) != 0 {
+		t.Errorf("assumption-free FinalCore = %v, want empty", core)
+	}
+}
+
+// TestFinalCoreAfterIncrementalAdds: clauses added between Solve calls
+// participate in later final-conflict analyses on the same live solver.
+func TestFinalCoreAfterIncrementalAdds(t *testing.T) {
+	s := newSolver(3)
+	a, b, x := PosLit(1), PosLit(2), PosLit(3)
+	s.AddClause(a.Neg(), x)
+	if st := s.Solve(a, b); st != Sat {
+		t.Fatalf("first solve = %v, want Sat", st)
+	}
+	// Now make {a, b} contradictory with a clause added mid-session.
+	s.AddClause(b.Neg(), x.Neg())
+	if st := s.Solve(a, b); st != Unsat {
+		t.Fatalf("second solve = %v, want Unsat", st)
+	}
+	core := s.FinalCore()
+	if !litIn(a, core) || !litIn(b, core) {
+		t.Fatalf("core %v must contain a and b", core)
+	}
+	if st := s.Solve(a); st != Sat {
+		t.Fatalf("solve under a alone = %v, want Sat", st)
+	}
+}
+
+// TestFinalCoreContradictoryAssumptions pins the directly-conflicting
+// pair: assuming both p and ¬p (with an unrelated satisfiable clause
+// set) is Unsat, and the core must contain BOTH polarities — dropping
+// either one leaves a satisfiable instance. Regression for the
+// analyzeFinal same-variable exclusion bug found by FuzzSolver
+// (testdata/fuzz/FuzzSolver/e0ea8d407576d026).
+func TestFinalCoreContradictoryAssumptions(t *testing.T) {
+	s := newSolver(3)
+	p, q := PosLit(2), PosLit(1)
+	s.AddClause(q) // unrelated unit keeps the CNF non-trivial
+
+	if st := s.Solve(p, p.Neg()); st != Unsat {
+		t.Fatalf("Solve(p, ¬p) = %v, want Unsat", st)
+	}
+	core := s.FinalCore()
+	if !litIn(p, core) || !litIn(p.Neg(), core) {
+		t.Fatalf("core = %v, want both p and ¬p", core)
+	}
+	if len(core) != 2 {
+		t.Fatalf("core = %v, want exactly {p, ¬p}", core)
+	}
+	// The core must re-solve Unsat, and each strict subset must not.
+	if st := s.Solve(core...); st != Unsat {
+		t.Fatalf("re-solve under core = %v, want Unsat", st)
+	}
+	if st := s.Solve(p); st != Sat {
+		t.Fatalf("Solve(p) = %v, want Sat", st)
+	}
+	if st := s.Solve(p.Neg()); st != Sat {
+		t.Fatalf("Solve(¬p) = %v, want Sat", st)
+	}
+}

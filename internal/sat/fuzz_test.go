@@ -116,5 +116,77 @@ func FuzzSolver(f *testing.F) {
 		if got3 := build().Solve(assume...); got3 != got {
 			t.Fatalf("fresh solver disagrees: %v vs %v, cnf=%v assume=%v", got3, got, cnf, assume)
 		}
+
+		// Incremental mode: feed the same CNF clause-by-clause into one
+		// long-lived solver, interleaving assumption Solve calls with the
+		// additions. After every step the live solver — carrying learned
+		// clauses, VSIDS activity, and saved phases from all earlier
+		// calls — must agree with a freshly built solver on the clauses
+		// added so far, and its final cores must be genuine.
+		inc := New()
+		inc.Grow(n)
+		for i := 0; i < n; i++ {
+			inc.NewVar()
+		}
+		incOK := true
+		for upto := 1; upto <= len(cnf); upto++ {
+			if incOK {
+				incOK = inc.AddClause(cnf[upto-1]...)
+			}
+			// Rotate the assumption window so different subsets get
+			// exercised as the clause set grows.
+			asm := assume
+			if len(assume) > 0 {
+				asm = assume[upto%(len(assume)+1):]
+			}
+			st := inc.Solve(asm...)
+
+			fresh := New()
+			fresh.Grow(n)
+			for i := 0; i < n; i++ {
+				fresh.NewVar()
+			}
+			freshOK := true
+			for _, cl := range cnf[:upto] {
+				if freshOK {
+					freshOK = fresh.AddClause(cl...)
+				}
+			}
+			if stf := fresh.Solve(asm...); st != stf {
+				t.Fatalf("incremental step %d: live=%v fresh=%v cnf=%v asm=%v",
+					upto, st, stf, cnf[:upto], asm)
+			}
+			stepCNF := make([][]Lit, 0, upto+len(asm))
+			stepCNF = append(stepCNF, cnf[:upto]...)
+			for _, a := range asm {
+				stepCNF = append(stepCNF, []Lit{a})
+			}
+			if want := brute(n, stepCNF); (st == Sat) != want {
+				t.Fatalf("incremental step %d: live=%v brute=%v cnf=%v asm=%v",
+					upto, st, want, cnf[:upto], asm)
+			}
+			if st == Sat && !satisfies(inc, stepCNF) {
+				t.Fatalf("incremental step %d: model violates cnf+assumptions", upto)
+			}
+			if st == Unsat {
+				core := append([]Lit(nil), inc.FinalCore()...)
+				for _, l := range core {
+					found := false
+					for _, a := range asm {
+						if a == l {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("incremental step %d: core lit %v not among assumptions %v", upto, l, asm)
+					}
+				}
+				// The core alone must keep the instance Unsat.
+				if stc := inc.Solve(core...); stc != Unsat {
+					t.Fatalf("incremental step %d: re-solve under core %v = %v, want Unsat", upto, core, stc)
+				}
+			}
+		}
 	})
 }

@@ -192,6 +192,13 @@ func (s *Solver) litValue(l Lit) Tribool {
 // AddClause adds a clause over the given literals. It returns false if
 // the solver is already in an unsatisfiable state (adding is a no-op
 // then). Duplicate literals are removed; tautologies are dropped.
+//
+// AddClause is legal between Solve calls: Solve always backtracks to
+// the root level before returning, so an incremental caller can
+// interleave clause additions and assumption solves on one long-lived
+// solver. Learned clauses, VSIDS activity, and saved phases survive
+// such additions — that retained state is the point of keeping the
+// instance alive.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
@@ -820,7 +827,10 @@ func (s *Solver) analyzeFinal(a Lit, assumptions []Lit) []Lit {
 		}
 		r := s.vardata[v].reason
 		if r == CRefUndef {
-			if isAssumption[s.trail[i]] && s.trail[i].Var() != a.Var() {
+			// An assumption on a's own variable is the directly
+			// contradictory earlier assumption (¬a assumed before a):
+			// it belongs in the core alongside a itself.
+			if isAssumption[s.trail[i]] {
 				out = append(out, s.trail[i].Neg())
 			}
 		} else {
@@ -850,6 +860,23 @@ func (s *Solver) Interrupted() bool { return s.interrupted }
 // Conflict returns the final conflict clause from the last Unsat Solve
 // under assumptions: the negations of a responsible assumption subset.
 func (s *Solver) Conflict() []Lit { return s.conflictC }
+
+// FinalCore returns the subset of the last Solve call's assumptions
+// responsible for its Unsat answer (the final conflict analysis of
+// analyzeFinal, in assumption terms): re-solving under exactly these
+// assumptions is again Unsat. It is the un-negated view of Conflict().
+// The core is empty when the solver is unsatisfiable without any
+// assumption's involvement (a root-level conflict).
+func (s *Solver) FinalCore() []Lit {
+	if len(s.conflictC) == 0 {
+		return nil
+	}
+	out := make([]Lit, len(s.conflictC))
+	for i, l := range s.conflictC {
+		out[i] = l.Neg()
+	}
+	return out
+}
 
 // Model returns the satisfying assignment captured by the last Sat
 // result. The returned slice is indexed by Var (index 0 unused).

@@ -46,6 +46,23 @@ type Context struct {
 	// reporting problem sizes in benchmarks.
 	hardCount int
 
+	// Retractable assertions (see retract.go): each entry's selector is
+	// assumed — positively while active, negatively once retracted — on
+	// every SAT call made through solveTimed. selIdx maps selector
+	// literals back to handles for RetractableCore; selAsm is the
+	// per-solve assumption scratch buffer.
+	retract []retractEntry
+	selIdx  map[sat.Lit]Handle
+	selAsm  []sat.Lit
+
+	// totalOuts memoizes the soft-constraint relaxation and totalizer
+	// (relaxSoft + weightedTotalizer) across Maximize calls, keyed on
+	// the soft-set size: a live context re-solved after a retractable
+	// rebind reuses the existing counting circuitry instead of emitting
+	// a fresh totalizer per call. totalN is -1 until first built.
+	totalN    int
+	totalOuts []sat.Lit
+
 	// reg, when set by Observe, receives solver metrics (decision/
 	// conflict/restart counters, trail-depth samples, per-call solve
 	// latencies). span, when set, parents the per-call solve spans.
@@ -88,6 +105,7 @@ func NewContext() *Context {
 		internOn:     true,
 		hashMemo:     make(map[*Formula]uint64),
 		internTab:    make(map[uint64][]internEntry),
+		totalN:       -1,
 	}
 }
 
@@ -293,11 +311,13 @@ func (c *Context) SetInterrupt(ctx context.Context) {
 func (c *Context) Err() error { return c.interruptErr }
 
 // solveTimed is the instrumented path for every SAT Solve call made by
-// the MaxSAT searches and satisfiability checks: it records per-call
-// latency into the registry when Observe has been installed and is a
-// plain Solve otherwise. It also latches the interrupt cause when the
-// solver was stopped by a SetInterrupt context.
+// the MaxSAT searches and satisfiability checks: it injects the
+// retractable-assertion selector assumptions, records per-call latency
+// into the registry when Observe has been installed, and latches the
+// interrupt cause when the solver was stopped by a SetInterrupt
+// context.
 func (c *Context) solveTimed(assumptions ...sat.Lit) sat.Status {
+	assumptions = c.withSelectors(assumptions)
 	var st sat.Status
 	if c.reg == nil {
 		st = c.solver.Solve(assumptions...)
@@ -547,9 +567,10 @@ func (c *Context) UnsatCore(assumptions []*Formula) (core []int, sat_ bool) {
 	if c.solveTimed(lits...) == sat.Sat {
 		return nil, true
 	}
-	for _, l := range c.solver.Conflict() {
-		// Conflict lits are negations of responsible assumptions.
-		if idx, ok := byLit[l.Neg()]; ok {
+	// FinalCore holds the responsible assumption subset directly;
+	// retractable-assertion selectors in it are simply not in byLit.
+	for _, l := range c.solver.FinalCore() {
+		if idx, ok := byLit[l]; ok {
 			core = append(core, idx)
 		}
 	}

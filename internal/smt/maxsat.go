@@ -78,6 +78,23 @@ func (c *Context) relaxSoft() (relax []sat.Lit, weights []int) {
 	return relax, weights
 }
 
+// softOuts returns the totalizer output literals for the current soft
+// set, building the relaxation clauses and weighted totalizer on first
+// use and reusing them on every later Maximize call. The memo is keyed
+// on the soft-set size: a live context re-solved after retractable
+// rebinds (same softs, flipped selectors) reuses the counting circuitry
+// outright, while adding soft constraints rebuilds it. The stale
+// totalizer left behind by a rebuild is inert — its inputs are ordinary
+// relaxation variables the solver is free to set false.
+func (c *Context) softOuts() []sat.Lit {
+	if c.totalN != len(c.soft) {
+		relax, weights := c.relaxSoft()
+		c.totalOuts = c.weightedTotalizer(relax, weights)
+		c.totalN = len(c.soft)
+	}
+	return c.totalOuts
+}
+
 func (c *Context) maximizeBounded(binary bool) *MaxResult {
 	res := &MaxResult{}
 	if len(c.soft) == 0 {
@@ -89,8 +106,7 @@ func (c *Context) maximizeBounded(binary bool) *MaxResult {
 		res.Model = &Model{ctx: c, assign: c.solver.Model()}
 		return res
 	}
-	relax, weights := c.relaxSoft()
-	outs := c.weightedTotalizer(relax, weights)
+	outs := c.softOuts()
 
 	res.Iterations++
 	if c.solveTimed() != sat.Sat {
@@ -206,7 +222,7 @@ func (c *Context) maximizeCoreGuided() *MaxResult {
 			res.Err = err
 			return res
 		}
-		core := c.solver.Conflict()
+		core := c.solver.FinalCore()
 		if len(core) == 0 {
 			// Hard constraints alone are unsatisfiable.
 			res.Iterations++
@@ -219,7 +235,7 @@ func (c *Context) maximizeCoreGuided() *MaxResult {
 		}
 		inCore := make(map[sat.Lit]bool, len(core))
 		for _, l := range core {
-			inCore[l.Neg()] = true // core lits are negations of assumptions
+			inCore[l] = true // FinalCore returns the assumptions themselves
 		}
 		// Find participating soft assumptions and the minimum weight.
 		wmin := 0
