@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-resolve bench-resolve-quick bench-sat bench-sat-quick
+.PHONY: check fmt vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-resolve bench-resolve-quick bench-sat bench-sat-quick bench-telemetry bench-telemetry-quick
 
-check: fmt vet build race fuzz-smoke bench-incremental-quick bench-resolve-quick
+check: fmt vet build race fuzz-smoke bench-incremental-quick bench-resolve-quick bench-telemetry-quick
 
 # Fails listing the files that need gofmt; run `gofmt -w .` to fix.
 fmt:
@@ -58,11 +58,15 @@ bench-resolve:
 bench-resolve-quick:
 	$(GO) run ./cmd/aedbench -experiment resolve -scale quick -out BENCH_resolve.json
 
-# Ten-second differential fuzz of the CDCL core against brute-force
-# enumeration (assumptions + solver reuse); part of `make check` so the
-# arena/watcher invariants get adversarial coverage on every gate.
+# Short fuzz passes on every gate: ten seconds of differential CDCL
+# fuzzing against brute-force enumeration (assumptions + solver reuse),
+# then five seconds each on the AEDT telemetry codec — round-trip
+# equality and decoder robustness on arbitrary bytes (`go test -fuzz`
+# takes one target per invocation).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolver -fuzztime 10s ./internal/sat/
+	$(GO) test -run '^$$' -fuzz FuzzAEDTRoundTrip -fuzztime 5s ./internal/obs/aedt/
+	$(GO) test -run '^$$' -fuzz FuzzAEDTDecode -fuzztime 5s ./internal/obs/aedt/
 
 # SAT-layer performance: propagation/conflict microbenchmarks
 # (BenchmarkPropagate must report 0 allocs/op) plus the satperf
@@ -76,3 +80,14 @@ bench-sat:
 bench-sat-quick:
 	$(GO) test -run '^$$' -bench 'Propagate|ConflictAnalysis' -benchmem ./internal/sat/
 	$(GO) run ./cmd/aedbench -experiment satperf -scale quick -out BENCH_satperf.json
+
+# Telemetry-format benchmark: the AEDT binary codec against the JSONL
+# baseline (bytes/event, encode/decode throughput, steady-state decode
+# allocations — BenchmarkReaderNext must report 0 allocs/op); writes
+# BENCH_telemetry.json. The quick variant runs as part of `make check`.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'ReaderNext|WriterAppend|RecorderEventsAppend' -benchmem ./internal/obs/...
+	$(GO) run ./cmd/aedbench -experiment telemetry -scale full -out BENCH_telemetry.json
+
+bench-telemetry-quick:
+	$(GO) run ./cmd/aedbench -experiment telemetry -scale quick -out BENCH_telemetry.json

@@ -1,6 +1,7 @@
 package aed
 
 import (
+	"bytes"
 	"context"
 	"reflect"
 	"strings"
@@ -194,6 +195,39 @@ func TestPublicAPIPlanDeployment(t *testing.T) {
 	plan := PlanDeployment(net, topo, res.Edits, ps)
 	if !plan.Safe || len(plan.Steps) == 0 {
 		t.Fatalf("plan: %s", plan)
+	}
+}
+
+// TestPublicAPIBinaryTrace pins the binary-trace surface: a tracer
+// exported with WriteTraceBinary decodes via ReadTraceAuto to the same
+// analysis the JSONL path yields.
+func TestPublicAPIBinaryTrace(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("synthesize")
+	sp.SetInt("destinations", 2)
+	sp.End()
+
+	var jbuf, bbuf bytes.Buffer
+	if err := WriteTrace(&jbuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceBinary(&bbuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bbuf.Len() >= jbuf.Len() {
+		t.Errorf("binary trace (%d bytes) not smaller than JSONL (%d bytes)", bbuf.Len(), jbuf.Len())
+	}
+	jEvents, err := ReadTraceAuto(bytes.NewReader(jbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bEvents, err := ReadTraceAuto(bytes.NewReader(bbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, bp := AnalyzeTrace(jEvents).Phases(), AnalyzeTrace(bEvents).Phases()
+	if !reflect.DeepEqual(jp, bp) {
+		t.Errorf("phase tables differ across formats:\njsonl:  %+v\nbinary: %+v", jp, bp)
 	}
 }
 

@@ -5,14 +5,20 @@
 //
 //	aed -configs DIR -topo FILE -policies FILE [-objectives FILE]
 //	    [-objective NAME] [-min-lines] [-monolithic] [-out DIR]
-//	    [-stats] [-trace FILE] [-timeout D] [-watch D]
+//	    [-stats] [-trace-out FILE] [-record-out FILE] [-retain DIR]
+//	    [-timeout D] [-watch D]
 //	    [-debug-addr ADDR] [-slow-solve D] [-incidents FILE]
 //
 // Telemetry: -stats prints a per-destination solver table (decisions,
 // conflicts, restarts, iterations, time) plus the network-wide totals,
-// and -trace FILE writes the full span tree (parse → encode → solve →
-// extract → validate) and metrics registry as JSONL events (see
-// docs/OBSERVABILITY.md for the taxonomy and format).
+// and -trace-out FILE (alias: -trace) writes the full span tree (parse
+// → encode → solve → extract → validate) and metrics registry as
+// telemetry events — JSONL by default, or the compact AEDT binary
+// format when FILE ends in .aedt (see docs/OBSERVABILITY.md for the
+// taxonomy and both formats). -record-out FILE drains the flight
+// recorder to disk at exit under the same extension rule, and
+// -retain DIR continuously spills spans and recorder events to a
+// size-capped ring of rotating AEDT segments (cap: -retain-max-mb).
 //
 // -debug-addr starts an HTTP debug endpoint (e.g. ":6060") serving
 // /metrics, /spans (including in-flight spans), /recorder (the solver
@@ -82,13 +88,19 @@ func main() {
 		plan      = flag.Bool("plan", false, "print a transient-safe per-device deployment order")
 		explain   = flag.Bool("explain", false, "on unsat, name a minimal conflicting policy subset")
 		stats     = flag.Bool("stats", false, "print per-destination solver statistics and network-wide totals")
-		traceFile = flag.String("trace", "", "write a JSONL telemetry trace (spans + metrics) to FILE")
 		timeout   = flag.Duration("timeout", 0, "abort synthesis after this long (0 = no limit)")
 		watch     = flag.Duration("watch", 0, "poll the input files at this interval and re-solve incrementally on change (0 = solve once)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /spans, /recorder and /debug/pprof on this address (e.g. :6060)")
 		slowSolve = flag.Duration("slow-solve", 0, "record an incident when a solve runs longer than this (0 = half of -timeout, or off)")
 		incidents = flag.String("incidents", "", "append watchdog incidents as JSONL to FILE (default: human dump to stderr only)")
+		recordOut = flag.String("record-out", "", "write the flight-recorder drain to FILE at exit (.aedt = AEDT binary, else JSONL)")
+		retainDir = flag.String("retain", "", "continuously spill telemetry to rotating AEDT segments in DIR")
+		retainMB  = flag.Int("retain-max-mb", 64, "total on-disk cap for -retain segments, in MiB")
 	)
+	var traceFile string
+	flag.StringVar(&traceFile, "trace-out", "",
+		"write a telemetry trace (spans + metrics) to FILE (.aedt = AEDT binary, else JSONL)")
+	flag.StringVar(&traceFile, "trace", "", "alias for -trace-out")
 	flag.Parse()
 	if *configDir == "" || *topoFile == "" || *policyFile == "" {
 		flag.Usage()
@@ -96,7 +108,8 @@ func main() {
 	}
 
 	var tracer *obs.Tracer
-	if *traceFile != "" || *stats || *debugAddr != "" || *slowSolve > 0 || *timeout > 0 {
+	if traceFile != "" || *recordOut != "" || *retainDir != "" || *stats ||
+		*debugAddr != "" || *slowSolve > 0 || *timeout > 0 {
 		tracer = obs.NewTracer()
 		tracer.SetRecorder(obs.NewRecorder(obs.DefaultRecorderCapacity))
 	}
@@ -106,17 +119,39 @@ func main() {
 		defer closeDebug()
 		fmt.Fprintf(os.Stderr, "aed: debug endpoint on http://%s (/metrics /spans /recorder /debug/pprof/)\n", addr)
 	}
-	// The trace must reach disk on every path, including the early
-	// os.Exit ones (unsat, residual violations).
-	writeTrace := func() {
-		if *traceFile == "" {
-			return
-		}
-		f, err := os.Create(*traceFile)
+	var retention *obs.Retention
+	if *retainDir != "" {
+		ret, err := obs.NewRetention(tracer, obs.RetentionOptions{
+			Dir: *retainDir, MaxBytes: int64(*retainMB) << 20,
+		})
 		check(err)
-		check(obs.WriteJSONL(f, tracer))
-		check(f.Close())
-		fmt.Fprintf(os.Stderr, "aed: telemetry trace written to %s\n", *traceFile)
+		retention = ret
+		fmt.Fprintf(os.Stderr, "aed: retaining telemetry segments in %s (cap %d MiB)\n", *retainDir, *retainMB)
+	}
+	// Telemetry must reach disk on every path, including the early
+	// os.Exit ones (unsat, residual violations). The file extension
+	// picks the format: .aedt writes the binary format, anything else
+	// JSONL (see docs/OBSERVABILITY.md §AEDT).
+	writeTrace := func() {
+		if err := retention.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "aed: retention:", err)
+		}
+		writeOut := func(path, what string, write func(*os.File) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			check(err)
+			check(write(f))
+			check(f.Close())
+			fmt.Fprintf(os.Stderr, "aed: %s written to %s\n", what, path)
+		}
+		writeOut(traceFile, "telemetry trace", func(f *os.File) error {
+			return obs.SinkForPath(traceFile).WriteTrace(f, tracer)
+		})
+		writeOut(*recordOut, "flight-recorder drain", func(f *os.File) error {
+			return obs.SinkForPath(*recordOut).WriteRecorder(f, tracer.Recorder())
+		})
 	}
 
 	psp := tracer.Start("parse")

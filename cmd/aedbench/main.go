@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|resolve|all
+//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|resolve|telemetry|all
 //	         [-scale quick|full] [-metrics-out FILE] [-out FILE]
 //	         [-debug-addr ADDR]
 //
@@ -21,7 +21,10 @@
 // experiment measures the session's tier-2 path — a one-line config
 // edit re-solved by flipping the live instance's retractable bindings
 // against the cold and re-encode baselines; -out writes
-// BENCH_resolve.json.
+// BENCH_resolve.json. The telemetry experiment measures the AEDT
+// binary telemetry format against the JSONL baseline (bytes/event,
+// encode/decode throughput, steady-state decode allocations); -out
+// writes BENCH_telemetry.json.
 //
 // Each experiment prints the rows/series the corresponding paper
 // figure reports; EXPERIMENTS.md records the expected shapes.
@@ -141,8 +144,18 @@ func main() {
 				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
 			}
 		},
+		"telemetry": func() {
+			res := bench.Telemetry(os.Stdout, scale)
+			if *benchOut != "" {
+				if err := bench.WriteTelemetryJSON(*benchOut, res); err != nil {
+					fmt.Fprintln(os.Stderr, "aedbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
+			}
+		},
 	}
-	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental", "satperf", "resolve"}
+	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental", "satperf", "resolve", "telemetry"}
 
 	runOne := func(name string, run func()) {
 		sp := tracer.Start("experiment")

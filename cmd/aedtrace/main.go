@@ -1,20 +1,28 @@
-// Command aedtrace analyzes JSONL telemetry traces written by
-// aed -trace, aedbench -metrics-out, or aed.WriteTrace.
+// Command aedtrace analyzes telemetry traces written by aed
+// -trace-out, aedbench -metrics-out, or aed.WriteTrace — in either the
+// JSONL or the AEDT binary format (detected automatically by magic).
 //
 // Usage:
 //
-//	aedtrace [-tree] [-phases] [-flame] [-top N] [-metrics] TRACE.jsonl
-//	aedtrace -diff OLD.jsonl NEW.jsonl
+//	aedtrace [-tree] [-phases] [-flame] [-top N] [-metrics] [-recorder] TRACE
+//	aedtrace -convert OUT.aedt TRACE
+//	aedtrace -diff OLD NEW
 //
 // With no mode flags aedtrace prints the phase table and the critical
-// path. Modes:
+// path (or the recorder event list, for a recorder-only stream).
+// Modes:
 //
-//	-tree     render the reconstructed span tree with durations
-//	-phases   per-phase aggregates: count, total, self, max (default)
-//	-flame    text flamegraph: bar width proportional to duration
-//	-top N    the N slowest individual spans (default 10 with -top)
-//	-metrics  dump the counter/gauge/histogram events in the trace
-//	-diff     compare two traces' per-phase totals (new - old)
+//	-tree      render the reconstructed span tree with durations
+//	-phases    per-phase aggregates: count, total, self, max (default)
+//	-flame     text flamegraph: bar width proportional to duration
+//	-top N     the N slowest individual spans (default 10 with -top)
+//	-metrics   dump the counter/gauge/histogram events in the trace
+//	-recorder  list the flight-recorder events in the trace
+//	-convert   re-encode the trace to OUT (.aedt = binary, else JSONL)
+//	-diff      compare two traces' per-phase totals (new - old)
+//
+// A truncated, corrupt, or mixed-format input fails loudly with a
+// non-zero exit instead of yielding a silent partial analysis.
 //
 // Phase totals here match the per-span durations WriteTraceSummary
 // prints (aggregated by span name), so the two views can be
@@ -32,35 +40,75 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main's testable body; it returns the process exit code.
+func run(argv []string) int {
+	fs := flag.NewFlagSet("aedtrace", flag.ExitOnError)
 	var (
-		tree    = flag.Bool("tree", false, "print the reconstructed span tree")
-		phases  = flag.Bool("phases", false, "print per-phase aggregate timings")
-		flame   = flag.Bool("flame", false, "print a text flamegraph")
-		top     = flag.Int("top", 0, "print the N slowest individual spans")
-		metrics = flag.Bool("metrics", false, "print the trace's metric events")
-		diff    = flag.Bool("diff", false, "compare two traces' per-phase totals (OLD NEW)")
+		tree     = fs.Bool("tree", false, "print the reconstructed span tree")
+		phases   = fs.Bool("phases", false, "print per-phase aggregate timings")
+		flame    = fs.Bool("flame", false, "print a text flamegraph")
+		top      = fs.Int("top", 0, "print the N slowest individual spans")
+		metrics  = fs.Bool("metrics", false, "print the trace's metric events")
+		recorder = fs.Bool("recorder", false, "print the trace's flight-recorder events")
+		convert  = fs.String("convert", "", "re-encode the trace to FILE (.aedt = AEDT binary, else JSONL)")
+		diff     = fs.Bool("diff", false, "compare two traces' per-phase totals (OLD NEW)")
 	)
-	flag.Parse()
+	fs.Parse(argv)
 
 	if *diff {
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "aedtrace: -diff needs exactly two traces: OLD.jsonl NEW.jsonl")
-			os.Exit(2)
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "aedtrace: -diff needs exactly two traces: OLD NEW")
+			return 2
 		}
-		printDiff(load(flag.Arg(0)), load(flag.Arg(1)))
-		return
+		oldA, err := load(fs.Arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		newA, err := load(fs.Arg(1))
+		if err != nil {
+			return fail(err)
+		}
+		printDiff(oldA, newA)
+		return 0
 	}
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
-	a := load(flag.Arg(0))
+	events, err := loadEvents(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+	if *convert != "" {
+		f, err := os.Create(*convert)
+		if err != nil {
+			return fail(err)
+		}
+		if err := obs.WriteEventsTo(f, *convert, events); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "aedtrace: %d events converted to %s\n", len(events), *convert)
+		return 0
+	}
+	a := obs.Analyze(events)
 
-	// Default view: phases + critical path.
-	if !*tree && !*phases && !*flame && *top == 0 && !*metrics {
-		*phases = true
-		printCriticalPath(a)
-		fmt.Println()
+	// Default view: phases + critical path — or the recorder event list
+	// when the stream holds recorder events and no spans at all.
+	if !*tree && !*phases && !*flame && *top == 0 && !*metrics && !*recorder {
+		if len(a.Roots) == 0 && len(recorderEvents(a)) > 0 {
+			*recorder = true
+		} else {
+			*phases = true
+			printCriticalPath(a)
+			fmt.Println()
+		}
 	}
 	first := true
 	section := func() {
@@ -89,21 +137,41 @@ func main() {
 		section()
 		printMetrics(a)
 	}
+	if *recorder {
+		section()
+		printRecorder(a)
+	}
+	return 0
 }
 
-func load(path string) *obs.Analysis {
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "aedtrace:", err)
+	return 1
+}
+
+// loadEvents reads a trace in either format: the AEDT magic selects
+// the binary decoder, anything else parses as JSONL. Both decoders are
+// strict — truncated blocks, checksum mismatches, binary garbage in a
+// JSONL file, or JSONL lines after AEDT blocks all surface as errors.
+func loadEvents(path string) ([]obs.Event, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aedtrace:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	defer f.Close()
-	events, err := obs.ReadEvents(f)
+	events, err := obs.ReadEventsAuto(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aedtrace:", err)
-		os.Exit(1)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return obs.Analyze(events)
+	return events, nil
+}
+
+func load(path string) (*obs.Analysis, error) {
+	events, err := loadEvents(path)
+	if err != nil {
+		return nil, err
+	}
+	return obs.Analyze(events), nil
 }
 
 // ms renders a microsecond quantity as milliseconds.
@@ -206,6 +274,7 @@ func printSlowest(a *obs.Analysis, n int) {
 
 func printMetrics(a *obs.Analysis) {
 	fmt.Println("metrics:")
+	recorders := 0
 	for _, ev := range a.Metrics {
 		switch ev.Type {
 		case "counter":
@@ -214,7 +283,42 @@ func printMetrics(a *obs.Analysis) {
 			fmt.Printf("  gauge     %-32s %d (max %d)\n", ev.Name, ev.Value, ev.Max)
 		case "histogram":
 			fmt.Printf("  histogram %-32s n=%d sum=%.3f\n", ev.Name, ev.Count, ev.Sum)
+		case "recorder":
+			recorders++
 		}
+	}
+	if recorders > 0 {
+		fmt.Printf("  recorder  %-32s %d (see -recorder)\n", "events", recorders)
+	}
+}
+
+// recorderEvents filters the flight-recorder events out of the
+// non-span event list.
+func recorderEvents(a *obs.Analysis) []obs.Event {
+	var out []obs.Event
+	for _, ev := range a.Metrics {
+		if ev.Type == "recorder" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// printRecorder lists the flight-recorder events, oldest first, with
+// inter-event gaps (the view that shows what the solver was doing
+// right before an incident).
+func printRecorder(a *obs.Analysis) {
+	events := recorderEvents(a)
+	if len(events) == 0 {
+		fmt.Println("recorder: (no flight-recorder events in this trace)")
+		return
+	}
+	fmt.Printf("recorder events (%d):\n", len(events))
+	fmt.Printf("  %8s %12s %-18s %12s %12s  %s\n", "seq", "+time", "kind", "a", "b", "label")
+	base := events[0].TimeUS
+	for _, ev := range events {
+		fmt.Printf("  %8d %12s %-18s %12d %12d  %s\n",
+			ev.Seq, ms(ev.TimeUS-base), ev.Name, ev.A, ev.B, ev.Label)
 	}
 }
 

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/aed-net/aed/internal/obs"
+)
+
+// captureRun invokes run with stdout captured, returning the exit code
+// and what was printed.
+func captureRun(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(args)
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	r.Close()
+	return code, string(out)
+}
+
+// writeTestTrace produces a JSONL trace with a span tree and metrics.
+func writeTestTrace(t *testing.T, path string) {
+	t.Helper()
+	tr := obs.NewTracer()
+	root := tr.Start("synthesize")
+	root.SetInt("destinations", 3)
+	root.SetStr("policy", "reachability")
+	enc := root.Child("encode")
+	enc.SetBool("incremental", true)
+	enc.End()
+	solve := root.Child("solve")
+	solve.SetDur("budget", 250*time.Millisecond)
+	solve.End()
+	root.End()
+	tr.Metrics().Counter("solver.conflicts").Add(17)
+	tr.Metrics().Gauge("solver.trail").Set(5)
+	tr.Metrics().Histogram("solve.ms", []float64{1, 10}).Observe(2)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhasesIdenticalAcrossFormats is the acceptance pin: a JSONL
+// trace and its -convert'ed AEDT twin must print byte-identical
+// -phases output.
+func TestPhasesIdenticalAcrossFormats(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	aedtPath := filepath.Join(dir, "trace.aedt")
+	writeTestTrace(t, jsonl)
+
+	if code, _ := captureRun(t, "-convert", aedtPath, jsonl); code != 0 {
+		t.Fatalf("-convert exited %d", code)
+	}
+	codeJ, outJ := captureRun(t, "-phases", jsonl)
+	codeA, outA := captureRun(t, "-phases", aedtPath)
+	if codeJ != 0 || codeA != 0 {
+		t.Fatalf("-phases exits: jsonl %d, aedt %d", codeJ, codeA)
+	}
+	if outJ != outA {
+		t.Fatalf("-phases output differs across formats:\n--- jsonl ---\n%s--- aedt ---\n%s", outJ, outA)
+	}
+	if !strings.Contains(outJ, "synthesize") || !strings.Contains(outJ, "solve") {
+		t.Errorf("-phases output missing phases:\n%s", outJ)
+	}
+
+	// The other span views must agree too.
+	for _, view := range []string{"-tree", "-flame", "-metrics"} {
+		_, vj := captureRun(t, view, jsonl)
+		_, va := captureRun(t, view, aedtPath)
+		if vj != va {
+			t.Errorf("%s output differs across formats:\n--- jsonl ---\n%s--- aedt ---\n%s", view, vj, va)
+		}
+	}
+}
+
+// TestConvertRoundTripsBothWays pins AEDT→JSONL conversion as well.
+func TestConvertRoundTripsBothWays(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	aedtPath := filepath.Join(dir, "trace.aedt")
+	back := filepath.Join(dir, "back.jsonl")
+	writeTestTrace(t, jsonl)
+	if code, _ := captureRun(t, "-convert", aedtPath, jsonl); code != 0 {
+		t.Fatal("jsonl→aedt conversion failed")
+	}
+	if code, _ := captureRun(t, "-convert", back, aedtPath); code != 0 {
+		t.Fatal("aedt→jsonl conversion failed")
+	}
+	_, outOrig := captureRun(t, "-phases", jsonl)
+	_, outBack := captureRun(t, "-phases", back)
+	if outOrig != outBack {
+		t.Fatalf("double conversion changed -phases output:\n%s\nvs\n%s", outOrig, outBack)
+	}
+}
+
+func TestTruncatedAEDTFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	aedtPath := filepath.Join(dir, "trace.aedt")
+	writeTestTrace(t, jsonl)
+	if code, _ := captureRun(t, "-convert", aedtPath, jsonl); code != 0 {
+		t.Fatal("conversion failed")
+	}
+	data, err := os.ReadFile(aedtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.aedt")
+	if err := os.WriteFile(cut, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := captureRun(t, "-phases", cut); code == 0 {
+		t.Error("truncated AEDT input must exit non-zero")
+	}
+}
+
+func TestCorruptAEDTFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	aedtPath := filepath.Join(dir, "trace.aedt")
+	writeTestTrace(t, jsonl)
+	if code, _ := captureRun(t, "-convert", aedtPath, jsonl); code != 0 {
+		t.Fatal("conversion failed")
+	}
+	data, err := os.ReadFile(aedtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0x55 // inside the first block body: CRC must catch it
+	bad := filepath.Join(dir, "bad.aedt")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := captureRun(t, "-phases", bad); code == 0 {
+		t.Error("checksum-corrupt AEDT input must exit non-zero")
+	}
+}
+
+func TestMixedFormatFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	aedtPath := filepath.Join(dir, "trace.aedt")
+	writeTestTrace(t, jsonl)
+	if code, _ := captureRun(t, "-convert", aedtPath, jsonl); code != 0 {
+		t.Fatal("conversion failed")
+	}
+	jsonData, _ := os.ReadFile(jsonl)
+	aedtData, _ := os.ReadFile(aedtPath)
+
+	// JSONL with binary garbage appended: the JSONL parser must reject
+	// the binary tail rather than silently stopping at it.
+	mixed1 := filepath.Join(dir, "mixed1.jsonl")
+	if err := os.WriteFile(mixed1, append(append([]byte{}, jsonData...), aedtData...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := captureRun(t, "-phases", mixed1); code == 0 {
+		t.Error("JSONL+AEDT concatenation must exit non-zero")
+	}
+
+	// AEDT with JSONL appended: the block framing must reject the text
+	// tail.
+	mixed2 := filepath.Join(dir, "mixed2.aedt")
+	if err := os.WriteFile(mixed2, append(append([]byte{}, aedtData...), jsonData...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := captureRun(t, "-phases", mixed2); code == 0 {
+		t.Error("AEDT+JSONL concatenation must exit non-zero")
+	}
+}
+
+func TestMissingFileFails(t *testing.T) {
+	if code, _ := captureRun(t, "-phases", filepath.Join(t.TempDir(), "nope.jsonl")); code == 0 {
+		t.Error("missing input must exit non-zero")
+	}
+}
+
+// TestRecorderView pins the flight-recorder view and its selection as
+// the default for recorder-only streams.
+func TestRecorderView(t *testing.T) {
+	dir := t.TempDir()
+	rec := obs.NewRecorder(16)
+	rec.RecordLabeled(obs.EvCacheMiss, "10.9.0.0/16", 1, 2)
+	rec.Record(obs.EvSolveEnd, 1, 12)
+	path := filepath.Join(dir, "rec.aedt")
+	var buf bytes.Buffer
+	if err := (obs.BinarySink{}).WriteRecorder(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := captureRun(t, "-recorder", path)
+	if code != 0 {
+		t.Fatalf("-recorder exited %d", code)
+	}
+	if !strings.Contains(out, "cache_miss") || !strings.Contains(out, "10.9.0.0/16") ||
+		!strings.Contains(out, "solve_end") {
+		t.Errorf("-recorder view missing events:\n%s", out)
+	}
+
+	// No mode flags on a recorder-only stream: default to the same view.
+	code, def := captureRun(t, path)
+	if code != 0 {
+		t.Fatalf("default view exited %d", code)
+	}
+	if !strings.Contains(def, "recorder events") {
+		t.Errorf("default view for a recorder-only stream:\n%s", def)
+	}
+
+	// -metrics summarizes the recorder events with a pointer.
+	_, met := captureRun(t, "-metrics", path)
+	if !strings.Contains(met, "see -recorder") {
+		t.Errorf("-metrics missing recorder summary:\n%s", met)
+	}
+}
+
+func TestDiffAcrossFormats(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	aedtPath := filepath.Join(dir, "trace.aedt")
+	writeTestTrace(t, jsonl)
+	if code, _ := captureRun(t, "-convert", aedtPath, jsonl); code != 0 {
+		t.Fatal("conversion failed")
+	}
+	code, out := captureRun(t, "-diff", jsonl, aedtPath)
+	if code != 0 {
+		t.Fatalf("-diff exited %d", code)
+	}
+	// A trace diffed against its own conversion must show zero change.
+	if strings.Contains(out, "+0.001ms") || !strings.Contains(out, "phase diff") {
+		t.Errorf("-diff output:\n%s", out)
+	}
+}

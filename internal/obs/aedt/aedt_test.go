@@ -1,0 +1,384 @@
+package aedt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sampleRecords builds a representative mixed stream: spans with every
+// attribute kind, metrics, and recorder events.
+func sampleRecords(n int) []Record {
+	var out []Record
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			out = append(out, Record{
+				Kind: KindSpan, Time: int64(i * 17), ID: uint64(i + 1),
+				Parent: uint64(i / 2), Name: "solve", DurUS: int64(1000 + i),
+				Open: i%10 == 0,
+				Attrs: []Attr{
+					{Key: "dest", Kind: AttrStr, Str: "10.0.0.0/24"},
+					{Key: "decisions", Kind: AttrInt, Num: int64(i * 3)},
+					{Key: "sat", Kind: AttrBool, Num: 1},
+					{Key: "wait", Kind: AttrDur, Num: int64(i)},
+					{Key: "ratio", Kind: AttrFloat, Num: int64(math.Float64bits(0.5 + float64(i)))},
+				},
+			})
+		case 1:
+			out = append(out, Record{Kind: KindCounter, Name: "solver.conflicts", Value: int64(i * 100)})
+		case 2:
+			out = append(out, Record{Kind: KindGauge, Name: "solver.trail_depth", Value: int64(i), Max: int64(2 * i)})
+		case 3:
+			out = append(out, Record{
+				Kind: KindHistogram, Name: "solver.solve_ms", Count: int64(i),
+				Sum: float64(i) * 1.5, Bounds: []float64{1, 5, 10}, Counts: []int64{int64(i), 0, 1, 2},
+			})
+		case 4:
+			out = append(out, Record{
+				Kind: KindEvent, Time: 1700000000_000000 + int64(i), Seq: uint64(i),
+				Name: "restart", Label: "10.1.0.0/24", A: int64(i), B: int64(-i),
+			})
+		}
+	}
+	return out
+}
+
+func encodeStream(t testing.TB, kind StreamKind, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, kind)
+	for i := range recs {
+		w.Append(&recs[i])
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// normalize maps empty slices to nil so reflect.DeepEqual compares
+// encoded-and-decoded records against their source structurally.
+func normalize(recs []Record) []Record {
+	out := append([]Record(nil), recs...)
+	for i := range out {
+		if len(out[i].Attrs) == 0 {
+			out[i].Attrs = nil
+		}
+		if len(out[i].Bounds) == 0 {
+			out[i].Bounds = nil
+		}
+		if len(out[i].Counts) == 0 {
+			out[i].Counts = nil
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	// Cross a block boundary: MaxBlockRecords + change.
+	recs := sampleRecords(MaxBlockRecords + 123)
+	data := encodeStream(t, StreamMixed, recs)
+
+	got, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	want := normalize(recs)
+	got = normalize(got)
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	data := encodeStream(t, StreamTrace, nil)
+	if len(data) != headerLen {
+		t.Fatalf("empty stream is %d bytes, want %d", len(data), headerLen)
+	}
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if rd.StreamKind() != StreamTrace {
+		t.Errorf("stream kind = %v", rd.StreamKind())
+	}
+	var rec Record
+	if err := rd.Next(&rec); err != io.EOF {
+		t.Fatalf("Next on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestNegativeTimeDeltas(t *testing.T) {
+	// Span start offsets are not monotone (spans are recorded in end
+	// order); the zigzag delta chain must survive regressions.
+	recs := []Record{
+		{Kind: KindSpan, Time: 5000, ID: 2, Name: "child"},
+		{Kind: KindSpan, Time: 100, ID: 1, Name: "parent"},
+		{Kind: KindSpan, Time: -30, ID: 3, Name: "preepoch"},
+	}
+	got, err := ReadAll(bytes.NewReader(encodeStream(t, StreamTrace, recs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i].Time != recs[i].Time {
+			t.Errorf("record %d time = %d, want %d", i, got[i].Time, recs[i].Time)
+		}
+	}
+}
+
+func TestSkipBlock(t *testing.T) {
+	recs := sampleRecords(2*MaxBlockRecords + 10)
+	data := encodeStream(t, StreamMixed, recs)
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := rd.SkipBlock()
+	if err != nil {
+		t.Fatalf("SkipBlock: %v", err)
+	}
+	if info.Records != MaxBlockRecords {
+		t.Fatalf("first block has %d records, want %d", info.Records, MaxBlockRecords)
+	}
+	// The remaining records must decode normally after the skip.
+	n := 0
+	var rec Record
+	for {
+		if err := rd.Next(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("Next after skip: %v", err)
+		}
+		n++
+	}
+	if want := len(recs) - MaxBlockRecords; n != want {
+		t.Fatalf("decoded %d records after skip, want %d", n, want)
+	}
+
+	// Skipping everything counts all blocks without decoding.
+	rd, _ = NewReader(bytes.NewReader(data))
+	total, blocks := 0, 0
+	for {
+		info, err := rd.SkipBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("SkipBlock: %v", err)
+		}
+		total += info.Records
+		blocks++
+	}
+	if total != len(recs) || blocks != 3 {
+		t.Fatalf("skipped %d records in %d blocks, want %d in 3", total, blocks, len(recs))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte(`{"type":"span"}`)))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	data := encodeStream(t, StreamTrace, sampleRecords(3))
+	data[4] = Version + 1
+	_, err := NewReader(bytes.NewReader(data))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	data := encodeStream(t, StreamMixed, sampleRecords(100))
+	for _, cut := range []int{3, headerLen - 1, headerLen + 4, len(data) / 2, len(data) - 3} {
+		_, err := ReadAll(bytes.NewReader(data[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestChecksumMismatch(t *testing.T) {
+	data := encodeStream(t, StreamMixed, sampleRecords(100))
+	// Flip a byte inside the first block body (past framing).
+	data[headerLen+blockHeaderLen+5] ^= 0xff
+	_, err := ReadAll(bytes.NewReader(data))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestFooterMismatch(t *testing.T) {
+	recs := sampleRecords(10)
+	data := encodeStream(t, StreamMixed, recs)
+	// Corrupt the footer count (last 8 bytes are count|blockLen).
+	data[len(data)-8] ^= 0x01
+	_, err := ReadAll(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestUnknownRecordKindSkipped(t *testing.T) {
+	recs := []Record{
+		{Kind: KindCounter, Name: "a", Value: 1},
+		{Kind: KindCounter, Name: "b", Value: 2},
+	}
+	data := encodeStream(t, StreamTrace, recs)
+	// Patch the second record's kind byte to an unknown value: walk the
+	// body (count, string table) to find where the kind column starts.
+	body := data[headerLen+blockHeaderLen : len(data)-blockFooterLen]
+	c := cursor{b: body}
+	if _, err := c.uvarint(); err != nil { // count
+		t.Fatal(err)
+	}
+	nStrs, err := c.uvarint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < nStrs; i++ {
+		n, err := c.uvarint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.bytes(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body[c.off+1] = 0x7f // second entry of the kind column
+	binary.LittleEndian.PutUint32(data[headerLen+4:], crc32.Checksum(body, crcTable))
+
+	got, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].Kind != Kind(0x7f) || got[1].Name != "" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{}, StreamTrace)
+	recs := sampleRecords(MaxBlockRecords + 1) // force a mid-append flush
+	for i := range recs {
+		w.Append(&recs[i])
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush after failed write must error")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("error must be sticky")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestReaderReset(t *testing.T) {
+	recs := sampleRecords(50)
+	data := encodeStream(t, StreamMixed, recs)
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	for i := 0; i < 10; i++ {
+		if err := rd.Next(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rd.Reset(bytes.NewReader(data)); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	n := 0
+	for rd.Next(&rec) == nil {
+		n++
+	}
+	if n != len(recs) {
+		t.Fatalf("decoded %d after reset, want %d", n, len(recs))
+	}
+}
+
+// TestReaderNextZeroAlloc pins the steady-state decode guarantee: with
+// a warm Reader and a reused Record, iterating allocates nothing per
+// record (block loads amortize the string table over thousands of
+// records).
+func TestReaderNextZeroAlloc(t *testing.T) {
+	recs := sampleRecords(MaxBlockRecords) // exactly one block
+	data := encodeStream(t, StreamMixed, recs)
+	br := bytes.NewReader(data)
+	rd, err := NewReader(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	// Warm: load the block and size rec's scratch slices.
+	if err := rd.Next(&rec); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := rd.Next(&rec); err == io.EOF {
+			br.Seek(0, io.SeekStart)
+			rd.Reset(br)
+		}
+	})
+	// Block reloads re-materialize the string table (a handful of small
+	// allocations per 4096 records); the per-record budget must still
+	// round to zero.
+	if allocs >= 1 {
+		t.Fatalf("Next allocates %.2f per record, want < 1 (amortized 0)", allocs)
+	}
+}
+
+// BenchmarkReaderNext is the 0 allocs/op steady-state iteration
+// benchmark required by the telemetry acceptance bar; run with
+// -benchmem.
+func BenchmarkReaderNext(b *testing.B) {
+	recs := sampleRecords(4 * MaxBlockRecords)
+	data := encodeStream(b, StreamMixed, recs)
+	br := bytes.NewReader(data)
+	rd, err := NewReader(br)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rec Record
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data) / len(recs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rd.Next(&rec); err == io.EOF {
+			br.Seek(0, io.SeekStart)
+			rd.Reset(br)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriterAppend(b *testing.B) {
+	recs := sampleRecords(MaxBlockRecords)
+	w := NewWriter(io.Discard, StreamMixed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Append(&recs[i%len(recs)])
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package aedt implements AED's binary telemetry format: a versioned,
+// CRC-checksummed container for trace spans, metric snapshots, and
+// flight-recorder event streams, designed for production volume where
+// the JSONL sink is too fat (a cold synthesis at paper scale emits
+// tens of thousands of events; see docs/OBSERVABILITY.md §AEDT).
+//
+// Layout (all multi-byte integers little-endian; "uvarint"/"varint"
+// are Go's encoding/binary varints, signed values zigzag-encoded):
+//
+//	File   = Header Block*
+//	Header = "AEDT" | u8 version | u8 stream kind | u16 reserved(0)
+//	Block  = u32 bodyLen | u32 crc32c(body) | body | Footer
+//	Footer = u32 record count | u32 blockLen
+//
+// bodyLen in the block header lets a reader skip a whole block in O(1)
+// without decoding it; the fixed-width footer repeats the record count
+// and the total block length (8-byte header + body + 8-byte footer) so
+// an index pass — or a reader walking backwards from the file end —
+// can size and count blocks without touching their interiors.
+//
+// The body is columnar (struct-of-arrays, mebo-style): instead of one
+// struct per record, parallel columns hold every record's kind, its
+// delta-encoded timestamp, and its variable-length payload, with all
+// strings interned into a per-block string table:
+//
+//	body = uvarint count
+//	       uvarint nStrings, nStrings × (uvarint len, bytes)
+//	       count bytes                  -- kind column, 1 byte/record
+//	       uvarint len, bytes           -- time column: zigzag varint
+//	                                       deltas from the previous
+//	                                       record (first from 0)
+//	       uvarint len, bytes           -- payload-length column, uvarints
+//	       uvarint len, bytes           -- concatenated payloads
+//
+// Payload encodings per record kind are documented on the Kind
+// constants. Blocks are self-contained — the string table and the time
+// delta chain reset per block — so any block can be decoded (or
+// skipped) in isolation.
+//
+// Versioning rules: the magic never changes; Version bumps only when a
+// reader built for version N cannot decode version N+1 (column
+// reordering, payload re-encoding). Adding a record kind or a stream
+// kind is NOT a version bump — readers must skip records whose kind
+// byte they do not recognize (their payload length is in the length
+// column, so unknown kinds cost nothing to skip).
+package aedt
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic is the 4-byte file signature. DetectAEDT sniffs it to
+// distinguish binary traces from JSONL.
+const Magic = "AEDT"
+
+// Version is the current format version written by Writer.
+const Version = 1
+
+// StreamKind declares what a file predominantly carries. It is a hint
+// for tooling (aedtrace picks its default view from it); readers accept
+// every record kind in every stream.
+type StreamKind uint8
+
+// Stream kinds.
+const (
+	// StreamTrace holds finished spans followed by a metrics snapshot
+	// (the binary twin of obs.WriteJSONL output).
+	StreamTrace StreamKind = 1
+	// StreamRecorder holds a flight-recorder event drain.
+	StreamRecorder StreamKind = 2
+	// StreamMixed holds both: retention segments spill spans and
+	// recorder events into one stream.
+	StreamMixed StreamKind = 3
+)
+
+func (k StreamKind) String() string {
+	switch k {
+	case StreamTrace:
+		return "trace"
+	case StreamRecorder:
+		return "recorder"
+	case StreamMixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("stream(%d)", uint8(k))
+}
+
+// Kind classifies one record. The payload encodings below omit the
+// timestamp (time column) and the kind byte (kind column); "ref" is a
+// uvarint index into the block's string table.
+type Kind uint8
+
+// Record kinds.
+const (
+	// KindInvalid is the zero kind; never written.
+	KindInvalid Kind = 0
+	// KindSpan is a finished (or in-flight) span. Payload: uvarint ID,
+	// uvarint Parent, ref Name, varint DurUS, u8 Open, uvarint nAttrs,
+	// then per attr: ref Key, u8 AttrKind, value (varint for
+	// AttrInt/AttrBool/AttrDur, ref for AttrStr, u64 float bits for
+	// AttrFloat). The span's start offset rides the time column.
+	KindSpan Kind = 1
+	// KindCounter is one counter's final value. Payload: ref Name,
+	// varint Value.
+	KindCounter Kind = 2
+	// KindGauge is one gauge's last and max value. Payload: ref Name,
+	// varint Value, varint Max.
+	KindGauge Kind = 3
+	// KindHistogram is one histogram's buckets. Payload: ref Name,
+	// varint Count, u64 Sum bits, uvarint nBounds, nBounds × u64 bits,
+	// uvarint nCounts, nCounts × varint.
+	KindHistogram Kind = 4
+	// KindEvent is one flight-recorder event. Payload: uvarint Seq,
+	// ref Name (the event-kind name), ref Label, varint A, varint B.
+	// The event's wall-clock unix-µs timestamp rides the time column.
+	KindEvent Kind = 5
+)
+
+// AttrKind tags one span attribute value.
+type AttrKind uint8
+
+// Attribute value kinds.
+const (
+	AttrInt   AttrKind = 0 // varint
+	AttrStr   AttrKind = 1 // string-table ref
+	AttrBool  AttrKind = 2 // varint 0/1
+	AttrDur   AttrKind = 3 // varint microseconds
+	AttrFloat AttrKind = 4 // u64 IEEE-754 bits
+)
+
+// Attr is one span attribute in decoded form.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Num  int64  // AttrInt / AttrBool (0/1) / AttrDur (µs) / AttrFloat (bits)
+	Str  string // AttrStr
+}
+
+// Record is one decoded telemetry record — the flat union of every
+// kind, mirroring obs.Event but with attributes as a slice (not a map)
+// so iteration can reuse one Record without allocating.
+type Record struct {
+	Kind Kind
+	// Time is the record's time-column value, in microseconds: a span's
+	// start offset from the tracer epoch, a recorder event's wall-clock
+	// unix time, 0 for metric records.
+	Time int64
+
+	// Span fields (KindSpan).
+	ID     uint64
+	Parent uint64
+	DurUS  int64
+	Open   bool
+	Attrs  []Attr
+
+	// Name is the span name, metric name, or recorder event-kind name.
+	Name string
+
+	// Metric fields (KindCounter/KindGauge/KindHistogram).
+	Value  int64
+	Max    int64
+	Count  int64
+	Sum    float64
+	Bounds []float64
+	Counts []int64
+
+	// Flight-recorder fields (KindEvent).
+	Seq   uint64
+	Label string
+	A, B  int64
+}
+
+// Decoding errors. Reader wraps them with positional detail; use
+// errors.Is to classify.
+var (
+	// ErrBadMagic means the input does not start with "AEDT".
+	ErrBadMagic = errors.New("aedt: bad magic (not an AEDT file)")
+	// ErrVersion means the file's format version is newer than this
+	// reader understands.
+	ErrVersion = errors.New("aedt: unsupported format version")
+	// ErrTruncated means the input ended mid-header, mid-block, or
+	// mid-footer.
+	ErrTruncated = errors.New("aedt: truncated input")
+	// ErrChecksum means a block body failed its CRC.
+	ErrChecksum = errors.New("aedt: block checksum mismatch")
+	// ErrCorrupt means a block decoded inconsistently (bad varint,
+	// out-of-range string ref, count/footer disagreement, ...).
+	ErrCorrupt = errors.New("aedt: corrupt block")
+)
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// headerLen is the fixed file-header size.
+const headerLen = 8
+
+// blockHeaderLen and blockFooterLen are the fixed per-block framing
+// sizes around the body.
+const (
+	blockHeaderLen = 8
+	blockFooterLen = 8
+)
+
+// maxBodyLen bounds a declared block-body size so corrupt input cannot
+// force a giant allocation. Writers flush blocks at ~1 MiB of payload,
+// so the cap leaves two orders of magnitude of headroom.
+const maxBodyLen = 1 << 26 // 64 MiB
+
+// zigzag encodes a signed value for uvarint storage.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// DetectAEDT reports whether buf (the first bytes of a stream) starts
+// with the AEDT magic. Callers sniffing a file need to supply at least
+// len(Magic) bytes for a positive answer.
+func DetectAEDT(buf []byte) bool {
+	return len(buf) >= len(Magic) && string(buf[:len(Magic)]) == Magic
+}

@@ -1,0 +1,151 @@
+package aedt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// recordsFromSeed derives a record stream deterministically from fuzz
+// input: each seed byte steers one record's kind and payload, strings
+// come from a fixed table plus seed-derived bytes, so the round-trip
+// property (encode → decode → equality) is exercised over arbitrary
+// record shapes without the fuzzer having to produce valid binary.
+func recordsFromSeed(seed []byte) []Record {
+	names := []string{"solve", "encode", "maxsat", "solver.conflicts", "", "x"}
+	var recs []Record
+	next := func(i, stride int) int64 {
+		v := int64(0)
+		for j := 0; j < 8 && i+j*stride < len(seed); j++ {
+			v = v<<8 | int64(seed[(i+j*stride)%len(seed)])
+		}
+		if v%3 == 1 {
+			v = -v
+		}
+		return v
+	}
+	for i, b := range seed {
+		r := Record{Time: next(i, 1)}
+		switch b % 5 {
+		case 0:
+			r.Kind = KindSpan
+			r.ID = uint64(next(i, 2))
+			r.Parent = uint64(next(i, 3))
+			r.Name = names[int(b/5)%len(names)]
+			r.DurUS = next(i, 4)
+			r.Open = b%2 == 0
+			for a := 0; a < int(b%4); a++ {
+				at := Attr{Key: names[(i+a)%len(names)], Kind: AttrKind(a % 5)}
+				switch at.Kind {
+				case AttrStr:
+					at.Str = names[(i+a+1)%len(names)]
+				default:
+					at.Num = next(i+a, 5)
+				}
+				r.Attrs = append(r.Attrs, at)
+			}
+		case 1:
+			r.Kind = KindCounter
+			r.Name = names[int(b/5)%len(names)]
+			r.Value = next(i, 2)
+		case 2:
+			r.Kind = KindGauge
+			r.Name = names[int(b/5)%len(names)]
+			r.Value = next(i, 2)
+			r.Max = next(i, 3)
+		case 3:
+			r.Kind = KindHistogram
+			r.Name = names[int(b/5)%len(names)]
+			r.Count = next(i, 2)
+			r.Sum = math.Abs(float64(next(i, 3))) / 7
+			for k := 0; k < int(b%3); k++ {
+				r.Bounds = append(r.Bounds, float64(k)*1.5)
+				r.Counts = append(r.Counts, next(i+k, 2))
+			}
+		case 4:
+			r.Kind = KindEvent
+			r.Seq = uint64(next(i, 2))
+			r.Name = names[int(b/5)%len(names)]
+			r.Label = names[int(b/7)%len(names)]
+			r.A = next(i, 2)
+			r.B = next(i, 3)
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// FuzzAEDTRoundTrip checks encode→decode equality over arbitrary
+// record streams (the make fuzz-smoke target runs it briefly on every
+// gate).
+func FuzzAEDTRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 250, 101, 77})
+	f.Add([]byte("AEDT telemetry"))
+	f.Add(bytes.Repeat([]byte{9}, 300))
+	f.Fuzz(func(t *testing.T, seed []byte) {
+		if len(seed) > 1<<14 {
+			seed = seed[:1<<14]
+		}
+		recs := recordsFromSeed(seed)
+		var buf bytes.Buffer
+		w := NewWriter(&buf, StreamMixed)
+		for i := range recs {
+			w.Append(&recs[i])
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of freshly encoded stream failed: %v", err)
+		}
+		want := normalize(recs)
+		got = normalize(got)
+		if len(got) != len(want) {
+			t.Fatalf("decoded %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzAEDTDecode feeds arbitrary bytes to the decoder: it must return
+// an error or a record stream, never panic, and never allocate
+// unboundedly from attacker-controlled lengths.
+func FuzzAEDTDecode(f *testing.F) {
+	valid := encodeStream(f, StreamMixed, sampleRecords(64))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	corrupted := append([]byte(nil), valid...)
+	corrupted[headerLen+blockHeaderLen+3] ^= 0x55
+	f.Add(corrupted)
+	// A block frame declaring a giant body.
+	giant := append([]byte(nil), valid[:headerLen]...)
+	giant = binary.LittleEndian.AppendUint32(giant, 1<<31-1)
+	giant = binary.LittleEndian.AppendUint32(giant, 0)
+	f.Add(giant)
+	f.Add([]byte("AEDT"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var rec Record
+		for i := 0; i < 1<<20; i++ {
+			if err := rd.Next(&rec); err != nil {
+				if err != io.EOF {
+					// Any non-EOF error is acceptable; it just must be
+					// an error, not a panic.
+					_ = err.Error()
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package aedt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Writer encodes records into AEDT blocks. Append buffers into the
+// current block's columns; a block is flushed when it reaches
+// MaxBlockRecords records or its payload column reaches maxBlockBytes.
+// Writer is not safe for concurrent use; callers (the retention
+// spiller, the sinks) serialize.
+//
+// Errors from the underlying writer are sticky: Append keeps accepting
+// records after a write error, and the first error surfaces from
+// Flush/Close (and every call after).
+type Writer struct {
+	w          *bufio.Writer
+	streamKind StreamKind
+	headerDone bool
+	err        error
+
+	// Current-block column buffers, reset (capacity kept) per block.
+	count    int
+	kinds    []byte
+	times    []byte
+	plens    []byte
+	payloads []byte
+	strs     []string
+	strIdx   map[string]uint64
+	strBytes int
+	lastTime int64
+
+	scratch []byte
+}
+
+// MaxBlockRecords is the default number of records per block. Small
+// enough that a reader's per-block state stays cache-friendly, large
+// enough to amortize the framing and string table to well under a byte
+// per record.
+const MaxBlockRecords = 4096
+
+// maxBlockBytes flushes a block early when its payload column grows
+// past this, so pathological records (huge attr sets) cannot produce
+// unbounded blocks.
+const maxBlockBytes = 1 << 20
+
+// NewWriter returns a Writer emitting an AEDT stream of the given kind
+// to w. The file header is written with the first flushed block (or by
+// Flush/Close for an empty stream, which is a valid zero-block file).
+func NewWriter(w io.Writer, kind StreamKind) *Writer {
+	return &Writer{
+		w:          bufio.NewWriterSize(w, 64*1024),
+		streamKind: kind,
+		strIdx:     make(map[string]uint64),
+	}
+}
+
+// intern returns the string-table index for s, adding it on first use.
+func (w *Writer) intern(s string) uint64 {
+	if i, ok := w.strIdx[s]; ok {
+		return i
+	}
+	i := uint64(len(w.strs))
+	w.strIdx[s] = i
+	w.strs = append(w.strs, s)
+	w.strBytes += len(s) + binary.MaxVarintLen32
+	return i
+}
+
+func (w *Writer) uvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func (w *Writer) varint(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, zigzag(v))
+}
+
+func u64le(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+// Append adds one record to the current block. The record's strings
+// are interned; the record itself is not retained.
+func (w *Writer) Append(rec *Record) {
+	w.kinds = append(w.kinds, byte(rec.Kind))
+	w.times = w.varint(w.times, rec.Time-w.lastTime)
+	w.lastTime = rec.Time
+
+	start := len(w.payloads)
+	p := w.payloads
+	switch rec.Kind {
+	case KindSpan:
+		p = w.uvarint(p, rec.ID)
+		p = w.uvarint(p, rec.Parent)
+		p = w.uvarint(p, w.intern(rec.Name))
+		p = w.varint(p, rec.DurUS)
+		if rec.Open {
+			p = append(p, 1)
+		} else {
+			p = append(p, 0)
+		}
+		p = w.uvarint(p, uint64(len(rec.Attrs)))
+		for _, a := range rec.Attrs {
+			p = w.uvarint(p, w.intern(a.Key))
+			p = append(p, byte(a.Kind))
+			switch a.Kind {
+			case AttrStr:
+				p = w.uvarint(p, w.intern(a.Str))
+			case AttrFloat:
+				p = u64le(p, uint64(a.Num))
+			default: // AttrInt, AttrBool, AttrDur
+				p = w.varint(p, a.Num)
+			}
+		}
+	case KindCounter:
+		p = w.uvarint(p, w.intern(rec.Name))
+		p = w.varint(p, rec.Value)
+	case KindGauge:
+		p = w.uvarint(p, w.intern(rec.Name))
+		p = w.varint(p, rec.Value)
+		p = w.varint(p, rec.Max)
+	case KindHistogram:
+		p = w.uvarint(p, w.intern(rec.Name))
+		p = w.varint(p, rec.Count)
+		p = u64le(p, math.Float64bits(rec.Sum))
+		p = w.uvarint(p, uint64(len(rec.Bounds)))
+		for _, b := range rec.Bounds {
+			p = u64le(p, math.Float64bits(b))
+		}
+		p = w.uvarint(p, uint64(len(rec.Counts)))
+		for _, c := range rec.Counts {
+			p = w.varint(p, c)
+		}
+	case KindEvent:
+		p = w.uvarint(p, rec.Seq)
+		p = w.uvarint(p, w.intern(rec.Name))
+		p = w.uvarint(p, w.intern(rec.Label))
+		p = w.varint(p, rec.A)
+		p = w.varint(p, rec.B)
+	}
+	w.payloads = p
+	w.plens = w.uvarint(w.plens, uint64(len(w.payloads)-start))
+	w.count++
+
+	if w.count >= MaxBlockRecords || len(w.payloads) >= maxBlockBytes {
+		w.flushBlock()
+	}
+}
+
+// writeHeader emits the 8-byte file header once.
+func (w *Writer) writeHeader() {
+	if w.headerDone {
+		return
+	}
+	w.headerDone = true
+	var hdr [headerLen]byte
+	copy(hdr[:], Magic)
+	hdr[4] = Version
+	hdr[5] = byte(w.streamKind)
+	if _, err := w.w.Write(hdr[:]); err != nil && w.err == nil {
+		w.err = err
+	}
+}
+
+// flushBlock assembles and writes the buffered block, then resets the
+// column buffers for the next one.
+func (w *Writer) flushBlock() {
+	if w.count == 0 {
+		return
+	}
+	w.writeHeader()
+
+	// Assemble the body in scratch: count, string table, then the
+	// length-prefixed columns.
+	body := w.scratch[:0]
+	body = w.uvarint(body, uint64(w.count))
+	body = w.uvarint(body, uint64(len(w.strs)))
+	for _, s := range w.strs {
+		body = w.uvarint(body, uint64(len(s)))
+		body = append(body, s...)
+	}
+	body = append(body, w.kinds...)
+	body = w.uvarint(body, uint64(len(w.times)))
+	body = append(body, w.times...)
+	body = w.uvarint(body, uint64(len(w.plens)))
+	body = append(body, w.plens...)
+	body = w.uvarint(body, uint64(len(w.payloads)))
+	body = append(body, w.payloads...)
+	w.scratch = body
+
+	var frame [blockHeaderLen]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+	var footer [blockFooterLen]byte
+	binary.LittleEndian.PutUint32(footer[0:4], uint32(w.count))
+	binary.LittleEndian.PutUint32(footer[4:8], uint32(blockHeaderLen+len(body)+blockFooterLen))
+
+	if w.err == nil {
+		if _, err := w.w.Write(frame[:]); err != nil {
+			w.err = err
+		}
+	}
+	if w.err == nil {
+		if _, err := w.w.Write(body); err != nil {
+			w.err = err
+		}
+	}
+	if w.err == nil {
+		if _, err := w.w.Write(footer[:]); err != nil {
+			w.err = err
+		}
+	}
+
+	// Reset block state, keeping capacity.
+	w.count = 0
+	w.kinds = w.kinds[:0]
+	w.times = w.times[:0]
+	w.plens = w.plens[:0]
+	w.payloads = w.payloads[:0]
+	w.strs = w.strs[:0]
+	clear(w.strIdx)
+	w.strBytes = 0
+	w.lastTime = 0
+}
+
+// Flush writes any buffered block (and the file header, if nothing has
+// been written yet) and flushes the underlying buffer. It returns the
+// first error encountered by any write so far.
+func (w *Writer) Flush() error {
+	w.flushBlock()
+	w.writeHeader()
+	if err := w.w.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Close flushes the writer. The underlying io.Writer is not closed.
+func (w *Writer) Close() error { return w.Flush() }

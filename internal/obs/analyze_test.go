@@ -2,6 +2,8 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -150,6 +152,145 @@ func TestAnalyzeOrphanParentBecomesRoot(t *testing.T) {
 	a := Analyze(events)
 	if len(a.Roots) != 1 || a.Roots[0].Name != "orphan" {
 		t.Errorf("orphan not promoted to root: %+v", a.Roots)
+	}
+}
+
+// TestAnalyzeOutOfOrderEnds feeds spans in the order a real trace
+// lists them — children before parents, ends interleaved arbitrarily —
+// and requires the same tree as the sorted stream.
+func TestAnalyzeOutOfOrderEnds(t *testing.T) {
+	// root(1) > a(2) > inner(4); root > b(3). Stream order scrambles
+	// every relationship: grandchild first, root in the middle.
+	events := []Event{
+		{Type: "span", ID: 4, Parent: 2, Name: "inner", StartUS: 12, DurUS: 5},
+		{Type: "span", ID: 3, Parent: 1, Name: "b", StartUS: 40, DurUS: 20},
+		{Type: "span", ID: 1, Name: "root", StartUS: 0, DurUS: 100},
+		{Type: "span", ID: 2, Parent: 1, Name: "a", StartUS: 10, DurUS: 25},
+	}
+	for range events {
+		a := Analyze(events)
+		if len(a.Roots) != 1 || a.Roots[0].Name != "root" {
+			t.Fatalf("roots = %+v", a.Roots)
+		}
+		kids := a.Roots[0].Children
+		if len(kids) != 2 || kids[0].Name != "a" || kids[1].Name != "b" {
+			t.Fatalf("children not sorted by start: %+v", kids)
+		}
+		if len(kids[0].Children) != 1 || kids[0].Children[0].Name != "inner" {
+			t.Fatalf("grandchild lost: %+v", kids[0].Children)
+		}
+		// Rotate and re-analyze: every arrival order must agree.
+		events = append(events[1:], events[0])
+	}
+}
+
+// TestAnalyzeOverlappingSiblings pins self-time clamping: siblings
+// whose durations sum past the parent (parallel workers, clock skew)
+// must clamp the parent's self time to zero, never negative.
+func TestAnalyzeOverlappingSiblings(t *testing.T) {
+	events := []Event{
+		{Type: "span", ID: 1, Name: "solve", StartUS: 0, DurUS: 100},
+		{Type: "span", ID: 2, Parent: 1, Name: "worker", StartUS: 0, DurUS: 70},
+		{Type: "span", ID: 3, Parent: 1, Name: "worker", StartUS: 5, DurUS: 70},
+	}
+	phases := Analyze(events).Phases()
+	byName := make(map[string]PhaseStat)
+	for _, p := range phases {
+		byName[p.Name] = p
+	}
+	if s := byName["solve"]; s.SelfUS != 0 {
+		t.Errorf("overlapping children must clamp self to 0, got %d", s.SelfUS)
+	}
+	if w := byName["worker"]; w.TotalUS != 140 || w.Count != 2 {
+		t.Errorf("worker stat = %+v", w)
+	}
+}
+
+// TestAnalyzeMissingParents covers a truncated trace: a subtree whose
+// interior span was cut. The stranded spans become roots (never
+// dropped) and the phase totals still count every span.
+func TestAnalyzeMissingParents(t *testing.T) {
+	events := []Event{
+		{Type: "span", ID: 1, Name: "root", StartUS: 0, DurUS: 100},
+		{Type: "span", ID: 2, Parent: 1, Name: "kept", StartUS: 5, DurUS: 20},
+		// ID 3 ("lost") was truncated away; its children survive.
+		{Type: "span", ID: 4, Parent: 3, Name: "stranded", StartUS: 30, DurUS: 10},
+		{Type: "span", ID: 5, Parent: 3, Name: "stranded", StartUS: 45, DurUS: 12},
+	}
+	a := Analyze(events)
+	if len(a.Roots) != 3 {
+		t.Fatalf("roots = %d, want 3 (root + 2 stranded)", len(a.Roots))
+	}
+	if got := len(a.Spans()); got != 4 {
+		t.Errorf("Spans() walked %d, want 4", got)
+	}
+	var total int
+	for _, p := range a.Phases() {
+		total += p.Count
+	}
+	if total != 4 {
+		t.Errorf("phase counts sum to %d, want 4", total)
+	}
+}
+
+// TestAnalyzeSelfParent pins the cycle guard: a span claiming itself
+// as parent must become a root, not an infinite walk.
+func TestAnalyzeSelfParent(t *testing.T) {
+	events := []Event{
+		{Type: "span", ID: 7, Parent: 7, Name: "ouroboros", StartUS: 0, DurUS: 10},
+	}
+	a := Analyze(events)
+	if len(a.Roots) != 1 || a.Roots[0].Name != "ouroboros" {
+		t.Fatalf("self-parent span not promoted to root: %+v", a.Roots)
+	}
+	if len(a.Roots[0].Children) != 0 {
+		t.Error("self-parent span must not be its own child")
+	}
+	if got := len(a.Spans()); got != 1 {
+		t.Errorf("Spans() walked %d, want 1", got)
+	}
+}
+
+// TestAnalyzePhasesIdenticalAcrossFormats is the obs-level twin of the
+// aedtrace acceptance pin: one tracer exported through both sinks must
+// analyze to deep-equal phase tables and identical tree shapes.
+func TestAnalyzePhasesIdenticalAcrossFormats(t *testing.T) {
+	tr := tracedRun()
+	var jbuf, abuf bytes.Buffer
+	if err := WriteJSONL(&jbuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAEDT(&abuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	jEvents, err := ReadEventsAuto(&jbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aEvents, err := ReadEventsAuto(&abuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, aa := Analyze(jEvents), Analyze(aEvents)
+	if !reflect.DeepEqual(ja.Phases(), aa.Phases()) {
+		t.Errorf("phase tables differ:\njsonl: %+v\naedt:  %+v", ja.Phases(), aa.Phases())
+	}
+	shape := func(a *Analysis) []string {
+		var out []string
+		var walk func(n *SpanNode, depth int)
+		walk = func(n *SpanNode, depth int) {
+			out = append(out, fmt.Sprintf("%d:%s:%d", depth, n.Name, n.DurUS))
+			for _, c := range n.Children {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range a.Roots {
+			walk(r, 0)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(shape(ja), shape(aa)) {
+		t.Errorf("tree shapes differ:\njsonl: %v\naedt:  %v", shape(ja), shape(aa))
 	}
 }
 

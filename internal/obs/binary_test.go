@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/aed-net/aed/internal/obs/aedt"
+)
+
+// populatedTracer builds a tracer with a span tree, all metric types,
+// and attribute values covering every attr kind.
+func populatedTracer() *Tracer {
+	tr := NewTracer()
+	root := tr.Start("synthesize")
+	root.SetInt("destinations", 12)
+	root.SetStr("policy", "reachability")
+	root.SetBool("incremental", true)
+	root.SetDur("budget", 1500*time.Microsecond)
+	child := root.Child("solve")
+	child.SetInt("conflicts", 42)
+	child.End()
+	root.End()
+	tr.Metrics().Counter("solver.conflicts").Add(42)
+	tr.Metrics().Gauge("solver.trail").Set(17)
+	tr.Metrics().Histogram("solve.ms", []float64{1, 5, 10}).Observe(3.5)
+	return tr
+}
+
+func TestAEDTWriteReadMatchesJSONL(t *testing.T) {
+	tr := populatedTracer()
+
+	var jbuf, bbuf bytes.Buffer
+	if err := WriteJSONL(&jbuf, tr); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if err := WriteAEDT(&bbuf, tr); err != nil {
+		t.Fatalf("WriteAEDT: %v", err)
+	}
+	if !aedt.DetectAEDT(bbuf.Bytes()) {
+		t.Fatal("binary output does not carry the AEDT magic")
+	}
+
+	jsonEvents, err := ReadEvents(bytes.NewReader(jbuf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	binEvents, err := ReadAEDT(bytes.NewReader(bbuf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAEDT: %v", err)
+	}
+	if len(binEvents) != len(jsonEvents) {
+		t.Fatalf("binary carries %d events, JSONL %d", len(binEvents), len(jsonEvents))
+	}
+	for i := range jsonEvents {
+		je, be := jsonEvents[i], binEvents[i]
+		// JSON numbers decode as float64; the binary path keeps int64.
+		// Compare through the same normalization the analyzer applies.
+		if je.Type != be.Type || je.Name != be.Name || je.ID != be.ID ||
+			je.Parent != be.Parent || je.StartUS != be.StartUS || je.DurUS != be.DurUS ||
+			je.Value != be.Value || je.Max != be.Max || je.Count != be.Count ||
+			je.Sum != be.Sum || !reflect.DeepEqual(je.Bounds, be.Bounds) ||
+			!reflect.DeepEqual(je.Counts, be.Counts) {
+			t.Errorf("event %d differs:\n json %+v\n aedt %+v", i, je, be)
+		}
+		if len(je.Attrs) != len(be.Attrs) {
+			t.Errorf("event %d attr count: json %d, aedt %d", i, len(je.Attrs), len(be.Attrs))
+			continue
+		}
+		for k, jv := range je.Attrs {
+			bv, ok := be.Attrs[k]
+			if !ok {
+				t.Errorf("event %d missing attr %q in binary form", i, k)
+				continue
+			}
+			// JSON round-trips ints and bools through float64/bool; the
+			// binary form is typed. Compare printed forms, which is what
+			// every view renders.
+			if jprint, bprint := attrString(map[string]any{k: jv}), attrString(map[string]any{k: bv}); jprint != bprint {
+				t.Errorf("event %d attr %q: json %s, aedt %s", i, k, jprint, bprint)
+			}
+		}
+	}
+}
+
+func TestReadEventsAuto(t *testing.T) {
+	tr := populatedTracer()
+	var jbuf, bbuf bytes.Buffer
+	if err := WriteJSONL(&jbuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAEDT(&bbuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadEventsAuto(bytes.NewReader(jbuf.Bytes()))
+	if err != nil {
+		t.Fatalf("auto-read JSONL: %v", err)
+	}
+	fromBin, err := ReadEventsAuto(bytes.NewReader(bbuf.Bytes()))
+	if err != nil {
+		t.Fatalf("auto-read AEDT: %v", err)
+	}
+	if len(fromJSON) != len(fromBin) || len(fromJSON) == 0 {
+		t.Fatalf("auto-read: %d JSONL events, %d AEDT events", len(fromJSON), len(fromBin))
+	}
+	if _, err := ReadEventsAuto(bytes.NewReader(nil)); err != nil {
+		t.Fatalf("auto-read of empty input: %v", err)
+	}
+}
+
+func TestReadAEDTTruncated(t *testing.T) {
+	tr := populatedTracer()
+	var buf bytes.Buffer
+	if err := WriteAEDT(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadAEDT(bytes.NewReader(buf.Bytes()[:buf.Len()-5]))
+	if err == nil {
+		t.Fatal("truncated stream must fail loudly")
+	}
+}
+
+func TestSinkForPath(t *testing.T) {
+	cases := map[string]Sink{
+		"trace.aedt":       BinarySink{},
+		"TRACE.AEDT":       BinarySink{},
+		"/tmp/x/out.aedt":  BinarySink{},
+		"trace.jsonl":      JSONLSink{},
+		"trace":            JSONLSink{},
+		"weird.aedt.jsonl": JSONLSink{},
+	}
+	for path, want := range cases {
+		if got := SinkForPath(path); reflect.TypeOf(got) != reflect.TypeOf(want) {
+			t.Errorf("SinkForPath(%q) = %T, want %T", path, got, want)
+		}
+	}
+}
+
+func TestSinkWriteRecorder(t *testing.T) {
+	tr := NewTracer()
+	rec := NewRecorder(16)
+	tr.SetRecorder(rec)
+	rec.RecordLabeled(EvCacheHit, "10.0.0.0/24", 7, 0)
+	rec.Record(EvBoundTighten, 12, 3)
+
+	var jbuf, bbuf bytes.Buffer
+	if err := (JSONLSink{}).WriteRecorder(&jbuf, rec); err != nil {
+		t.Fatalf("JSONL WriteRecorder: %v", err)
+	}
+	if err := (BinarySink{}).WriteRecorder(&bbuf, rec); err != nil {
+		t.Fatalf("binary WriteRecorder: %v", err)
+	}
+	if !strings.Contains(jbuf.String(), `"type":"recorder"`) ||
+		!strings.Contains(jbuf.String(), `"label":"10.0.0.0/24"`) {
+		t.Errorf("JSONL recorder drain missing fields:\n%s", jbuf.String())
+	}
+
+	jsonEvents, err := ReadEvents(bytes.NewReader(jbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binEvents, err := ReadAEDT(bytes.NewReader(bbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jsonEvents, binEvents) {
+		t.Errorf("recorder drains differ:\n json %+v\n aedt %+v", jsonEvents, binEvents)
+	}
+	if len(binEvents) != 2 || binEvents[0].Name != "cache_hit" ||
+		binEvents[0].Label != "10.0.0.0/24" || binEvents[1].A != 12 {
+		t.Errorf("recorder events decoded wrong: %+v", binEvents)
+	}
+}
+
+func TestAttrConversion(t *testing.T) {
+	cases := []struct {
+		in   any
+		kind aedt.AttrKind
+	}{
+		{int64(7), aedt.AttrInt},
+		{int(7), aedt.AttrInt},
+		{true, aedt.AttrBool},
+		{"x", aedt.AttrStr},
+		{float64(3), aedt.AttrInt}, // integral float: stored as int
+		{float64(3.5), aedt.AttrFloat},
+		{uint16(9), aedt.AttrStr}, // unknown types stringify
+	}
+	for _, c := range cases {
+		if got := attrToAEDT("k", c.in); got.Kind != c.kind {
+			t.Errorf("attrToAEDT(%v) kind = %d, want %d", c.in, got.Kind, c.kind)
+		}
+	}
+	// Non-integral floats survive the bits round trip.
+	a := attrToAEDT("k", 2.75)
+	rec := aedt.Record{Kind: aedt.KindSpan, Attrs: []aedt.Attr{a}}
+	ev, ok := recordToEvent(&rec)
+	if !ok || ev.Attrs["k"] != 2.75 {
+		t.Errorf("float attr round trip: %+v", ev.Attrs)
+	}
+}

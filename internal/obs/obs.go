@@ -88,6 +88,28 @@ func (t *Tracer) Spans() []SpanRecord {
 	return out
 }
 
+// SpansFrom returns a copy of the finished spans recorded at index
+// from onward, plus the index one past the last span returned (pass it
+// back as from to drain incrementally). The finished-span log is
+// append-only, so successive calls see a consistent, gap-free stream —
+// this is what the retention spiller polls.
+func (t *Tracer) SpansFrom(from int) ([]SpanRecord, int) {
+	if t == nil {
+		return nil, from
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(t.spans) {
+		return nil, len(t.spans)
+	}
+	out := make([]SpanRecord, len(t.spans)-from)
+	copy(out, t.spans[from:])
+	return out, len(t.spans)
+}
+
 // OpenSpans returns a snapshot of the spans currently in flight, with
 // Duration set to the time elapsed so far. This is what makes a live
 // solve inspectable: the /spans debug route merges it with Spans() so

@@ -98,6 +98,12 @@ type Recorder struct {
 	labels []string
 	seq    uint64 // total events ever recorded; next write goes to seq % cap
 	epoch  time.Time
+
+	// dropped, when non-nil, is a registry counter bumped every time an
+	// unread event is overwritten (wired by Registry.SetFlightRecorder as
+	// "recorder.dropped"). Counter.Add is an atomic add, so the hot path
+	// stays allocation-free.
+	dropped *Counter
 }
 
 // DefaultRecorderCapacity is the ring size used when a non-positive
@@ -134,6 +140,9 @@ func (r *Recorder) RecordLabeled(kind EventKind, label string, a, b int64) {
 	}
 	now := time.Now()
 	r.mu.Lock()
+	if r.seq >= uint64(len(r.kinds)) {
+		r.dropped.Add(1)
+	}
 	i := r.seq % uint64(len(r.kinds))
 	r.kinds[i] = kind
 	r.times[i] = now.Sub(r.epoch).Nanoseconds()
@@ -167,6 +176,30 @@ func (r *Recorder) Events() []RecorderEvent {
 	if r == nil {
 		return nil
 	}
+	out, _ := r.EventsSinceAppend(0, make([]RecorderEvent, 0, r.Len()))
+	return out
+}
+
+// EventsAppend appends the retained events to dst, oldest first, and
+// returns the extended slice. Allocation-free when dst has capacity —
+// the snapshot variant for periodic pollers (pinned by
+// BenchmarkRecorderEventsAppend).
+func (r *Recorder) EventsAppend(dst []RecorderEvent) []RecorderEvent {
+	dst, _ = r.EventsSinceAppend(0, dst)
+	return dst
+}
+
+// EventsSinceAppend appends the retained events with Seq >= min to
+// dst, oldest first, and returns the extended slice plus the next
+// sequence number (one past the newest retained event; pass it back as
+// min to drain incrementally). Events older than min that have already
+// been overwritten are silently gone — Dropped() and the
+// recorder.dropped counter account for them. Allocation-free when dst
+// has capacity.
+func (r *Recorder) EventsSinceAppend(min uint64, dst []RecorderEvent) ([]RecorderEvent, uint64) {
+	if r == nil {
+		return dst, min
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	capacity := uint64(len(r.kinds))
@@ -175,10 +208,12 @@ func (r *Recorder) Events() []RecorderEvent {
 	if n > capacity {
 		start = n - capacity
 	}
-	out := make([]RecorderEvent, 0, n-start)
+	if min > start {
+		start = min
+	}
 	for s := start; s < n; s++ {
 		i := s % capacity
-		out = append(out, RecorderEvent{
+		dst = append(dst, RecorderEvent{
 			Seq:   s,
 			Time:  r.epoch.Add(time.Duration(r.times[i])),
 			Kind:  r.kinds[i].String(),
@@ -187,7 +222,7 @@ func (r *Recorder) Events() []RecorderEvent {
 			B:     r.bs[i],
 		})
 	}
-	return out
+	return dst, n
 }
 
 // Len returns the number of currently retained events.
@@ -233,12 +268,27 @@ type recorderRef struct {
 }
 
 // SetFlightRecorder attaches rec to the registry (nil detaches). Any
-// layer holding the registry can then feed the ring.
+// layer holding the registry can then feed the ring. Attaching also
+// wires the registry's "recorder.dropped" counter into the ring, so
+// overwritten events are visible in /metrics and exported traces.
 func (r *Registry) SetFlightRecorder(rec *Recorder) {
 	if r == nil {
 		return
 	}
+	if rec != nil {
+		rec.setDroppedCounter(r.Counter("recorder.dropped"))
+	}
 	r.recorder.rec.Store(rec)
+}
+
+// setDroppedCounter wires the overwrite-accounting counter.
+func (r *Recorder) setDroppedCounter(c *Counter) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.dropped = c
+	r.mu.Unlock()
 }
 
 // FlightRecorder returns the attached recorder, or nil (a valid no-op

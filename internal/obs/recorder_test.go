@@ -138,6 +138,90 @@ func TestRecorderConcurrent(t *testing.T) {
 	}
 }
 
+func TestRecorderEventsAppend(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(EvRestart, int64(i), 0)
+	}
+	if got, want := r.EventsAppend(nil), r.Events(); len(got) != len(want) {
+		t.Fatalf("EventsAppend drained %d events, Events %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("event %d: append %+v, events %+v", i, got[i], want[i])
+			}
+		}
+	}
+	// Appends extend dst rather than replacing it.
+	prefix := []RecorderEvent{{Seq: 999}}
+	out := r.EventsAppend(prefix)
+	if len(out) != 5 || out[0].Seq != 999 || out[1].Seq != 2 {
+		t.Fatalf("EventsAppend must extend dst: %+v", out)
+	}
+}
+
+func TestRecorderEventsSinceAppend(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 3; i++ {
+		r.Record(EvRestart, int64(i), 0)
+	}
+	evs, next := r.EventsSinceAppend(0, nil)
+	if len(evs) != 3 || next != 3 {
+		t.Fatalf("first drain: %d events, next %d", len(evs), next)
+	}
+	evs, next = r.EventsSinceAppend(next, evs[:0])
+	if len(evs) != 0 || next != 3 {
+		t.Fatalf("empty drain: %d events, next %d", len(evs), next)
+	}
+	// Overflow past the drain cursor: the gap is visible as a seq jump.
+	for i := 0; i < 6; i++ {
+		r.Record(EvReduceDB, int64(i), 0)
+	}
+	evs, next = r.EventsSinceAppend(next, evs[:0])
+	if len(evs) != 4 || evs[0].Seq != 5 || next != 9 {
+		t.Fatalf("post-overflow drain: %d events, first seq %d, next %d",
+			len(evs), evs[0].Seq, next)
+	}
+
+	var nilR *Recorder
+	if evs, next := nilR.EventsSinceAppend(7, nil); evs != nil || next != 7 {
+		t.Fatal("nil recorder must return dst unchanged")
+	}
+}
+
+// TestRecorderDroppedCounter pins the registry surface: attaching a
+// recorder wires "recorder.dropped", and overwrites bump it.
+func TestRecorderDroppedCounter(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRecorder(4)
+	reg.SetFlightRecorder(r)
+	for i := 0; i < 7; i++ {
+		r.Record(EvRestart, int64(i), 0)
+	}
+	if got := reg.Snapshot().Counters["recorder.dropped"]; got != 3 {
+		t.Fatalf("recorder.dropped = %d, want 3", got)
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+}
+
+// TestRecorderEventsAppendZeroAlloc pins the drain-side guarantee: a
+// caller reusing its destination slice drains without allocating.
+func TestRecorderEventsAppendZeroAlloc(t *testing.T) {
+	r := NewRecorder(256)
+	for i := 0; i < 512; i++ {
+		r.Record(EvRestart, int64(i), 0)
+	}
+	buf := make([]RecorderEvent, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = r.EventsAppend(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("EventsAppend allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 // TestRecorderZeroAlloc pins the steady-state guarantee: recording into
 // a warmed ring allocates nothing (the labels are stored by reference,
 // the columns are preallocated).
@@ -169,5 +253,22 @@ func BenchmarkRecorderRecordLabeled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.RecordLabeled(EvSolveEnd, label, 1, int64(i))
+	}
+}
+
+// BenchmarkRecorderEventsAppend measures a full-ring drain into a
+// reused buffer; run with -benchmem to confirm 0 allocs/op.
+func BenchmarkRecorderEventsAppend(b *testing.B) {
+	r := NewRecorder(DefaultRecorderCapacity)
+	for i := 0; i < 2*DefaultRecorderCapacity; i++ {
+		r.RecordLabeled(EvSolveEnd, "10.0.0.0/24", 1, int64(i))
+	}
+	buf := make([]RecorderEvent, 0, DefaultRecorderCapacity)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = r.EventsAppend(buf[:0])
+	}
+	if len(buf) != DefaultRecorderCapacity {
+		b.Fatalf("drained %d events", len(buf))
 	}
 }

@@ -10,12 +10,13 @@ import (
 	"time"
 )
 
-// Event is one exported telemetry record: a finished span or one
-// metric's final state. The JSONL sink writes one Event per line;
-// ReadEvents decodes them back, so traces round-trip for tooling and
-// tests.
+// Event is one exported telemetry record: a finished span, one
+// metric's final state, or one flight-recorder event. The JSONL sink
+// writes one Event per line; ReadEvents decodes them back, so traces
+// round-trip for tooling and tests. The binary sink (WriteAEDT /
+// ReadAEDT) carries the same records in AEDT form.
 type Event struct {
-	Type string `json:"type"` // "span" | "counter" | "gauge" | "histogram"
+	Type string `json:"type"` // "span" | "counter" | "gauge" | "histogram" | "recorder"
 
 	// Span fields.
 	ID      uint64         `json:"id,omitempty"`
@@ -36,6 +37,24 @@ type Event struct {
 	Sum    float64   `json:"sum,omitempty"`
 	Bounds []float64 `json:"bounds,omitempty"`
 	Counts []int64   `json:"counts,omitempty"`
+
+	// Flight-recorder fields (Type == "recorder"; Name holds the event
+	// kind). TimeUS is absolute wall-clock µs since the Unix epoch —
+	// unlike a span's StartUS, which is an offset from the tracer epoch.
+	Seq    uint64 `json:"seq,omitempty"`
+	TimeUS int64  `json:"time_us,omitempty"`
+	Label  string `json:"label,omitempty"`
+	A      int64  `json:"a,omitempty"`
+	B      int64  `json:"b,omitempty"`
+}
+
+// recorderToEvent converts one drained flight-recorder event to its
+// exported Event form.
+func recorderToEvent(ev RecorderEvent) Event {
+	return Event{
+		Type: "recorder", Name: ev.Kind, Seq: ev.Seq,
+		TimeUS: ev.Time.UnixMicro(), Label: ev.Label, A: ev.A, B: ev.B,
+	}
 }
 
 // spanEvent converts a span record to its exported event form, with
