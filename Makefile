@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-resolve bench-resolve-quick bench-sat bench-sat-quick bench-telemetry bench-telemetry-quick
+.PHONY: check fmt vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-resolve bench-resolve-quick bench-sat bench-sat-quick bench-telemetry bench-telemetry-quick bench-service bench-service-quick
 
-check: fmt vet build race fuzz-smoke bench-incremental-quick bench-resolve-quick bench-telemetry-quick
+check: fmt vet build race fuzz-smoke bench-incremental-quick bench-resolve-quick bench-telemetry-quick bench-service-quick
 
 # Fails listing the files that need gofmt; run `gofmt -w .` to fix.
 fmt:
@@ -91,3 +91,15 @@ bench-telemetry:
 
 bench-telemetry-quick:
 	$(GO) run ./cmd/aedbench -experiment telemetry -scale quick -out BENCH_telemetry.json
+
+# aedd service load benchmark: an in-process service driven over real
+# HTTP with mixed cold/warm/watch traffic, an oversubscribed burst
+# (must reject with the queue-full error), and a shutdown drain (must
+# drop zero in-flight solves); writes BENCH_service.json. The quick
+# variant runs as part of `make check`, so the service's admission,
+# cache, and drain guarantees are exercised on every gate.
+bench-service:
+	$(GO) run ./cmd/aedbench -experiment service -scale full -out BENCH_service.json
+
+bench-service-quick:
+	$(GO) run ./cmd/aedbench -experiment service -scale quick -out BENCH_service.json

@@ -14,8 +14,17 @@
 //	// ... describe routers, links and subnets ...
 //	ps, _ := aed.ParsePolicies("block 10.0.0.0/24 -> 10.1.0.0/24\n")
 //	objs, _ := aed.ParseObjectives(`NOMODIFY //Router GROUPBY name`)
-//	res, _ := aed.Synthesize(net, topo, ps, aed.Options{Objectives: objs})
+//	res, _ := aed.SynthesizeContext(ctx, net, topo, ps, aed.Options{Objectives: objs})
 //	for name, text := range aed.PrintConfigs(res.Updated) { ... }
+//
+// Or, with every input as one serializable value (the same type the
+// aedd service and the aed/client package accept over the wire):
+//
+//	resp, _ := aed.Do(ctx, aed.Request{
+//		Configs:  map[string]string{"r1": cfg1, "r2": cfg2},
+//		Topology: "router r1\nrouter r2\nlink r1 r2\n...",
+//		Policies: "block 10.0.0.0/24 -> 10.1.0.0/24\n",
+//	})
 //
 // See the examples/ directory for complete programs and DESIGN.md for
 // the system inventory and paper-experiment index.
@@ -83,19 +92,14 @@ const (
 	CoreGuided    = smt.CoreGuided
 )
 
-// Synthesize computes configuration updates for net on topo that
-// satisfy ps and maximally satisfy the objectives in opts.
+// SynthesizeContext computes configuration updates for net on topo
+// that satisfy ps and maximally satisfy the objectives in opts, with
+// cancellation: once ctx is canceled (or its deadline passes) every
+// in-flight CDCL search stops at its next conflict and the call
+// returns ctx.Err().
 //
-// Deprecated: use SynthesizeContext, which supports deadlines and
-// cancellation. Synthesize is equivalent to SynthesizeContext with
-// context.Background().
-func Synthesize(net *Network, topo *Topology, ps []Policy, opts Options) (*Result, error) {
-	return core.Synthesize(net, topo, ps, opts)
-}
-
-// SynthesizeContext is Synthesize with cancellation: once ctx is
-// canceled (or its deadline passes) every in-flight CDCL search stops
-// at its next conflict and the call returns ctx.Err().
+// For a fully serializable entry point — the one the aedd service and
+// the aed/client package share — see Do and the Request/Response pair.
 func SynthesizeContext(ctx context.Context, net *Network, topo *Topology, ps []Policy, opts Options) (*Result, error) {
 	return core.SynthesizeContext(ctx, net, topo, ps, opts)
 }

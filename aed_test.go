@@ -63,7 +63,7 @@ func TestPublicAPISynthesize(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.Objectives = objs
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestPublicAPIZeroOptions(t *testing.T) {
 	// The zero value is the paper default; with the min-lines objective
 	// a satisfied policy is a no-op. (The library no longer injects
 	// MinimizeLines implicitly when no objectives are set.)
-	res, err := Synthesize(net, topo, ps, Options{MinimizeLines: true})
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, Options{MinimizeLines: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestPublicAPIPlanDeployment(t *testing.T) {
 	ps, _ := ParsePolicies("block 10.0.0.0/24 -> 10.1.0.0/24\nreach 10.1.0.0/24 -> 10.0.0.0/24\n")
 	opts := DefaultOptions()
 	opts.MinimizeLines = true
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil || res.Unsat() != nil {
 		t.Fatal("synthesis failed")
 	}

@@ -110,14 +110,12 @@ func main() {
 	var tracer *obs.Tracer
 	if traceFile != "" || *recordOut != "" || *retainDir != "" || *stats ||
 		*debugAddr != "" || *slowSolve > 0 || *timeout > 0 {
-		tracer = obs.NewTracer()
-		tracer.SetRecorder(obs.NewRecorder(obs.DefaultRecorderCapacity))
+		tracer = obs.NewCLITracer()
 	}
 	if *debugAddr != "" {
-		addr, closeDebug, err := obs.ServeDebug(*debugAddr, tracer)
+		closeDebug, err := obs.ServeDebugCLI("aed", *debugAddr, tracer)
 		check(err)
 		defer closeDebug()
-		fmt.Fprintf(os.Stderr, "aed: debug endpoint on http://%s (/metrics /spans /recorder /debug/pprof/)\n", addr)
 	}
 	var retention *obs.Retention
 	if *retainDir != "" {

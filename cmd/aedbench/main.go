@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|resolve|telemetry|all
+//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|resolve|telemetry|service|all
 //	         [-scale quick|full] [-metrics-out FILE] [-out FILE]
 //	         [-debug-addr ADDR]
 //
@@ -24,7 +24,11 @@
 // BENCH_resolve.json. The telemetry experiment measures the AEDT
 // binary telemetry format against the JSONL baseline (bytes/event,
 // encode/decode throughput, steady-state decode allocations); -out
-// writes BENCH_telemetry.json.
+// writes BENCH_telemetry.json. The service experiment load-tests a
+// live in-process aedd over real HTTP — cold/warm/watch latency, an
+// oversubscribed burst that must reject queue-full, and a drain check
+// that no in-flight solve is dropped on shutdown; -out writes
+// BENCH_service.json.
 //
 // Each experiment prints the rows/series the corresponding paper
 // figure reports; EXPERIMENTS.md records the expected shapes.
@@ -68,21 +72,19 @@ func main() {
 
 	var tracer *obs.Tracer
 	if *metricsOut != "" || *debugAddr != "" {
-		tracer = obs.NewTracer()
-		tracer.SetRecorder(obs.NewRecorder(obs.DefaultRecorderCapacity))
-		// The benchmark drivers call core.Synthesize internally, so the
-		// tracer is installed process-wide instead of being threaded
-		// through every workload helper.
+		tracer = obs.NewCLITracer()
+		// The benchmark drivers call core.SynthesizeContext internally,
+		// so the tracer is installed process-wide instead of being
+		// threaded through every workload helper.
 		core.SetTracer(tracer)
 	}
 	if *debugAddr != "" {
-		addr, closeDebug, err := obs.ServeDebug(*debugAddr, tracer)
+		closeDebug, err := obs.ServeDebugCLI("aedbench", *debugAddr, tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aedbench:", err)
 			os.Exit(1)
 		}
 		defer closeDebug()
-		fmt.Fprintf(os.Stderr, "aedbench: debug endpoint on http://%s\n", addr)
 	}
 	writeMetrics := func() {
 		if tracer == nil || *metricsOut == "" {
@@ -154,8 +156,18 @@ func main() {
 				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
 			}
 		},
+		"service": func() {
+			res := bench.Service(os.Stdout, scale)
+			if *benchOut != "" {
+				if err := bench.WriteServiceJSON(*benchOut, res); err != nil {
+					fmt.Fprintln(os.Stderr, "aedbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
+			}
+		},
 	}
-	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental", "satperf", "resolve", "telemetry"}
+	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental", "satperf", "resolve", "telemetry", "service"}
 
 	runOne := func(name string, run func()) {
 		sp := tracer.Start("experiment")

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/aed-net/aed"
+	"github.com/aed-net/aed/client"
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/service"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// TestSmoke drives the whole stack end to end through the public
+// packages: an aedd service, the aed/client client, one cold solve and
+// one warm session re-solve, and the /metrics surface showing the
+// session cache hit. It runs in -short mode so `make check` exercises
+// the service path on every gate.
+func TestSmoke(t *testing.T) {
+	topo := topology.LeafSpine(3, 1, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF, WithRoleFilters: true})
+	var policies string
+	for d := 0; d < 3; d++ {
+		policies += fmt.Sprintf("block 10.%d.0.0/24 -> 10.%d.0.0/24\n", (d+1)%3, d)
+	}
+	req := aed.Request{
+		Session:  "smoke",
+		Configs:  config.PrintNetwork(net),
+		Topology: aed.FormatTopology(topo),
+		Policies: policies,
+		Options:  aed.SolveOptions{Sequential: true, SkipValidation: true},
+	}
+
+	svc := service.New(service.Config{})
+	hs := httptest.NewServer(svc.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	}()
+
+	cl := client.New(hs.URL, client.WithTenant("smoke-test"))
+	ctx := context.Background()
+	if err := cl.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	cold, err := cl.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	if cold.Cached() != 0 {
+		t.Errorf("cold solve reported %d cached instances", cold.Cached())
+	}
+	warm, err := cl.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	if warm.Cached() != 3 {
+		t.Errorf("warm solve cached %d/3 destinations", warm.Cached())
+	}
+
+	// The session cache hit is visible on the service's native /metrics
+	// route, proving the solve ran through the server-side session.
+	counters, err := cl.Counters(ctx)
+	if err != nil {
+		t.Fatalf("counters: %v", err)
+	}
+	if counters["session.cache.hits"] < 3 {
+		t.Errorf("session.cache.hits = %d, want >= 3", counters["session.cache.hits"])
+	}
+
+	sessions, err := cl.Sessions(ctx)
+	if err != nil {
+		t.Fatalf("sessions: %v", err)
+	}
+	if len(sessions) != 1 || sessions[0].Tenant != "smoke-test" || sessions[0].Session != "smoke" {
+		t.Errorf("sessions = %+v", sessions)
+	}
+	if err := cl.DropSession(ctx, "smoke"); err != nil {
+		t.Errorf("drop session: %v", err)
+	}
+}

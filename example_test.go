@@ -1,0 +1,49 @@
+package aed_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/aed-net/aed"
+)
+
+// ExampleDo synthesizes a blocking policy on a three-router line
+// topology with every input as one serializable value. The same
+// aed.Request can be POSTed unchanged to an aedd service (or passed to
+// the aed/client package) — Do is its in-process twin.
+func ExampleDo() {
+	req := aed.Request{
+		Configs: map[string]string{
+			"r0": "hostname r0\ninterface eth-r1\nrouter ospf 10\n network 10.0.0.0/24\n neighbor r1\n",
+			"r1": "hostname r1\ninterface eth-r0\ninterface eth-r2\nrouter ospf 10\n neighbor r0\n neighbor r2\n",
+			"r2": "hostname r2\ninterface eth-r1\nrouter ospf 10\n network 10.1.0.0/24\n neighbor r1\n",
+		},
+		Topology: `router r0 edge
+router r1 core
+router r2 edge
+link r0 r1
+link r1 r2
+subnet r0 10.0.0.0/24
+subnet r2 10.1.0.0/24
+`,
+		Policies: `block 10.0.0.0/24 -> 10.1.0.0/24
+reach 10.1.0.0/24 -> 10.0.0.0/24
+`,
+		ObjectiveSet: "min-devices",
+		Options:      aed.SolveOptions{Sequential: true, MinimizeLines: true},
+	}
+
+	resp, err := aed.Do(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d destinations solved, %d device(s) changed\n",
+		len(resp.Instances), resp.DevicesChanged)
+	for _, e := range resp.Edits {
+		fmt.Println("edit:", e)
+	}
+	// Output:
+	// 2 destinations solved, 1 device(s) changed
+	// edit: rm-origination r2 ospf 10.1.0.0/24
+}

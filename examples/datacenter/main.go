@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func main() {
 			}
 			opts.Objectives = append(opts.Objectives, objs...)
 		}
-		res, err := aed.Synthesize(net, topo, ps, opts)
+		res, err := aed.SynthesizeContext(context.Background(), net, topo, ps, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

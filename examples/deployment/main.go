@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ reach 10.1.0.0/24 -> 10.0.0.0/24
 
 	opts := aed.DefaultOptions()
 	opts.MinimizeLines = true
-	res, err := aed.Synthesize(net, topo, ps, opts)
+	res, err := aed.SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

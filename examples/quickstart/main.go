@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,7 +77,7 @@ reach 10.1.0.0/24 -> 10.0.0.0/24
 	opts := aed.DefaultOptions()
 	opts.Objectives = objs
 
-	res, err := aed.Synthesize(net, topo, ps, opts)
+	res, err := aed.SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 	}
 	opts := aed.DefaultOptions()
 	opts.Objectives = objs
-	res, err := aed.Synthesize(net, topo, ps, opts)
+	res, err := aed.SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

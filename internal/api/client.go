@@ -1,0 +1,175 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client is the HTTP client core for an aedd service. The public
+// aed/client package wraps it; internal consumers (the aedbench load
+// generator) use it directly so there is exactly one wire
+// implementation.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:7070".
+	Base string
+	// Tenant, when set, is stamped into requests that don't name one.
+	Tenant string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Do submits one synthesis request and returns the decoded response.
+// Errors reconstruct the service's typed taxonomy: errors.Is matches
+// the api sentinels and the context errors, errors.As matches
+// *core.UnsatError — exactly as a library call would report them.
+// When req.TimeoutMS is unset and ctx carries a deadline, the
+// remaining time is forwarded so the server solve honours it too.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	r := *req
+	if r.Tenant == "" {
+		r.Tenant = c.Tenant
+	}
+	if r.TimeoutMS == 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				r.TimeoutMS = ms
+			}
+		}
+	}
+	body, err := json.Marshal(&r)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+PathSolve, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return nil, decodeError(hres)
+	}
+	var out Response
+	if err := json.NewDecoder(hres.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("aed: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// DropSession deletes a named session (the request tenant's, or the
+// client's default tenant). errors.Is(err, ErrSessionNotFound) reports
+// an unknown name.
+func (c *Client) DropSession(ctx context.Context, session string) error {
+	u := c.Base + PathSessions + "/" + url.PathEscape(session)
+	if c.Tenant != "" {
+		u += "?tenant=" + url.QueryEscape(c.Tenant)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusNoContent && hres.StatusCode != http.StatusOK {
+		return decodeError(hres)
+	}
+	return nil
+}
+
+// SessionInfo describes one live server-side session.
+type SessionInfo struct {
+	Tenant   string `json:"tenant"`
+	Session  string `json:"session"`
+	LastUsed string `json:"last_used"`
+	Solves   int64  `json:"solves"`
+}
+
+// Sessions lists the live sessions held by the service.
+func (c *Client) Sessions(ctx context.Context) ([]SessionInfo, error) {
+	var out []SessionInfo
+	if err := c.getJSON(ctx, PathSessions, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Counters fetches the service's counter metrics from /metrics (the
+// native obs debug route), e.g. "session.cache.hits" or
+// "aedd.rejected.queue_full".
+func (c *Client) Counters(ctx context.Context) (map[string]int64, error) {
+	var payload struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := c.getJSON(ctx, PathMetrics, &payload); err != nil {
+		return nil, err
+	}
+	return payload.Counters, nil
+}
+
+// Health probes /healthz; nil means the service is accepting requests.
+func (c *Client) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+PathHealthz, nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return decodeError(hres)
+	}
+	return nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return decodeError(hres)
+	}
+	return json.NewDecoder(hres.Body).Decode(v)
+}
+
+// decodeError turns a non-2xx response into the typed error the
+// server encoded. Non-JSON bodies fall back to the status-code
+// sentinel mapping so errors.Is still works on proxied errors.
+func decodeError(res *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	var w WireError
+	if err := json.Unmarshal(body, &w); err == nil && w.Code != "" {
+		return w.Err()
+	}
+	if sentinel := StatusErr(res.StatusCode); sentinel != nil {
+		return remote(fmt.Sprintf("aed: service returned %s", res.Status), sentinel)
+	}
+	return fmt.Errorf("aed: service returned %s: %s", res.Status, bytes.TrimSpace(body))
+}

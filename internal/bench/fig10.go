@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -88,7 +89,7 @@ func Fig10(w io.Writer, scale Scale) []Fig10Row {
 			}
 			opts := core.DefaultOptions()
 			opts.Objectives = objs
-			if r, err := core.Synthesize(dc.Net, dc.Topo, ps, opts); err == nil && r.Unsat() == nil && len(r.Violations) == 0 {
+			if r, err := core.SynthesizeContext(context.Background(), dc.Net, dc.Topo, ps, opts); err == nil && r.Unsat() == nil && len(r.Violations) == 0 {
 				sink(dc.Net, r.Updated)
 			}
 		}

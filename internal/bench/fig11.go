@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -60,7 +61,7 @@ func Fig11a(w io.Writer, scale Scale) []Fig11aRow {
 
 		opts := core.DefaultOptions()
 		opts.Objectives = objs
-		aedRes, err := core.Synthesize(dc.Net, dc.Topo, ps, opts)
+		aedRes, err := core.SynthesizeContext(context.Background(), dc.Net, dc.Topo, ps, opts)
 		if err != nil || aedRes.Unsat() != nil {
 			continue
 		}
@@ -126,7 +127,7 @@ func Fig11b(w io.Writer, scale Scale) []Fig11bRow {
 
 		opts := core.DefaultOptions()
 		opts.Objectives = objs
-		aedRes, err := core.Synthesize(zw.Net, zw.Topo, ps, opts)
+		aedRes, err := core.SynthesizeContext(context.Background(), zw.Net, zw.Topo, ps, opts)
 		if err != nil || aedRes.Unsat() != nil {
 			fmt.Fprintf(w, "  n=%-4d AED failed (%v)\n", size, err)
 			continue

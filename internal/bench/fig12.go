@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -42,7 +43,7 @@ func Fig12(w io.Writer, scale Scale) []Fig12Row {
 			ps := append(append([]policy.Policy{}, zw.Base...), zw.New...)
 			opts := core.DefaultOptions()
 			opts.Objectives = objs
-			res, err := core.Synthesize(zw.Net, zw.Topo, ps, opts)
+			res, err := core.SynthesizeContext(context.Background(), zw.Net, zw.Topo, ps, opts)
 			if err != nil || res.Unsat() != nil {
 				fmt.Fprintf(w, "  base=%-4d added=%-4d failed\n", base, added)
 				continue

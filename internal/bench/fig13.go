@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -63,7 +64,7 @@ func Fig13(w io.Writer, scale Scale) []Fig13Row {
 			ps := append(append([]policy.Policy{}, dc.Base...), newPs...)
 			opts := core.DefaultOptions()
 			opts.Objectives = objs
-			res, err := core.Synthesize(dc.Net, dc.Topo, ps, opts)
+			res, err := core.SynthesizeContext(context.Background(), dc.Net, dc.Topo, ps, opts)
 			if err != nil || res.Unsat() != nil {
 				continue
 			}

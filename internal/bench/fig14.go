@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -48,14 +49,14 @@ func Fig14(w io.Writer, scale Scale) []Fig14Row {
 
 		par := core.DefaultOptions()
 		par.Objectives = objs
-		parRes, err := core.Synthesize(dc.Net, dc.Topo, ps, par)
+		parRes, err := core.SynthesizeContext(context.Background(), dc.Net, dc.Topo, ps, par)
 		if err != nil || parRes.Unsat() != nil {
 			continue
 		}
 		mono := core.DefaultOptions()
 		mono.Objectives = objs
 		mono.Monolithic = true
-		monoRes, err := core.Synthesize(dc.Net, dc.Topo, ps, mono)
+		monoRes, err := core.SynthesizeContext(context.Background(), dc.Net, dc.Topo, ps, mono)
 		if err != nil || monoRes.Unsat() != nil {
 			continue
 		}

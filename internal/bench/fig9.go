@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -156,7 +157,7 @@ func runAED(net *config.Network, topo *topology.Topology, ps []policy.Policy,
 	}
 	opts := core.DefaultOptions()
 	opts.Objectives = objs
-	res, err := core.Synthesize(net, topo, ps, opts)
+	res, err := core.SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err == nil && res.Unsat() == nil && len(res.Violations) == 0 {
 		sink(res.Diff)
 	}
@@ -166,7 +167,7 @@ func runAED(net *config.Network, topo *topology.Topology, ps []policy.Policy,
 func runAEDMinLines(net *config.Network, topo *topology.Topology, ps []policy.Policy,
 	sink func(*config.DiffStats)) {
 	opts := core.MinLinesOptions(core.DefaultOptions())
-	res, err := core.Synthesize(net, topo, ps, opts)
+	res, err := core.SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err == nil && res.Unsat() == nil && len(res.Violations) == 0 {
 		sink(res.Diff)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -45,7 +46,7 @@ func BoolRank(w io.Writer, scale Scale) []BoolRankRow {
 			opts.Encode.WideIntegers = wide
 			objs, _ := objective.Named("min-devices")
 			opts.Objectives = objs
-			res, err := core.Synthesize(net, topo, ps, opts)
+			res, err := core.SynthesizeContext(context.Background(), net, topo, ps, opts)
 			if err != nil || res.Unsat() != nil || len(res.Violations) != 0 {
 				return 0, false
 			}
@@ -139,7 +140,7 @@ func Pruning(w io.Writer, scale Scale) []PruningRow {
 			opts := core.DefaultOptions()
 			opts.Encode.NoPrune = !prune
 			opts.Objectives = objs
-			res, err := core.Synthesize(net, dc.Topo, ps, opts)
+			res, err := core.SynthesizeContext(context.Background(), net, dc.Topo, ps, opts)
 			if err != nil || res.Unsat() != nil || len(res.Violations) != 0 {
 				return 0, false
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -93,7 +94,7 @@ func SatPerf(w io.Writer, scale Scale) SatPerfResult {
 			opts.MinimizeLines = true
 			opts.Encode.NoIntern = noIntern
 			start := time.Now()
-			res, err := core.Synthesize(net, topo, ps, opts)
+			res, err := core.SynthesizeContext(context.Background(), net, topo, ps, opts)
 			if err != nil {
 				panic(err)
 			}

@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/aed-net/aed/internal/api"
+	"github.com/aed-net/aed/internal/config"
+	"github.com/aed-net/aed/internal/configgen"
+	"github.com/aed-net/aed/internal/prefix"
+	"github.com/aed-net/aed/internal/service"
+	"github.com/aed-net/aed/internal/topology"
+)
+
+// ServiceResult is the aedd load-generation artifact
+// (BENCH_service.json). It measures a live service — real listener,
+// real HTTP, the wire codec in the loop — under the mixed traffic an
+// operator fleet produces: cold one-shot solves, warm session re-solves
+// (fingerprint cache hits), and a watch loop flipping one line back and
+// forth (tier-2 rebinds), followed by an oversubscribed burst that must
+// be rejected with the queue-full error and a shutdown that must drain
+// every admitted solve.
+type ServiceResult struct {
+	Leaves       int `json:"leaves"`
+	Spines       int `json:"spines"`
+	Destinations int `json:"destinations"`
+	Workers      int `json:"workers"`
+	QueueCap     int `json:"queue_cap"`
+
+	// Per-class latency (client-observed, wire included), milliseconds.
+	Cold  LatencyStats `json:"cold"`
+	Warm  LatencyStats `json:"warm"`
+	Watch LatencyStats `json:"watch"`
+	// WarmSpeedup is cold p50 / warm p50 — the acceptance floor is 10x.
+	WarmSpeedup float64 `json:"warm_speedup"`
+
+	// ThroughputRPS is completed solves per second over the steady
+	// phases (cold+warm+watch wall time).
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// MaxQueueDepth is the high-water mark of the bounded queue.
+	MaxQueueDepth int64 `json:"max_queue_depth"`
+
+	// Burst phase: BurstSent concurrent requests against a much smaller
+	// workers+queue capacity; BurstRejected must be > 0 and every
+	// rejection must match api.ErrQueueFull.
+	BurstSent     int     `json:"burst_sent"`
+	BurstRejected int     `json:"burst_rejected"`
+	RejectionRate float64 `json:"rejection_rate"`
+
+	// Drain phase: requests in flight when Shutdown is called. Admitted
+	// and Completed come from the service counters and must be equal —
+	// DroppedInFlight is their difference plus any request that got
+	// neither a response nor a typed rejection, and must be 0.
+	DrainSubmitted  int   `json:"drain_submitted"`
+	DrainCompleted  int   `json:"drain_completed"`
+	DrainRejected   int   `json:"drain_rejected"`
+	Admitted        int64 `json:"admitted"`
+	Completed       int64 `json:"completed"`
+	DroppedInFlight int64 `json:"dropped_in_flight"`
+}
+
+// LatencyStats summarizes one traffic class.
+type LatencyStats struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+func summarize(ms []float64) LatencyStats {
+	if len(ms) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return LatencyStats{Count: len(ms), P50MS: pct(0.50), P99MS: pct(0.99)}
+}
+
+// serviceWorkload is the shared fixture: a leaf-spine fabric with one
+// blocking policy per leaf and spine0 carrying the rf_edit/rf_anchor
+// pair from the resolve benchmark, rendered into the wire formats.
+type serviceWorkload struct {
+	configsLP110 map[string]string
+	configsLP120 map[string]string
+	topoText     string
+	policies     string
+	destinations int
+}
+
+func newServiceWorkload(leaves, spines int) serviceWorkload {
+	topo := topology.LeafSpine(leaves, spines, 1)
+	net := configgen.Generate(topo, configgen.Options{Protocol: config.OSPF, WithRoleFilters: true})
+
+	spine := net.Routers["spine0"]
+	spine.RouteFilters = append(spine.RouteFilters,
+		&config.RouteFilter{Name: "rf_edit", Rules: []*config.RouteRule{
+			{Permit: true, Prefix: prefix.MustParse("10.0.0.0/24"), LocalPref: 110},
+		}},
+		&config.RouteFilter{Name: "rf_anchor", Rules: []*config.RouteRule{
+			{Permit: true, Prefix: prefix.MustParse("10.200.0.0/24"), LocalPref: 110},
+			{Permit: true, Prefix: prefix.MustParse("10.200.0.0/24"), LocalPref: 120},
+		}},
+	)
+	spine.Process(config.OSPF).Adjacency("leaf0").InFilter = "rf_edit"
+
+	var policies string
+	for d := 0; d < leaves; d++ {
+		policies += fmt.Sprintf("block 10.%d.0.0/24 -> 10.%d.0.0/24\n", (d+1)%leaves, d)
+	}
+
+	alt := net.Clone()
+	alt.Routers["spine0"].RouteFilter("rf_edit").Rules[0].LocalPref = 120
+
+	return serviceWorkload{
+		configsLP110: config.PrintNetwork(net),
+		configsLP120: config.PrintNetwork(alt),
+		topoText:     api.FormatTopology(topo),
+		policies:     policies,
+		destinations: leaves,
+	}
+}
+
+func (w serviceWorkload) request(session string, lp120 bool) *api.Request {
+	configs := w.configsLP110
+	if lp120 {
+		configs = w.configsLP120
+	}
+	return &api.Request{
+		Session:  session,
+		Configs:  configs,
+		Topology: w.topoText,
+		Policies: w.policies,
+		Options: api.SolveOptions{
+			Sequential:     true,
+			SkipValidation: true,
+			MinimizeLines:  true,
+		},
+	}
+}
+
+// startService boots an in-process aedd on a loopback listener and
+// returns the server, a client bound to it, and a closer for the HTTP
+// side. The bench drives it through the real network stack so the
+// numbers include everything a remote caller pays except the physical
+// link.
+func startService(cfg service.Config) (*service.Server, *api.Client, func(), error) {
+	svc := service.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	cl := &api.Client{Base: "http://" + ln.Addr().String(), Tenant: "bench"}
+	closeFn := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return svc, cl, closeFn, nil
+}
+
+// Service runs the aedd load benchmark: steady cold/warm/watch phases
+// against a normally sized service, a burst phase against a small one,
+// and a drain check. See ServiceResult for what each field certifies.
+func Service(w io.Writer, scale Scale) ServiceResult {
+	leaves, spines := 5, 2
+	coldN, warmN, watchN := 6, 20, 10
+	if scale == Full {
+		leaves, spines = 10, 3
+		coldN, warmN, watchN = 12, 60, 30
+	}
+	wl := newServiceWorkload(leaves, spines)
+	ctx := context.Background()
+
+	res := ServiceResult{Leaves: leaves, Spines: spines, Destinations: wl.destinations}
+
+	// Phase 1-3: steady traffic against a normally sized service.
+	svc, cl, closeHTTP, err := startService(service.Config{DefaultTimeout: 5 * time.Minute})
+	if err != nil {
+		panic(fmt.Sprintf("service bench: %v", err))
+	}
+	do := func(req *api.Request, label string) (float64, *api.Response) {
+		start := time.Now()
+		resp, err := cl.Do(ctx, req)
+		if err != nil {
+			panic(fmt.Sprintf("service bench %s: %v", label, err))
+		}
+		return float64(time.Since(start).Microseconds()) / 1000, resp
+	}
+
+	steadyStart := time.Now()
+	var cold, warm, watch []float64
+	for i := 0; i < coldN; i++ {
+		ms, _ := do(wl.request("", false), "cold")
+		cold = append(cold, ms)
+	}
+	// Prime the warm session (a cold solve), then measure pure cache
+	// hits: identical request, every destination served from the
+	// per-destination fingerprint cache.
+	do(wl.request("steady", false), "warm-prime")
+	for i := 0; i < warmN; i++ {
+		ms, resp := do(wl.request("steady", false), "warm")
+		if resp.Cached() != wl.destinations {
+			panic(fmt.Sprintf("service bench: warm request hit cache on %d/%d destinations",
+				resp.Cached(), wl.destinations))
+		}
+		warm = append(warm, ms)
+	}
+	// Watch traffic: flip the one-line local-preference edit back and
+	// forth; each flip dirties exactly one destination and re-solves it
+	// on the live instance (tier-2).
+	for i := 0; i < watchN; i++ {
+		ms, _ := do(wl.request("steady", i%2 == 0), "watch")
+		watch = append(watch, ms)
+	}
+	steady := time.Since(steadyStart)
+
+	res.Cold = summarize(cold)
+	res.Warm = summarize(warm)
+	res.Watch = summarize(watch)
+	if res.Warm.P50MS > 0 {
+		res.WarmSpeedup = res.Cold.P50MS / res.Warm.P50MS
+	}
+	total := coldN + 1 + warmN + watchN
+	res.ThroughputRPS = float64(total) / steady.Seconds()
+	m := svc.Tracer().Metrics()
+	res.MaxQueueDepth = m.Gauge("aedd.queue.depth").Max()
+	res.Workers = int(m.Gauge("aedd.workers").Value())
+	res.QueueCap = int(m.Gauge("aedd.queue.cap").Value())
+	closeHTTP()
+	drainCtx, cancelDrain := context.WithTimeout(ctx, time.Minute)
+	svc.Shutdown(drainCtx)
+	cancelDrain()
+
+	// Phase 4: burst against a deliberately tiny service. Capacity is
+	// workers + queue = 2; everything beyond it must come back as the
+	// queue-full error, immediately, not queue unboundedly.
+	burstSvc, burstCl, closeBurst, err := startService(service.Config{
+		Workers: 1, QueueDepth: 1, DefaultTimeout: 5 * time.Minute,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("service bench: %v", err))
+	}
+	res.BurstSent = 8
+	if scale == Full {
+		res.BurstSent = 24
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < res.BurstSent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := burstCl.Do(ctx, wl.request("", false))
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+			case errors.Is(err, api.ErrQueueFull):
+				res.BurstRejected++
+			default:
+				panic(fmt.Sprintf("service bench burst: unexpected error: %v", err))
+			}
+		}()
+	}
+	wg.Wait()
+	res.RejectionRate = float64(res.BurstRejected) / float64(res.BurstSent)
+	if res.BurstRejected == 0 {
+		panic("service bench: oversubscribed burst was never rejected with ErrQueueFull")
+	}
+
+	// Phase 5: drain. Submit a fresh burst, then shut the service down
+	// while it is mid-solve. Every admitted request must complete with a
+	// real response; later arrivals get the typed draining or queue-full
+	// rejection; nothing may be dropped.
+	drainN := 4
+	results := make(chan error, drainN)
+	for i := 0; i < drainN; i++ {
+		go func() {
+			_, err := burstCl.Do(ctx, wl.request("", false))
+			results <- err
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the first solves start
+	shutCtx, cancelShut := context.WithTimeout(ctx, time.Minute)
+	if err := burstSvc.Shutdown(shutCtx); err != nil {
+		panic(fmt.Sprintf("service bench: drain: %v", err))
+	}
+	cancelShut()
+	res.DrainSubmitted = drainN
+	for i := 0; i < drainN; i++ {
+		err := <-results
+		switch {
+		case err == nil:
+			res.DrainCompleted++
+		case errors.Is(err, api.ErrDraining), errors.Is(err, api.ErrQueueFull):
+			res.DrainRejected++
+		default:
+			panic(fmt.Sprintf("service bench drain: unexpected error: %v", err))
+		}
+	}
+	bm := burstSvc.Tracer().Metrics()
+	res.Admitted = bm.Counter("aedd.admitted").Value()
+	res.Completed = bm.Counter("aedd.completed").Value()
+	res.DroppedInFlight = res.Admitted - res.Completed
+	res.DroppedInFlight += int64(drainN - res.DrainCompleted - res.DrainRejected)
+	if res.DroppedInFlight != 0 {
+		panic(fmt.Sprintf("service bench: %d in-flight solves dropped on shutdown", res.DroppedInFlight))
+	}
+	closeBurst()
+
+	fmt.Fprintf(w, "%-10s %6s %10s %10s\n", "class", "n", "p50(ms)", "p99(ms)")
+	for _, row := range []struct {
+		name string
+		s    LatencyStats
+	}{{"cold", res.Cold}, {"warm", res.Warm}, {"watch", res.Watch}} {
+		fmt.Fprintf(w, "%-10s %6d %10.2f %10.2f\n", row.name, row.s.Count, row.s.P50MS, row.s.P99MS)
+	}
+	fmt.Fprintf(w, "warm speedup %.1fx | %.1f req/s | max queue depth %d\n",
+		res.WarmSpeedup, res.ThroughputRPS, res.MaxQueueDepth)
+	fmt.Fprintf(w, "burst: %d/%d rejected queue-full | drain: %d completed, %d rejected, %d dropped\n",
+		res.BurstRejected, res.BurstSent, res.DrainCompleted, res.DrainRejected, res.DroppedInFlight)
+	return res
+}
+
+// WriteServiceJSON writes the benchmark artifact consumed by
+// `make bench-service`.
+func WriteServiceJSON(path string, res ServiceResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

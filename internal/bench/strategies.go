@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -63,7 +64,7 @@ func MaxSATStrategies(w io.Writer, scale Scale) []StrategyRow {
 			opts := core.DefaultOptions()
 			opts.Objectives = objs
 			opts.Strategy = st.s
-			res, err := core.Synthesize(dc.Net, dc.Topo, ps, opts)
+			res, err := core.SynthesizeContext(context.Background(), dc.Net, dc.Topo, ps, opts)
 			if err != nil || res.Unsat() != nil || len(res.Violations) != 0 {
 				continue
 			}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -139,7 +140,7 @@ func telemetryWorkload(n int) []obs.Event {
 	opts.MinimizeLines = true
 	tracer := obs.NewTracer()
 	opts.Tracer = tracer
-	if _, err := core.Synthesize(net, topo, ps, opts); err != nil {
+	if _, err := core.SynthesizeContext(context.Background(), net, topo, ps, opts); err != nil {
 		panic(err)
 	}
 	var buf bytes.Buffer

@@ -237,17 +237,9 @@ type InstanceStats struct {
 	Solver sat.Stats
 }
 
-// Synthesize computes configuration updates for net on topo that
-// satisfy ps and maximally satisfy the objectives.
-//
-// Deprecated: use SynthesizeContext, which supports deadlines and
-// cancellation. Synthesize is equivalent to SynthesizeContext with
-// context.Background().
-func Synthesize(net *config.Network, topo *topology.Topology, ps []policy.Policy, opts Options) (*Result, error) {
-	return SynthesizeContext(context.Background(), net, topo, ps, opts)
-}
-
-// SynthesizeContext is Synthesize with cancellation: once ctx is
+// SynthesizeContext computes configuration updates for net on topo
+// that satisfy ps and maximally satisfy the objectives, with
+// cancellation: once ctx is
 // canceled every in-flight CDCL search stops at its next conflict and
 // the call returns ctx.Err().
 func SynthesizeContext(ctx context.Context, net *config.Network, topo *topology.Topology, ps []policy.Policy, opts Options) (*Result, error) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/aed-net/aed/internal/config"
@@ -37,7 +38,7 @@ reach 10.1.0.0/24 -> 10.2.0.0/24
 `)
 	opts := DefaultOptions()
 	opts.Objectives = minDevices(t)
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,12 +62,12 @@ func TestSynthesizeSequentialMatchesParallel(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Objectives = minDevices(t)
 
-	res1, err := Synthesize(net, topo, ps, opts)
+	res1, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Sequential = true
-	res2, err := Synthesize(net, topo, ps, opts)
+	res2, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSynthesizeMonolithic(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Monolithic = true
 	opts.Objectives = minDevices(t)
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestSynthesizeUnsat(t *testing.T) {
 	ps, _ := policy.Parse(`reach 10.0.0.0/24 -> 10.1.0.0/24
 block 10.0.0.0/24 -> 10.1.0.0/24
 `)
-	res, err := Synthesize(net, topo, ps, DefaultOptions())
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ reach 10.2.0.0/24 -> 10.1.0.0/24
 `)
 	opts := DefaultOptions()
 	opts.Explain = true
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestSynthesizeNoChangesWhenSatisfied(t *testing.T) {
 	ps, _ := policy.Parse("reach 10.0.0.0/24 -> 10.1.0.0/24\n")
 	opts := DefaultOptions()
 	opts.Objectives = minDevices(t)
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestSynthesizePreservesBasePolicies(t *testing.T) {
 	ps = append(ps, blocked)
 	opts := DefaultOptions()
 	opts.Objectives = minDevices(t)
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestMinLinesObjectives(t *testing.T) {
 	net, topo := leafSpineNet(t, 2, 1)
 	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
 	opts := MinLinesOptions(DefaultOptions())
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestSynthesizeStrategies(t *testing.T) {
 		opts := DefaultOptions()
 		opts.Strategy = strat
 		opts.Objectives = minDevices(t)
-		res, err := Synthesize(net, topo, ps, opts)
+		res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 		if err != nil {
 			t.Fatalf("strategy %v: %v", strat, err)
 		}
@@ -224,7 +225,7 @@ func TestSynthesizeStrategies(t *testing.T) {
 func TestSortEdits(t *testing.T) {
 	net, topo := leafSpineNet(t, 2, 1)
 	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\nblock 10.1.0.0/24 -> 10.0.0.0/24\n")
-	res, err := Synthesize(net, topo, ps, DefaultOptions())
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, DefaultOptions())
 	if err != nil || res.Unsat() != nil {
 		t.Fatal("setup failed")
 	}
@@ -265,7 +266,7 @@ func TestSynthesizeWaypointOnZoo(t *testing.T) {
 	ps := []policy.Policy{{Kind: policy.Waypoint, Src: src, Dst: dst, Via: via}}
 	opts := DefaultOptions()
 	opts.Objectives = minDevices(t)
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

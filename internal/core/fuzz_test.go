@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -75,7 +76,7 @@ func TestSynthesizeRandomized(t *testing.T) {
 			opts.Monolithic = true
 		}
 
-		res, err := Synthesize(net, topo, ps, opts)
+		res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 		if err != nil {
 			t.Fatalf("iter %d (%s): %v", iter, topo.Name, err)
 		}
@@ -107,11 +108,11 @@ func TestSynthesizeIdempotent(t *testing.T) {
 	}, RemoveFromBase(base, base[0])...)
 
 	opts := MinLinesOptions(DefaultOptions())
-	res1, err := Synthesize(net, topo, ps, opts)
+	res1, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil || res1.Unsat() != nil || len(res1.Violations) != 0 {
 		t.Fatalf("first run failed: %v", err)
 	}
-	res2, err := Synthesize(res1.Updated, topo, ps, opts)
+	res2, err := SynthesizeContext(context.Background(), res1.Updated, topo, ps, opts)
 	if err != nil || res2.Unsat() != nil {
 		t.Fatalf("second run failed: %v", err)
 	}

@@ -38,7 +38,7 @@ reach 10.1.0.0/24 -> 10.2.0.0/24
 	opts := DefaultOptions()
 	opts.Objectives = minDevices(t)
 	opts.Tracer = tr
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ reach 10.1.0.0/24 -> 10.2.0.0/24
 
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		res, err := Synthesize(net, topo, ps, opts)
+		res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"github.com/aed-net/aed/internal/obs"
@@ -24,7 +25,7 @@ reach 10.1.0.0/24 -> 10.2.0.0/24
 	opts := DefaultOptions() // parallel per-destination solving is the default
 	opts.Objectives = minDevices(t)
 	opts.Tracer = tr
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestMonolithicTelemetry(t *testing.T) {
 	opts.Monolithic = true
 	opts.Objectives = minDevices(t)
 	opts.Tracer = tr
-	res, err := Synthesize(net, topo, ps, opts)
+	res, err := SynthesizeContext(context.Background(), net, topo, ps, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestDefaultTracerFallback(t *testing.T) {
 	defer SetTracer(nil)
 	net, topo := leafSpineNet(t, 2, 1)
 	ps, _ := policy.Parse("block 10.0.0.0/24 -> 10.1.0.0/24\n")
-	if _, err := Synthesize(net, topo, ps, DefaultOptions()); err != nil {
+	if _, err := SynthesizeContext(context.Background(), net, topo, ps, DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if len(tr.Spans()) == 0 {

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"time"
 )
 
@@ -144,6 +146,29 @@ func writeJSON(w http.ResponseWriter, v any) {
 	if err := enc.Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// NewCLITracer returns the standard telemetry root a long-running
+// consumer (aed, aedbench, aedd) starts with: an enabled tracer with a
+// default-capacity flight recorder attached.
+func NewCLITracer() *Tracer {
+	t := NewTracer()
+	t.SetRecorder(NewRecorder(DefaultRecorderCapacity))
+	return t
+}
+
+// ServeDebugCLI is the shared -debug-addr wiring of the CLIs: it
+// starts the debug endpoint on addr, announces the bound address and
+// route list on stderr prefixed with the program name, and returns the
+// shutdown function. cmd/aed, cmd/aedbench, and cmd/aedd all use it so
+// the flag behaves identically everywhere.
+func ServeDebugCLI(app, addr string, t *Tracer) (func() error, error) {
+	bound, closeFn, err := ServeDebug(addr, t)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: debug endpoint on http://%s (/metrics /spans /recorder /debug/pprof/)\n", app, bound)
+	return closeFn, nil
 }
 
 // ServeDebug starts the debug endpoint on addr in a background
