@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-resolve bench-resolve-quick bench-sat bench-sat-quick bench-telemetry bench-telemetry-quick bench-service bench-service-quick
+.PHONY: check fmt vet build test race fuzz-smoke bench bench-quick bench-incremental bench-incremental-quick bench-resolve bench-resolve-quick bench-sat bench-sat-quick bench-telemetry bench-telemetry-quick bench-service bench-service-quick bench-parallel bench-parallel-quick
 
-check: fmt vet build race fuzz-smoke bench-incremental-quick bench-resolve-quick bench-telemetry-quick bench-service-quick
+check: fmt vet build race fuzz-smoke bench-incremental-quick bench-resolve-quick bench-telemetry-quick bench-service-quick bench-parallel-quick
 
 # Fails listing the files that need gofmt; run `gofmt -w .` to fix.
 fmt:
@@ -65,6 +65,7 @@ bench-resolve-quick:
 # takes one target per invocation).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolver -fuzztime 10s ./internal/sat/
+	$(GO) test -run '^$$' -fuzz FuzzPortfolio -fuzztime 10s ./internal/sat/
 	$(GO) test -run '^$$' -fuzz FuzzAEDTRoundTrip -fuzztime 5s ./internal/obs/aedt/
 	$(GO) test -run '^$$' -fuzz FuzzAEDTDecode -fuzztime 5s ./internal/obs/aedt/
 
@@ -91,6 +92,19 @@ bench-telemetry:
 
 bench-telemetry-quick:
 	$(GO) run ./cmd/aedbench -experiment telemetry -scale quick -out BENCH_telemetry.json
+
+# Parallel-synthesis benchmark: destination scaling across worker
+# counts (LPT scheduling over per-destination instances) and the
+# configured-CDCL portfolio race with glue-clause sharing on a
+# phase-transition 3-SAT probe, sharing ablation included; writes
+# BENCH_parallel.json. Speedups are core-bounded — the artifact records
+# GOMAXPROCS; see docs/PERFORMANCE.md. The quick variant runs as part
+# of `make check`.
+bench-parallel:
+	$(GO) run ./cmd/aedbench -experiment parallel -scale full -out BENCH_parallel.json
+
+bench-parallel-quick:
+	$(GO) run ./cmd/aedbench -experiment parallel -scale quick -out BENCH_parallel.json
 
 # aedd service load benchmark: an in-process service driven over real
 # HTTP with mixed cold/warm/watch traffic, an oversubscribed burst

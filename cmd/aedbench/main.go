@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|resolve|telemetry|service|all
+//	aedbench -experiment fig9|fig10|fig11a|fig11b|fig12|fig13|fig14|boolopt|pruning|fig3|incremental|satperf|resolve|telemetry|parallel|service|all
 //	         [-scale quick|full] [-metrics-out FILE] [-out FILE]
 //	         [-debug-addr ADDR]
 //
@@ -156,6 +156,16 @@ func main() {
 				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
 			}
 		},
+		"parallel": func() {
+			res := bench.Parallel(os.Stdout, scale)
+			if *benchOut != "" {
+				if err := bench.WriteParallelJSON(*benchOut, res); err != nil {
+					fmt.Fprintln(os.Stderr, "aedbench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("benchmark artifact written to %s\n", *benchOut)
+			}
+		},
 		"service": func() {
 			res := bench.Service(os.Stdout, scale)
 			if *benchOut != "" {
@@ -167,7 +177,7 @@ func main() {
 			}
 		},
 	}
-	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental", "satperf", "resolve", "telemetry", "service"}
+	order := []string{"fig3", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13", "fig14", "boolopt", "pruning", "strategies", "incremental", "satperf", "resolve", "telemetry", "parallel", "service"}
 
 	runOne := func(name string, run func()) {
 		sp := tracer.Start("experiment")

@@ -100,6 +100,10 @@ type SolveOptions struct {
 	// Workers bounds solver goroutines within this solve (0 = the
 	// server's per-request default, GOMAXPROCS for library calls).
 	Workers int `json:"workers,omitempty"`
+	// Portfolio, when > 1, races that many configured CDCL solvers on
+	// the destination instance predicted hardest, sharing glue clauses
+	// between them (core.Options.Portfolio). 0 or 1 disables racing.
+	Portfolio int `json:"portfolio,omitempty"`
 	// Strategy selects the MaxSAT search: "" or "linear"
 	// (linear descent, the paper's choice), "binary", or "core".
 	Strategy string `json:"strategy,omitempty"`
@@ -149,6 +153,7 @@ func (r *Request) Materialize() (*Problem, error) {
 	opts.SkipValidation = r.Options.SkipValidation
 	opts.NoLiveInstances = r.Options.NoLiveInstances
 	opts.Workers = r.Options.Workers
+	opts.Portfolio = r.Options.Portfolio
 	switch r.Options.Strategy {
 	case "", "linear":
 		opts.Strategy = smt.LinearDescent

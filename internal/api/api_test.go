@@ -205,6 +205,30 @@ func TestMaterializeInvalid(t *testing.T) {
 	}
 }
 
+// TestMaterializeParallelOptions pins the wire-to-core mapping of the
+// parallelism knobs, Portfolio included: what a remote caller sets in
+// options must land verbatim in core.Options.
+func TestMaterializeParallelOptions(t *testing.T) {
+	req := validRequest()
+	req.Options.Sequential = true
+	req.Options.Workers = 3
+	req.Options.Portfolio = 4
+	prob, err := req.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prob.Opts.Sequential || prob.Opts.Workers != 3 || prob.Opts.Portfolio != 4 {
+		t.Fatalf("options not mapped: sequential=%v workers=%d portfolio=%d",
+			prob.Opts.Sequential, prob.Opts.Workers, prob.Opts.Portfolio)
+	}
+	// A portfolio change must also rotate the session options key, or a
+	// live session would keep solving with the stale setting.
+	other := validRequest()
+	if req.OptionsKey() == other.OptionsKey() {
+		t.Fatal("OptionsKey ignores portfolio/workers/sequential")
+	}
+}
+
 func TestFormatTopologyRoundTrip(t *testing.T) {
 	topo := topology.LeafSpine(3, 2, 1)
 	text := FormatTopology(topo)

@@ -51,6 +51,16 @@ type Options struct {
 	Monolithic bool
 	// Workers bounds solver goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Portfolio, when > 1, races that many configured CDCL solvers on
+	// the instance predicted hardest (diversified seeds, polarity
+	// randomization, VSIDS decay, and restart schedules; first winner
+	// cancels the rest and workers exchange glue clauses — see
+	// sat.SolvePortfolio). Only the destination whose estimated solve
+	// time dominates the remaining work gets the portfolio: racing every
+	// instance would oversubscribe the Workers pool for no wall-clock
+	// gain. Monolithic mode routes the portfolio to its single joint
+	// instance. 0 or 1 disables portfolio racing.
+	Portfolio int
 	// Strategy selects the MaxSAT search algorithm; the zero value is
 	// smt.LinearDescent, the paper's choice.
 	Strategy smt.Strategy
@@ -346,6 +356,11 @@ func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.To
 	esp.SetInt("vars", int64(j.Ctx.NumSATVars()))
 	esp.SetInt("deltas", int64(len(j.Deltas())))
 	esp.End()
+	if opts.Portfolio > 1 {
+		// The joint instance is the hardest instance by construction.
+		j.Ctx.SetPortfolio(sat.PortfolioOptions{Workers: opts.Portfolio})
+		msp.SetInt("portfolio", int64(opts.Portfolio))
+	}
 	r := j.SolveContext(ctx, opts.Strategy)
 	if r.Err != nil {
 		return r.Err
@@ -398,6 +413,10 @@ func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topo
 	esp.SetInt("vars", int64(e.Ctx.NumSATVars()))
 	esp.SetInt("deltas", int64(len(e.Deltas())))
 	esp.End()
+	if opts.Portfolio > 1 {
+		e.Ctx.SetPortfolio(sat.PortfolioOptions{Workers: opts.Portfolio})
+		dsp.SetInt("portfolio", int64(opts.Portfolio))
+	}
 	r := e.SolveContext(ctx, opts.Strategy)
 	var satBit int64
 	if r.Sat {
@@ -409,29 +428,86 @@ func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topo
 
 // runInstances executes n index-addressed solve tasks, concurrently
 // unless Sequential is set, bounded by Workers (0 = GOMAXPROCS).
-func runInstances(n int, opts Options, f func(i int)) {
+//
+// When est is non-nil it holds one relative cost estimate per task and
+// the tasks are dispatched longest-expected-first: a fixed pool of
+// worker goroutines pulls indices from a shared atomic cursor over the
+// cost-sorted order (LPT list scheduling). Starting the predicted-
+// hardest instance first bounds the makespan — the old FIFO semaphore
+// could start the hardest destination last and leave every other worker
+// idle while it ran alone. The sequential path ignores est and keeps
+// the deterministic input order (total time is order-independent there).
+func runInstances(n int, opts Options, est []int64, f func(i int)) {
 	if opts.Sequential || n <= 1 {
 		for i := 0; i < n; i++ {
 			f(i)
 		}
 		return
 	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if est != nil {
+		sort.SliceStable(order, func(a, b int) bool {
+			return est[order[a]] > est[order[b]]
+		})
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < n; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			f(i)
-		}(i)
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				f(order[k])
+			}
+		}()
 	}
 	wg.Wait()
+}
+
+// portfolioTargets decides which instances get the portfolio race: with
+// Portfolio enabled, the instance whose estimated cost dominates the
+// combined cost of all the others (it alone sets the wall clock, so
+// extra solver goroutines on it are free), or the only instance when
+// there is just one. Returns nil when portfolio mode is off or no
+// estimate dominates.
+func portfolioTargets(n int, opts Options, est []int64) []bool {
+	if opts.Portfolio <= 1 || n == 0 {
+		return nil
+	}
+	hard := make([]bool, n)
+	if n == 1 {
+		hard[0] = true
+		return hard
+	}
+	var total int64
+	for _, e := range est {
+		total += e
+	}
+	any := false
+	for i, e := range est {
+		if e > 0 && e >= total-e {
+			hard[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return hard
 }
 
 // explainDest computes a minimal conflicting policy subset for an
@@ -457,7 +533,15 @@ func solveSplit(ctx context.Context, net *config.Network, topo *topology.Topolog
 	}
 	outcomes := make([]outcome, len(dests))
 
-	runInstances(len(dests), opts, func(i int) {
+	// One-shot runs have no solve history, so the cost estimate is the
+	// policy-group size — the main driver of per-destination CNF size.
+	est := make([]int64, len(dests))
+	for i, d := range dests {
+		est[i] = int64(len(groups[d]))
+	}
+	hard := portfolioTargets(len(dests), opts, est)
+
+	runInstances(len(dests), opts, est, func(i int) {
 		d := dests[i]
 		if err := ctx.Err(); err != nil {
 			// Canceled before this instance started: skip the encoding
@@ -465,7 +549,11 @@ func solveSplit(ctx context.Context, net *config.Network, topo *topology.Topolog
 			outcomes[i] = outcome{dest: d, err: err}
 			return
 		}
-		r, _, err := solveInstance(ctx, net, topo, d, groups[d], opts, tr, root, wd)
+		iopts := opts
+		if hard == nil || !hard[i] {
+			iopts.Portfolio = 0
+		}
+		r, _, err := solveInstance(ctx, net, topo, d, groups[d], iopts, tr, root, wd)
 		outcomes[i] = outcome{dest: d, result: r, err: err}
 	})
 

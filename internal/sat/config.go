@@ -1,0 +1,139 @@
+package sat
+
+// RestartPolicy selects the restart schedule used by Solve.
+type RestartPolicy uint8
+
+// Restart schedules. Luby (the default) is robust across instance
+// families; geometric restarts grow the conflict budget multiplicatively
+// and suit instances where long uninterrupted runs pay off — which is
+// exactly the diversity a portfolio wants between workers.
+const (
+	RestartLuby RestartPolicy = iota
+	RestartGeometric
+)
+
+// Config is a per-solver search configuration. The zero value is the
+// solver's historical default behavior (deterministic VSIDS with phase
+// saving, 0.95 decay, Luby restarts with base 100), so existing callers
+// are unaffected; portfolio workers diversify by varying these knobs.
+type Config struct {
+	// Seed seeds the solver's private RNG (xorshift64). Zero selects a
+	// fixed default seed, keeping the zero Config fully deterministic.
+	Seed int64
+	// RandomPolarityRate is the probability in [0,1] that a decision
+	// flips the saved phase. Zero (default) disables randomization.
+	RandomPolarityRate float64
+	// VarDecay is the VSIDS activity decay factor in (0,1); zero means
+	// the default 0.95. Higher values (e.g. 0.99) focus the search more
+	// slowly, lower values chase recent conflicts harder.
+	VarDecay float64
+	// Restart selects the restart schedule.
+	Restart RestartPolicy
+	// RestartBase is the first restart interval in conflicts (default
+	// 100).
+	RestartBase int64
+	// RestartFactor is the geometric growth factor (default 1.5);
+	// ignored under RestartLuby.
+	RestartFactor float64
+}
+
+// defaultSeed is a nonzero xorshift state used when Config.Seed is 0.
+const defaultSeed = 0x9e3779b97f4a7c15
+
+// SetConfig installs cfg, resetting the solver's RNG to cfg.Seed. It is
+// legal between Solve calls; SetConfig(Config{}) restores the default
+// search behavior.
+func (s *Solver) SetConfig(cfg Config) {
+	s.cfg = cfg
+	decay := cfg.VarDecay
+	if decay == 0 {
+		decay = 0.95
+	}
+	s.varDecayF = 1.0 / decay
+	seed := uint64(cfg.Seed)
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	s.rngState = seed
+}
+
+// Config returns the currently installed configuration.
+func (s *Solver) Config() Config { return s.cfg }
+
+// nextRand advances the solver's private xorshift64 RNG.
+func (s *Solver) nextRand() uint64 {
+	x := s.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rngState = x
+	return x
+}
+
+// randFloat returns a uniform float64 in [0,1).
+func (s *Solver) randFloat() float64 {
+	return float64(s.nextRand()>>11) / (1 << 53)
+}
+
+// restartBudget returns the conflict budget for the n-th restart round
+// (1-based) under the installed restart policy.
+func (s *Solver) restartBudget(n int64) int64 {
+	base := s.cfg.RestartBase
+	if base <= 0 {
+		base = 100
+	}
+	if s.cfg.Restart == RestartGeometric {
+		factor := s.cfg.RestartFactor
+		if factor <= 1 {
+			factor = 1.5
+		}
+		b := float64(base)
+		for i := int64(1); i < n && b < 1e15; i++ {
+			b *= factor
+		}
+		return int64(b)
+	}
+	return luby(base, n)
+}
+
+// Clone returns a deep copy of the solver: same clause database (problem
+// and learned), assignments, VSIDS activity, saved phases, and root
+// trail, but fresh scratch buffers, zeroed Stats, and no hooks (Stop,
+// Export, Import, OnEvent, Progress, onLearn are all nil in the clone).
+// Clone is only legal at the root decision level, i.e. between Solve
+// calls — exactly when portfolio workers are spawned.
+func (s *Solver) Clone() *Solver {
+	if len(s.trailLim) != 0 {
+		panic("sat: Clone called at non-root decision level")
+	}
+	n := &Solver{
+		arena:      arena{data: append([]Lit(nil), s.arena.data...), wasted: s.arena.wasted},
+		clauses:    append([]CRef(nil), s.clauses...),
+		learnts:    append([]CRef(nil), s.learnts...),
+		watches:    make([][]watcher, len(s.watches)),
+		assigns:    append([]Tribool(nil), s.assigns...),
+		vardata:    append([]varInfo(nil), s.vardata...),
+		activity:   append([]float64(nil), s.activity...),
+		polarity:   append([]bool(nil), s.polarity...),
+		seen:       make([]bool, len(s.seen)),
+		trail:      append([]Lit(nil), s.trail...),
+		qhead:      s.qhead,
+		varInc:     s.varInc,
+		claInc:     s.claInc,
+		numVars:    s.numVars,
+		ok:         s.ok,
+		markBuf:    make([]bool, len(s.markBuf)),
+		levelStamp: make([]int32, len(s.levelStamp)),
+		cfg:        s.cfg,
+		varDecayF:  s.varDecayF,
+		rngState:   s.rngState,
+		Budget:     s.Budget,
+	}
+	for i, ws := range s.watches {
+		if len(ws) > 0 {
+			n.watches[i] = append([]watcher(nil), ws...)
+		}
+	}
+	n.heap = s.heap.clone(&n.activity)
+	return n
+}

@@ -1,0 +1,345 @@
+package sat
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShareRing is a bounded multi-producer broadcast ring for glue clauses
+// exchanged between portfolio workers. Publishers claim a slot with one
+// atomic increment of the global head; each slot carries its own mutex
+// and a reusable literal buffer, so steady-state publishing allocates
+// nothing and contention is per-slot, never global. Readers hold private
+// cursors (ShareCursor) and never block writers: a reader that falls a
+// full ring behind simply skips ahead and counts the missed clauses as
+// dropped — losing a shared clause costs only a heuristic, never
+// soundness.
+type ShareRing struct {
+	mask  uint64
+	head  atomic.Uint64 // next logical index to claim
+	slots []shareSlot
+}
+
+type shareSlot struct {
+	mu   sync.Mutex
+	seq  uint64 // logical index + 1 of the stored entry; 0 = never written
+	src  int32  // publishing worker, so readers skip their own clauses
+	lbd  int32
+	lits []Lit // reused across overwrites
+}
+
+// DefaultRingCapacity bounds the share ring when PortfolioOptions leaves
+// RingCapacity zero: large enough that a worker catching up at every
+// restart (~100 conflicts) rarely gets lapped, small enough to stay
+// cache-resident.
+const DefaultRingCapacity = 1024
+
+// NewShareRing returns a ring holding the most recent capacity clauses
+// (rounded up to a power of two; <= 0 selects DefaultRingCapacity).
+func NewShareRing(capacity int) *ShareRing {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ShareRing{mask: uint64(n - 1), slots: make([]shareSlot, n)}
+}
+
+// Publish broadcasts one clause from worker src. The lits slice is
+// copied into the slot's buffer, so callers may pass solver-internal
+// scratch (the Export hook's aliased learnt buffer).
+func (r *ShareRing) Publish(src int, lits []Lit, lbd int) {
+	idx := r.head.Add(1) - 1
+	s := &r.slots[idx&r.mask]
+	s.mu.Lock()
+	s.seq = idx + 1
+	s.src = int32(src)
+	s.lbd = int32(lbd)
+	s.lits = append(s.lits[:0], lits...)
+	s.mu.Unlock()
+}
+
+// Cursor returns a private read cursor for worker src, positioned at the
+// current ring start. Cursors are not safe for concurrent use; each
+// worker owns exactly one.
+func (r *ShareRing) Cursor(src int) *ShareCursor {
+	return &ShareCursor{ring: r, src: src}
+}
+
+// ShareCursor is one worker's read position in a ShareRing.
+type ShareCursor struct {
+	ring    *ShareRing
+	src     int
+	next    uint64 // next logical index to read
+	dropped int64  // clauses missed because the ring lapped this cursor
+	buf     []Lit
+}
+
+// Next returns the next foreign clause and its LBD, or (nil, 0) when the
+// feed is drained for now. The returned slice aliases the cursor's
+// private buffer and is valid until the following Next call — exactly
+// the contract of Solver.Import. Own-source entries are skipped.
+func (c *ShareCursor) Next() ([]Lit, int) {
+	r := c.ring
+	capacity := r.mask + 1
+	for {
+		head := r.head.Load()
+		if c.next >= head {
+			return nil, 0
+		}
+		if head-c.next > capacity {
+			// Lapped: everything older than one ring is gone.
+			skipped := head - capacity - c.next
+			c.dropped += int64(skipped)
+			c.next = head - capacity
+		}
+		s := &r.slots[c.next&r.mask]
+		s.mu.Lock()
+		seq := s.seq
+		if seq != c.next+1 {
+			if seq > c.next+1 {
+				// Overwritten between the head load and the slot lock.
+				s.mu.Unlock()
+				c.dropped++
+				c.next++
+				continue
+			}
+			// Claimed by a publisher that has not stored yet; retry at
+			// the next drain rather than spinning on the writer.
+			s.mu.Unlock()
+			return nil, 0
+		}
+		if int(s.src) == c.src {
+			s.mu.Unlock()
+			c.next++
+			continue
+		}
+		c.buf = append(c.buf[:0], s.lits...)
+		lbd := int(s.lbd)
+		s.mu.Unlock()
+		c.next++
+		return c.buf, lbd
+	}
+}
+
+// Dropped returns the cumulative number of shared clauses this cursor
+// missed because the ring wrapped past it.
+func (c *ShareCursor) Dropped() int64 { return c.dropped }
+
+// PortfolioOptions configures SolvePortfolio.
+type PortfolioOptions struct {
+	// Workers is the number of racing solvers; <= 1 degenerates to a
+	// plain Solve call.
+	Workers int
+	// Configs optionally overrides the per-worker search configurations;
+	// when shorter than Workers the list is cycled, when empty
+	// DefaultPortfolioConfigs(Workers) is used. Configs[0] applies to
+	// the receiver solver itself.
+	Configs []Config
+	// NoSharing disables glue-clause exchange (for ablation runs).
+	NoSharing bool
+	// RingCapacity bounds the clause-sharing ring (0 selects
+	// DefaultRingCapacity).
+	RingCapacity int
+}
+
+// PortfolioStats reports one SolvePortfolio race.
+type PortfolioStats struct {
+	// Workers is the number of solvers that raced.
+	Workers int
+	// Winner is the index of the first worker to finish (-1 when every
+	// worker returned Unknown); index 0 is the receiver solver.
+	Winner int
+	// WinnerStatus is the winning worker's result.
+	WinnerStatus Status
+	// CancelLatency is the time from the winner finishing to the last
+	// loser observing the stop signal and joining — the cost of
+	// first-winner cancellation.
+	CancelLatency time.Duration
+	// SharedExported/SharedImported/SharedDropped total the clause
+	// exchange across all workers in this race.
+	SharedExported int64
+	SharedImported int64
+	SharedDropped  int64
+}
+
+// DefaultPortfolioConfigs returns k diversified search configurations.
+// Config 0 is always the zero Config — identical to the plain solver, so
+// a portfolio is never worse than sequential on instances the default
+// heuristics already handle, only slower by the coordination overhead.
+// Later entries vary the restart schedule, polarity randomization, and
+// VSIDS decay, which is where portfolio wall-clock wins come from: CDCL
+// runtimes are heavy-tailed in the configuration, and racing diverse
+// configurations truncates the tail.
+func DefaultPortfolioConfigs(k int) []Config {
+	if k <= 0 {
+		return nil
+	}
+	cfgs := make([]Config, k)
+	for i := range cfgs {
+		switch i {
+		case 0:
+			cfgs[i] = Config{}
+		case 1:
+			cfgs[i] = Config{Restart: RestartGeometric}
+		case 2:
+			cfgs[i] = Config{Seed: 0xaed5eed + int64(i), RandomPolarityRate: 0.05}
+		case 3:
+			cfgs[i] = Config{Seed: 0xaed5eed + int64(i), RandomPolarityRate: 0.02, VarDecay: 0.99}
+		default:
+			cfg := Config{
+				Seed:               0xaed5eed + int64(i)*0x9e37,
+				RandomPolarityRate: 0.02 + 0.03*float64(i%4),
+			}
+			if i%2 == 1 {
+				cfg.Restart = RestartGeometric
+			}
+			if i%3 == 2 {
+				cfg.VarDecay = 0.99
+			}
+			cfgs[i] = cfg
+		}
+	}
+	return cfgs
+}
+
+// SolvePortfolio races opts.Workers configured solvers on this instance
+// under the given assumptions: worker 0 is the receiver itself, workers
+// 1..k-1 are root-level clones (Clone). The first worker to finish wins;
+// the rest observe the win through their Stop hooks at their next
+// conflict and abandon the search. Unless opts.NoSharing is set, workers
+// broadcast learned glue clauses (LBD ≤ 2) through a ShareRing and
+// integrate foreign clauses at restart boundaries.
+//
+// On return the receiver carries the winning result exactly as if its
+// own Solve had produced it — Model, Conflict/FinalCore, Okay — and its
+// Stats hold the merged work of all workers (so aggregate counters keep
+// meaning "CDCL work spent on this instance"). Hooks (Stop, OnEvent,
+// Progress) remain installed on the receiver only; clones run silent.
+// Like Solve, SolvePortfolio is only legal from one goroutine at a time.
+func (s *Solver) SolvePortfolio(opts PortfolioOptions, assumptions ...Lit) (Status, PortfolioStats) {
+	k := opts.Workers
+	if k <= 1 {
+		st := s.Solve(assumptions...)
+		ps := PortfolioStats{Workers: 1, Winner: 0, WinnerStatus: st}
+		if st == Unknown {
+			ps.Winner = -1
+		}
+		return st, ps
+	}
+
+	cfgs := opts.Configs
+	if len(cfgs) == 0 {
+		cfgs = DefaultPortfolioConfigs(k)
+	}
+
+	statsBefore := s.Stats
+	origStop := s.Stop
+	origCfg := s.cfg
+
+	workers := make([]*Solver, k)
+	workers[0] = s
+	for i := 1; i < k; i++ {
+		workers[i] = s.Clone()
+	}
+
+	var ring *ShareRing
+	if !opts.NoSharing {
+		ring = NewShareRing(opts.RingCapacity)
+	}
+
+	var winner atomic.Int32
+	winner.Store(-1)
+	var winElapsed atomic.Int64
+	start := time.Now()
+
+	for i := range workers {
+		w := workers[i]
+		w.SetConfig(cfgs[i%len(cfgs)])
+		w.Stop = func() bool {
+			if winner.Load() >= 0 {
+				return true
+			}
+			return origStop != nil && origStop()
+		}
+		if ring != nil {
+			src := i
+			cur := ring.Cursor(src)
+			w.Export = func(lits []Lit, lbd int) {
+				ring.Publish(src, lits, lbd)
+			}
+			// Both hooks run on w's solving goroutine, so updating
+			// w.Stats from here is as safe as the solver doing it.
+			w.Import = func() ([]Lit, int) {
+				lits, lbd := cur.Next()
+				w.Stats.SharedDropped = cur.Dropped()
+				return lits, lbd
+			}
+		}
+	}
+
+	results := make([]Status, k)
+	var wg sync.WaitGroup
+	for i := range workers {
+		wg.Add(1)
+		go func(i int, w *Solver) {
+			defer wg.Done()
+			st := w.Solve(assumptions...)
+			results[i] = st
+			if st != Unknown && winner.CompareAndSwap(-1, int32(i)) {
+				winElapsed.Store(int64(time.Since(start)))
+			}
+		}(i, workers[i])
+	}
+	wg.Wait()
+	joined := time.Since(start)
+
+	ps := PortfolioStats{Workers: k, Winner: int(winner.Load()), WinnerStatus: Unknown}
+	if ps.Winner >= 0 {
+		ps.WinnerStatus = results[ps.Winner]
+		ps.CancelLatency = joined - time.Duration(winElapsed.Load())
+	}
+
+	// Adopt the winner's result into the receiver so downstream readers
+	// (Model, FinalCore, Okay) see it exactly as a plain Solve.
+	if w := ps.Winner; w > 0 {
+		win := workers[w]
+		switch ps.WinnerStatus {
+		case Sat:
+			s.model = make([]Tribool, len(s.assigns))
+			copy(s.model, win.model)
+			s.interrupted = false
+		case Unsat:
+			s.conflictC = append(s.conflictC[:0:0], win.conflictC...)
+			if !win.ok {
+				s.ok = false
+			}
+			s.interrupted = false
+		}
+	}
+
+	// Merge loser work into the receiver's counters and total the
+	// exchange for the caller.
+	for i := 1; i < k; i++ {
+		s.Stats = s.Stats.Add(workers[i].Stats)
+	}
+	ownDelta := s.Stats.Sub(statsBefore)
+	ps.SharedExported = ownDelta.SharedExported
+	ps.SharedImported = ownDelta.SharedImported
+	ps.SharedDropped = ownDelta.SharedDropped
+
+	// Restore the receiver's pre-race hooks and configuration (SetConfig
+	// also re-seeds the RNG, keeping repeated races deterministic).
+	s.Stop = origStop
+	s.Export = nil
+	s.Import = nil
+	s.SetConfig(origCfg)
+
+	// Re-publish a final progress sample so observers see the merged
+	// totals (worker 0's own final sample predates the merge).
+	s.emitProgress(true)
+	return ps.WinnerStatus, ps
+}

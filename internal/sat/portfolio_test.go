@@ -1,0 +1,365 @@
+package sat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestShareRingCursor(t *testing.T) {
+	r := NewShareRing(4)
+	r.Publish(0, []Lit{PosLit(1)}, 1)
+	r.Publish(1, []Lit{PosLit(2), NegLit(3)}, 2)
+	r.Publish(0, []Lit{NegLit(4)}, 1)
+
+	cur := r.Cursor(0) // reader 0 must skip its own entries
+	lits, lbd := cur.Next()
+	if len(lits) != 2 || lits[0] != PosLit(2) || lits[1] != NegLit(3) || lbd != 2 {
+		t.Fatalf("Next = %v lbd=%d, want [v2 ~v3] lbd=2", lits, lbd)
+	}
+	if lits, _ := cur.Next(); lits != nil {
+		t.Fatalf("expected drained cursor, got %v", lits)
+	}
+	if cur.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", cur.Dropped())
+	}
+}
+
+func TestShareRingLapCountsDrops(t *testing.T) {
+	r := NewShareRing(4)
+	cur := r.Cursor(7) // foreign reader, never skips
+	for i := 0; i < 10; i++ {
+		r.Publish(0, []Lit{PosLit(Var(i + 1))}, 1)
+	}
+	// Ring capacity 4: entries 0..5 are gone, 6..9 remain.
+	var got []Lit
+	for {
+		lits, _ := cur.Next()
+		if lits == nil {
+			break
+		}
+		got = append(got, lits[0])
+	}
+	if len(got) != 4 || got[0] != PosLit(7) || got[3] != PosLit(10) {
+		t.Fatalf("surviving entries = %v, want [v7..v10]", got)
+	}
+	if cur.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", cur.Dropped())
+	}
+}
+
+func TestShareRingConcurrent(t *testing.T) {
+	r := NewShareRing(64)
+	const writers, perWriter = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Publish(w, []Lit{PosLit(Var(w + 1)), NegLit(Var(i%9 + 1))}, 2)
+			}
+		}(w)
+	}
+	readDone := make(chan int64)
+	go func() {
+		cur := r.Cursor(writers) // foreign: sees all sources
+		var read int64
+		for read+cur.Dropped() < writers*perWriter {
+			lits, lbd := cur.Next()
+			if lits == nil {
+				continue
+			}
+			if len(lits) != 2 || lbd != 2 {
+				panic("torn read from share ring")
+			}
+			read++
+		}
+		readDone <- read
+	}()
+	wg.Wait()
+	read := <-readDone
+	if read <= 0 {
+		t.Fatal("concurrent cursor read nothing")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New()
+	for i := 0; i < 6; i++ {
+		s.NewVar()
+	}
+	s.AddClause(PosLit(1), PosLit(2))
+	s.AddClause(NegLit(1), PosLit(3))
+	s.AddClause(NegLit(2), NegLit(3))
+
+	c := s.Clone()
+	if st := c.Solve(); st != Sat {
+		t.Fatalf("clone solve = %v, want Sat", st)
+	}
+	// Diverge the clone; the original must be unaffected.
+	c.AddClause(NegLit(4))
+	c.AddClause(PosLit(4))
+	if st := c.Solve(); st != Unsat {
+		t.Fatalf("clone after contradiction = %v, want Unsat", st)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("original after clone mutation = %v, want Sat", st)
+	}
+	if !s.Okay() {
+		t.Fatal("original lost Okay after clone mutation")
+	}
+}
+
+func TestCloneAtNonRootPanics(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.trailLim = append(s.trailLim, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clone at non-root level did not panic")
+		}
+	}()
+	s.Clone()
+}
+
+// randomCNF builds a seeded random 3-SAT instance near the phase
+// transition; brute-checkable sizes only.
+func randomCNF(rng *rand.Rand, n int) [][]Lit {
+	m := int(4.3 * float64(n))
+	cnf := make([][]Lit, m)
+	for i := range cnf {
+		cl := make([]Lit, 3)
+		for j := range cl {
+			cl[j] = NewLit(Var(1+rng.Intn(n)), rng.Intn(2) == 1)
+		}
+		cnf[i] = cl
+	}
+	return cnf
+}
+
+func buildSolver(n int, cnf [][]Lit) *Solver {
+	s := New()
+	s.Grow(n)
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	for _, cl := range cnf {
+		if !s.AddClause(cl...) {
+			break
+		}
+	}
+	return s
+}
+
+// TestSolvePortfolioMatchesSolve is the portfolio's core correctness
+// property: across random instances and worker counts, the portfolio
+// result must match brute force, Sat models must satisfy the formula,
+// and Unsat cores must be genuine — even though workers race with
+// randomized polarities and exchange clauses mid-search.
+func TestSolvePortfolioMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 120; iter++ {
+		n := 4 + rng.Intn(9)
+		cnf := randomCNF(rng, n)
+		workers := 2 + iter%3
+		s := buildSolver(n, cnf)
+		st, ps := s.SolvePortfolio(PortfolioOptions{Workers: workers, RingCapacity: 8})
+		want := brute(n, cnf)
+		if (st == Sat) != want {
+			t.Fatalf("iter %d: portfolio=%v brute=%v cnf=%v", iter, st, want, cnf)
+		}
+		if ps.Workers != workers || ps.Winner < 0 || ps.Winner >= workers {
+			t.Fatalf("iter %d: bad portfolio stats %+v", iter, ps)
+		}
+		if st == Sat && !satisfies(s, cnf) {
+			t.Fatalf("iter %d: portfolio model violates cnf=%v", iter, cnf)
+		}
+		// The receiver must be reusable after a race, exactly like after
+		// a plain Solve.
+		if st2 := s.Solve(); (st2 == Sat) != want {
+			t.Fatalf("iter %d: re-solve after portfolio = %v, brute=%v", iter, st2, want)
+		}
+	}
+}
+
+func TestSolvePortfolioAssumptionsAndCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 80; iter++ {
+		n := 4 + rng.Intn(7)
+		cnf := randomCNF(rng, n)
+		assume := []Lit{
+			NewLit(Var(1+rng.Intn(n)), rng.Intn(2) == 1),
+			NewLit(Var(1+rng.Intn(n)), rng.Intn(2) == 1),
+		}
+		s := buildSolver(n, cnf)
+		st, _ := s.SolvePortfolio(PortfolioOptions{Workers: 3}, assume...)
+		withUnits := append(append([][]Lit{}, cnf...), []Lit{assume[0]}, []Lit{assume[1]})
+		if want := brute(n, withUnits); (st == Sat) != want {
+			t.Fatalf("iter %d: portfolio=%v brute=%v assume=%v", iter, st, want, assume)
+		}
+		if st == Sat && !satisfies(s, withUnits) {
+			t.Fatalf("iter %d: model violates cnf+assumptions", iter)
+		}
+		if st == Unsat && s.Okay() {
+			core := s.FinalCore()
+			for _, l := range core {
+				if l != assume[0] && l != assume[1] {
+					t.Fatalf("iter %d: core lit %v not among assumptions %v", iter, l, assume)
+				}
+			}
+			if stc := s.Solve(core...); stc != Unsat {
+				t.Fatalf("iter %d: re-solve under core %v = %v, want Unsat", iter, core, stc)
+			}
+		}
+	}
+}
+
+func TestSolvePortfolioSharesClauses(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6)
+	st, ps := s.SolvePortfolio(PortfolioOptions{Workers: 3})
+	if st != Unsat {
+		t.Fatalf("PHP(7,6) = %v, want Unsat", st)
+	}
+	if ps.SharedExported == 0 {
+		t.Fatalf("no clauses exported: %+v", ps)
+	}
+	if s.Stats.SharedExported != ps.SharedExported {
+		t.Fatalf("stats not merged: solver=%d portfolio=%d",
+			s.Stats.SharedExported, ps.SharedExported)
+	}
+	// NoSharing must fully disable the exchange.
+	s2 := New()
+	pigeonhole(s2, 6)
+	st2, ps2 := s2.SolvePortfolio(PortfolioOptions{Workers: 3, NoSharing: true})
+	if st2 != Unsat {
+		t.Fatalf("PHP(7,6) no-sharing = %v, want Unsat", st2)
+	}
+	if ps2.SharedExported != 0 || ps2.SharedImported != 0 {
+		t.Fatalf("sharing not disabled: %+v", ps2)
+	}
+}
+
+func TestSolvePortfolioStopPropagates(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7)
+	stopped := true
+	s.Stop = func() bool { return stopped }
+	st, ps := s.SolvePortfolio(PortfolioOptions{Workers: 3})
+	if st != Unknown || ps.Winner != -1 {
+		t.Fatalf("stopped portfolio = %v winner=%d, want Unknown/-1", st, ps.Winner)
+	}
+	if !s.Interrupted() {
+		t.Fatal("receiver did not latch the interrupt")
+	}
+	// The pre-race Stop hook must be restored and the solver reusable.
+	stopped = false
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("re-solve after interrupt = %v, want Unsat", st)
+	}
+}
+
+func TestSolvePortfolioSingleWorkerDegenerates(t *testing.T) {
+	s := New()
+	for i := 0; i < 3; i++ {
+		s.NewVar()
+	}
+	s.AddClause(PosLit(1), PosLit(2))
+	st, ps := s.SolvePortfolio(PortfolioOptions{Workers: 1})
+	if st != Sat || ps.Workers != 1 || ps.Winner != 0 {
+		t.Fatalf("degenerate portfolio: st=%v ps=%+v", st, ps)
+	}
+}
+
+func TestConfigRestartBudgets(t *testing.T) {
+	s := New()
+	s.SetConfig(Config{Restart: RestartGeometric, RestartBase: 100, RestartFactor: 2})
+	for i, want := range []int64{100, 200, 400, 800} {
+		if got := s.restartBudget(int64(i + 1)); got != want {
+			t.Errorf("geometric budget(%d) = %d, want %d", i+1, got, want)
+		}
+	}
+	s.SetConfig(Config{})
+	if got := s.restartBudget(3); got != luby(100, 3) {
+		t.Errorf("default budget(3) = %d, want luby", got)
+	}
+}
+
+func TestRandomPolarityStillCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 60; iter++ {
+		n := 4 + rng.Intn(8)
+		cnf := randomCNF(rng, n)
+		s := buildSolver(n, cnf)
+		s.SetConfig(Config{Seed: int64(iter + 1), RandomPolarityRate: 0.5})
+		st := s.Solve()
+		if want := brute(n, cnf); (st == Sat) != want {
+			t.Fatalf("iter %d: randomized solver=%v brute=%v cnf=%v", iter, st, want, cnf)
+		}
+		if st == Sat && !satisfies(s, cnf) {
+			t.Fatalf("iter %d: randomized model violates cnf", iter)
+		}
+	}
+}
+
+func TestDefaultPortfolioConfigs(t *testing.T) {
+	cfgs := DefaultPortfolioConfigs(8)
+	if len(cfgs) != 8 {
+		t.Fatalf("len = %d, want 8", len(cfgs))
+	}
+	if cfgs[0] != (Config{}) {
+		t.Fatalf("config 0 must be the plain-solver default, got %+v", cfgs[0])
+	}
+	seen := map[Config]bool{}
+	for _, c := range cfgs {
+		if seen[c] {
+			t.Fatalf("duplicate portfolio config %+v", c)
+		}
+		seen[c] = true
+	}
+}
+
+// FuzzPortfolio is the differential portfolio fuzzer: on fuzzer-derived
+// instances the K-worker portfolio (with clause sharing through a
+// deliberately tiny ring, forcing overwrite/lap paths) must agree with
+// the single-threaded solver and with brute-force enumeration, both on
+// status and on model validity — with and without assumptions.
+func FuzzPortfolio(f *testing.F) {
+	f.Add([]byte{5, 2, 1, 4, 2, 3, 6, 0xff, 7, 8, 9, 12, 13})
+	f.Add([]byte{3, 0, 2, 3, 4, 5, 0xff, 1, 1, 6})
+	f.Add([]byte{8, 3, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, cnf, assume := fuzzCNF(data)
+		if n == 0 || len(cnf) == 0 {
+			t.Skip()
+		}
+		workers := 2 + int(data[0])%3
+		withUnits := append([][]Lit{}, cnf...)
+		for _, a := range assume {
+			withUnits = append(withUnits, []Lit{a})
+		}
+		want := brute(n, withUnits)
+
+		single := buildSolver(n, cnf).Solve(assume...)
+		if (single == Sat) != want {
+			t.Fatalf("single solver=%v brute=%v cnf=%v assume=%v", single, want, cnf, assume)
+		}
+
+		s := buildSolver(n, cnf)
+		st, ps := s.SolvePortfolio(PortfolioOptions{Workers: workers, RingCapacity: 2}, assume...)
+		if st != single {
+			t.Fatalf("portfolio=%v single=%v cnf=%v assume=%v", st, single, cnf, assume)
+		}
+		if st == Sat && !satisfies(s, withUnits) {
+			t.Fatalf("portfolio model violates cnf+assumptions: cnf=%v assume=%v", cnf, assume)
+		}
+		if ps.Winner < 0 || ps.Winner >= workers {
+			t.Fatalf("bad winner %d of %d", ps.Winner, workers)
+		}
+		// The receiver must remain a working incremental solver.
+		if st2, _ := s.SolvePortfolio(PortfolioOptions{Workers: workers}); (st2 == Sat) != brute(n, cnf) {
+			t.Fatalf("portfolio re-solve=%v brute=%v cnf=%v", st2, brute(n, cnf), cnf)
+		}
+	})
+}

@@ -66,6 +66,12 @@ type Config struct {
 	// Workers (at least 1), so a fully loaded pool doesn't oversubscribe
 	// the machine.
 	SolveWorkers int
+	// Portfolio is the default CDCL portfolio size applied when the
+	// request doesn't set options.portfolio: that many configured
+	// solvers race on the destination predicted hardest, sharing glue
+	// clauses (core.Options.Portfolio). 0 (the default) or 1 disables
+	// racing; requests can still opt in per call.
+	Portfolio int
 	// Tracer receives every span, counter, and histogram; nil creates
 	// one with a flight recorder attached.
 	Tracer *obs.Tracer
@@ -453,6 +459,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	if prob.Opts.Workers == 0 {
 		prob.Opts.Workers = s.cfg.SolveWorkers
+	}
+	if prob.Opts.Portfolio == 0 {
+		prob.Opts.Portfolio = s.cfg.Portfolio
 	}
 	j := &job{
 		req: &req, prob: prob, tenant: tenant,

@@ -1,0 +1,127 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/aed-net/aed/internal/obs"
+	"github.com/aed-net/aed/internal/sat"
+)
+
+// buildWeighted constructs a small weighted-MaxSAT instance with hard
+// chain constraints and conflicting soft preferences, returning the
+// context and its variables.
+func buildWeighted(n int, seed int64) (*Context, []*Formula) {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewContext()
+	vars := make([]*Formula, n)
+	for i := range vars {
+		vars[i] = c.BoolVar("x")
+	}
+	for i := 0; i+1 < n; i++ {
+		c.Assert(Or(Not(vars[i]), vars[i+1]))
+	}
+	c.Assert(Or(vars[0], vars[n-1]))
+	for i := 0; i < n; i++ {
+		w := 1 + rng.Intn(4)
+		if rng.Intn(2) == 0 {
+			c.AssertSoft(vars[i], w, "pos")
+		} else {
+			c.AssertSoft(Not(vars[i]), w, "neg")
+		}
+	}
+	return c, vars
+}
+
+// TestPortfolioMaximizeMatchesSequential pins the adoption contract:
+// with SetPortfolio routed through every solveTimed call, all three
+// MaxSAT strategies must reach the same optimum as the sequential path,
+// because the winning worker's model/core is adopted into the context's
+// own solver between calls.
+func TestPortfolioMaximizeMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, strat := range []Strategy{LinearDescent, BinarySearch, CoreGuided} {
+			seq, _ := buildWeighted(9, seed)
+			rs := seq.Maximize(strat)
+
+			par, _ := buildWeighted(9, seed)
+			par.SetPortfolio(sat.PortfolioOptions{Workers: 3, RingCapacity: 16})
+			rp := par.Maximize(strat)
+
+			if (rs.Model == nil) != (rp.Model == nil) {
+				t.Fatalf("seed %d strat %d: model presence differs", seed, strat)
+			}
+			if rs.SatisfiedWeight != rp.SatisfiedWeight || rs.ViolatedWeight != rp.ViolatedWeight {
+				t.Fatalf("seed %d strat %d: portfolio optimum (%d,%d) != sequential (%d,%d)",
+					seed, strat, rp.SatisfiedWeight, rp.ViolatedWeight,
+					rs.SatisfiedWeight, rs.ViolatedWeight)
+			}
+		}
+	}
+}
+
+func TestPortfolioUnsatCore(t *testing.T) {
+	c := NewContext()
+	a := c.BoolVar("a")
+	b := c.BoolVar("b")
+	c.Assert(Or(Not(a), Not(b)))
+	c.SetPortfolio(sat.PortfolioOptions{Workers: 2})
+	core, satisfiable := c.UnsatCore([]*Formula{a, b})
+	if satisfiable {
+		t.Fatal("a ∧ b under ¬a∨¬b must be unsat")
+	}
+	if len(core) == 0 {
+		t.Fatal("portfolio unsat core is empty")
+	}
+	if m := c.SolveAssuming(a); m == nil || !m.Bool(a) || m.Bool(b) {
+		t.Fatal("portfolio context unusable after unsat core")
+	}
+}
+
+func TestPortfolioObserveCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(128)
+	reg.SetFlightRecorder(rec)
+
+	c, _ := buildWeighted(8, 3)
+	c.Observe(reg, nil)
+	c.SetPortfolio(sat.PortfolioOptions{Workers: 3})
+	if res := c.Maximize(LinearDescent); res.Model == nil {
+		t.Fatal("instance unexpectedly unsat")
+	}
+	races := reg.Counter("portfolio.races").Value()
+	if races == 0 {
+		t.Fatal("portfolio.races not incremented")
+	}
+	var winners int64
+	for i := 0; i < 3; i++ {
+		winners += reg.Counter("portfolio.winner.cfg" + string(rune('0'+i))).Value()
+	}
+	if winners != races {
+		t.Fatalf("winner counters %d != races %d", winners, races)
+	}
+	if got := reg.Histogram("portfolio.cancel_latency_ms", obs.LatencyBuckets).Count(); got != races {
+		t.Fatalf("cancel latency samples %d != races %d", got, races)
+	}
+	if reg.Counter("solver.calls").Value() != races {
+		t.Fatalf("solver.calls %d != races %d",
+			reg.Counter("solver.calls").Value(), races)
+	}
+}
+
+func TestSetPortfolioOffRestoresPlainPath(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, _ := buildWeighted(6, 5)
+	c.Observe(reg, nil)
+	c.SetPortfolio(sat.PortfolioOptions{Workers: 4})
+	c.SetPortfolio(sat.PortfolioOptions{})
+	if c.PortfolioWorkers() != 0 {
+		t.Fatalf("PortfolioWorkers = %d, want 0", c.PortfolioWorkers())
+	}
+	if res := c.Maximize(LinearDescent); res.Model == nil {
+		t.Fatal("instance unexpectedly unsat")
+	}
+	if reg.Counter("portfolio.races").Value() != 0 {
+		t.Fatal("plain path recorded a portfolio race")
+	}
+}
