@@ -8,6 +8,7 @@
 //	     [-default-timeout 60s] [-max-timeout 10m]
 //	     [-tenant-budget 0] [-budget-window 1m]
 //	     [-max-sessions 64]
+//	     [-access-log FILE]
 //	     [-retain DIR] [-retain-max-mb MB]
 //	     [-debug-addr ADDR]
 //
@@ -16,8 +17,17 @@
 //	POST   /v1/solve            submit an aed.Request, get an aed.Response
 //	GET    /v1/sessions         list live sessions
 //	DELETE /v1/sessions/{name}  drop a session (?tenant= scopes it)
+//	GET    /v1/requests         in-flight requests with open span trees
 //	GET    /healthz             liveness + admission state
 //	GET    /metrics /spans /recorder /debug/pprof/   obs debug surface
+//
+// -access-log FILE appends one JSON line per request (request ID,
+// tenant, verdict, queue wait, solve time, cache tiers hit, portfolio
+// winner); "-" logs to stderr. Every request carries an ID — caller-set
+// via the X-AED-Request-Id header or request_id field, server-assigned
+// otherwise — that the access log, spans, incidents, and exemplars all
+// share; filter any telemetry stream to one request with
+// `aedtrace -request <id>`.
 //
 // The debug surface is served natively on -addr; -debug-addr
 // additionally serves it on a second listener (e.g. a loopback-only
@@ -33,6 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -55,6 +66,7 @@ func main() {
 		tenantBudget   = flag.Duration("tenant-budget", 0, "solver time each tenant may spend per window (0 = unlimited)")
 		budgetWindow   = flag.Duration("budget-window", 0, "tenant budget refill interval (0 = 1m)")
 		maxSessions    = flag.Int("max-sessions", 0, "cap on live sessions across tenants, LRU-evicted (0 = 64)")
+		accessLog      = flag.String("access-log", "", "append one JSON line per request to FILE (\"-\" = stderr)")
 		drainTimeout   = flag.Duration("drain-timeout", 5*time.Minute, "how long shutdown waits for in-flight solves")
 		retainDir      = flag.String("retain", "", "continuously spill telemetry to rotating AEDT segments in DIR")
 		retainMB       = flag.Int("retain-max-mb", 64, "total on-disk cap for -retain segments, in MiB")
@@ -64,6 +76,18 @@ func main() {
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "aedd: unexpected arguments:", flag.Args())
 		os.Exit(2)
+	}
+
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		check(err)
+		defer f.Close()
+		accessW = f
 	}
 
 	tracer := obs.NewCLITracer()
@@ -77,6 +101,7 @@ func main() {
 		MaxSessions:    *maxSessions,
 		Portfolio:      *portfolio,
 		Tracer:         tracer,
+		AccessLog:      accessW,
 	})
 
 	if *debugAddr != "" {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	aedtrace [-tree] [-phases] [-flame] [-top N] [-metrics] [-recorder] TRACE
+//	aedtrace -request ID TRACE
 //	aedtrace -convert OUT.aedt TRACE
 //	aedtrace -diff OLD NEW
 //
@@ -17,7 +18,12 @@
 //	-flame     text flamegraph: bar width proportional to duration
 //	-top N     the N slowest individual spans (default 10 with -top)
 //	-metrics   dump the counter/gauge/histogram events in the trace
+//	           (histograms show their per-bucket request-ID exemplars)
 //	-recorder  list the flight-recorder events in the trace
+//	-request   filter to one request: print the span tree and critical
+//	           path of the spans whose request_id attribute matches ID
+//	           (a request's whole subtree inherits the attribute, so
+//	           this is the end-to-end trace of exactly that request)
 //	-convert   re-encode the trace to OUT (.aedt = binary, else JSONL)
 //	-diff      compare two traces' per-phase totals (new - old)
 //
@@ -53,6 +59,7 @@ func run(argv []string) int {
 		top      = fs.Int("top", 0, "print the N slowest individual spans")
 		metrics  = fs.Bool("metrics", false, "print the trace's metric events")
 		recorder = fs.Bool("recorder", false, "print the trace's flight-recorder events")
+		request  = fs.String("request", "", "filter to one request ID: print its span tree and critical path")
 		convert  = fs.String("convert", "", "re-encode the trace to FILE (.aedt = AEDT binary, else JSONL)")
 		diff     = fs.Bool("diff", false, "compare two traces' per-phase totals (OLD NEW)")
 	)
@@ -95,6 +102,19 @@ func run(argv []string) int {
 			return fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "aedtrace: %d events converted to %s\n", len(events), *convert)
+		return 0
+	}
+	if *request != "" {
+		filtered := filterRequest(events, *request)
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "aedtrace: no spans with request_id %q in this trace\n", *request)
+			return 1
+		}
+		a := obs.Analyze(filtered)
+		fmt.Printf("request %s (%d spans):\n\n", *request, len(filtered))
+		printTree(a)
+		fmt.Println()
+		printCriticalPath(a)
 		return 0
 	}
 	a := obs.Analyze(events)
@@ -164,6 +184,20 @@ func loadEvents(path string) ([]obs.Event, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return events, nil
+}
+
+// filterRequest keeps the span events attributed to one request ID.
+// Every span started under a request context carries the request_id
+// attribute (children inherit it), so the filter yields the request's
+// complete span subtree — identically from a JSONL or an AEDT stream.
+func filterRequest(events []obs.Event, id string) []obs.Event {
+	var out []obs.Event
+	for _, ev := range events {
+		if ev.Type == "span" && ev.Attrs["request_id"] == id {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 func load(path string) (*obs.Analysis, error) {
@@ -282,7 +316,7 @@ func printMetrics(a *obs.Analysis) {
 		case "gauge":
 			fmt.Printf("  gauge     %-32s %d (max %d)\n", ev.Name, ev.Value, ev.Max)
 		case "histogram":
-			fmt.Printf("  histogram %-32s n=%d sum=%.3f\n", ev.Name, ev.Count, ev.Sum)
+			fmt.Printf("  histogram %-32s n=%d sum=%.3f%s\n", ev.Name, ev.Count, ev.Sum, exemplarSuffix(ev.Exemplars))
 		case "recorder":
 			recorders++
 		}
@@ -290,6 +324,23 @@ func printMetrics(a *obs.Analysis) {
 	if recorders > 0 {
 		fmt.Printf("  recorder  %-32s %d (see -recorder)\n", "events", recorders)
 	}
+}
+
+// exemplarSuffix renders a histogram's per-bucket request-ID exemplars
+// (deduplicated, bucket order) for the -metrics view.
+func exemplarSuffix(exemplars []string) string {
+	var ids []string
+	seen := make(map[string]bool)
+	for _, e := range exemplars {
+		if e != "" && !seen[e] {
+			seen[e] = true
+			ids = append(ids, e)
+		}
+	}
+	if len(ids) == 0 {
+		return ""
+	}
+	return " exemplars=[" + strings.Join(ids, " ") + "]"
 }
 
 // recorderEvents filters the flight-recorder events out of the

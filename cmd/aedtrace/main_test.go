@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -250,5 +251,83 @@ func TestDiffAcrossFormats(t *testing.T) {
 	// A trace diffed against its own conversion must show zero change.
 	if strings.Contains(out, "+0.001ms") || !strings.Contains(out, "phase diff") {
 		t.Errorf("-diff output:\n%s", out)
+	}
+}
+
+// writeRequestTrace produces a JSONL trace holding two requests' span
+// trees plus an attributed recorder event and a histogram exemplar.
+func writeRequestTrace(t *testing.T, path string) {
+	t.Helper()
+	tr := obs.NewTracer()
+	rec := obs.NewRecorder(16)
+	tr.SetRecorder(rec)
+	ctxA := obs.WithRequest(context.Background(), obs.RequestInfo{ID: "req-a", Tenant: "acme", Session: "s1"})
+	rootA := tr.StartCtx(ctxA, "session.solve")
+	enc := rootA.Child("encode")
+	enc.End()
+	sat := rootA.Child("sat.solve")
+	sat.End()
+	rootA.End()
+	ctxB := obs.WithRequest(context.Background(), obs.RequestInfo{ID: "req-b", Tenant: "globex"})
+	rootB := tr.StartCtx(ctxB, "session.solve")
+	rootB.End()
+	rec.RecordRequest(obs.EvSolveEnd, "10.0.0.0/24", "req-a", 1, 7)
+	tr.Metrics().Histogram("aedd.solve_ms", obs.LatencyBuckets).ObserveExemplar(3, "req-a")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestViewIdenticalAcrossFormats is the tentpole acceptance pin
+// for per-request trace views: -request filters a trace to exactly one
+// request's span tree, and the output is byte-identical whether the
+// stream is JSONL or its AEDT conversion (the request attributes ride
+// the existing format version).
+func TestRequestViewIdenticalAcrossFormats(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	aedtPath := filepath.Join(dir, "trace.aedt")
+	writeRequestTrace(t, jsonl)
+	if code, _ := captureRun(t, "-convert", aedtPath, jsonl); code != 0 {
+		t.Fatal("conversion failed")
+	}
+
+	codeJ, outJ := captureRun(t, "-request", "req-a", jsonl)
+	codeA, outA := captureRun(t, "-request", "req-a", aedtPath)
+	if codeJ != 0 || codeA != 0 {
+		t.Fatalf("-request exits: jsonl %d, aedt %d", codeJ, codeA)
+	}
+	if outJ != outA {
+		t.Fatalf("-request output differs across formats:\n--- jsonl ---\n%s--- aedt ---\n%s", outJ, outA)
+	}
+	for _, want := range []string{"req-a", "session.solve", "sat.solve", "critical path"} {
+		if !strings.Contains(outJ, want) {
+			t.Errorf("-request output missing %q:\n%s", want, outJ)
+		}
+	}
+	if strings.Contains(outJ, "req-b") {
+		t.Errorf("-request req-a output leaks another request's spans:\n%s", outJ)
+	}
+
+	// -metrics surfaces the exemplar on both formats identically.
+	_, metJ := captureRun(t, "-metrics", jsonl)
+	_, metA := captureRun(t, "-metrics", aedtPath)
+	if metJ != metA {
+		t.Errorf("-metrics output differs across formats:\n--- jsonl ---\n%s--- aedt ---\n%s", metJ, metA)
+	}
+	if !strings.Contains(metJ, "exemplars=[req-a]") {
+		t.Errorf("-metrics missing exemplar annotation:\n%s", metJ)
+	}
+
+	// An ID absent from the trace is a loud failure, not empty output.
+	if code, _ := captureRun(t, "-request", "req-nope", jsonl); code == 0 {
+		t.Error("-request with an unknown ID must exit non-zero")
 	}
 }

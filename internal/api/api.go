@@ -30,8 +30,23 @@ import (
 const (
 	PathSolve    = "/v1/solve"
 	PathSessions = "/v1/sessions"
+	PathRequests = "/v1/requests"
 	PathHealthz  = "/healthz"
 	PathMetrics  = "/metrics"
+)
+
+// Request-identity headers. The client sends both on every call; the
+// server echoes HeaderRequestID on the response so a caller always
+// learns the ID its solve ran under (its own, or the server-assigned
+// one when it sent none).
+const (
+	// HeaderRequestID carries the request ID end to end. Precedence on
+	// the server: header, then Request.RequestID in the body, then a
+	// server-generated ID.
+	HeaderRequestID = "X-AED-Request-Id"
+	// HeaderTenant carries the tenant label; same precedence against
+	// Request.Tenant, falling back to "default".
+	HeaderTenant = "X-AED-Tenant"
 )
 
 // Request is one complete synthesis problem as a serializable value:
@@ -40,6 +55,14 @@ const (
 // drives aed.Do (in process), POST /v1/solve (over the wire), and the
 // aed/client package.
 type Request struct {
+	// RequestID identifies this request across the whole stack: access
+	// log, spans, flight-recorder events, watchdog incidents, and
+	// histogram exemplars all carry it, and aedtrace -request filters on
+	// it. Empty lets the transport assign one (the client generates an
+	// ID before sending; the server generates one for requests that
+	// arrive without). The X-AED-Request-Id header takes precedence over
+	// this field on the service.
+	RequestID string `json:"request_id,omitempty"`
 	// Tenant attributes the request for budgeting and per-tenant
 	// metrics; empty selects the "default" tenant. Library calls ignore
 	// it.
@@ -235,6 +258,10 @@ type Instance struct {
 	Cached      bool    `json:"cached,omitempty"`
 	Rebound     bool    `json:"rebound,omitempty"`
 	Slow        bool    `json:"slow,omitempty"`
+	// PortfolioWinner is the portfolio configuration index that won the
+	// instance's SAT race; nil when no race completed. A pointer because
+	// index 0 is a valid winner.
+	PortfolioWinner *int `json:"portfolio_winner,omitempty"`
 }
 
 // Solver is the wire form of the network-wide sat.Stats totals.
@@ -297,14 +324,32 @@ func FromResult(res *core.Result) *Response {
 		out.Violations = append(out.Violations, v.String())
 	}
 	for _, in := range res.Instances {
-		out.Instances = append(out.Instances, Instance{
+		wi := Instance{
 			Destination: in.Destination.String(), Sat: in.Sat,
 			Policies: in.Policies, Iterations: in.Iterations,
 			DurationMS: float64(in.Duration.Microseconds()) / 1000,
 			Cached:     in.Cached, Rebound: in.Rebound, Slow: in.Slow,
-		})
+		}
+		if in.PortfolioWinner >= 0 {
+			w := in.PortfolioWinner
+			wi.PortfolioWinner = &w
+		}
+		out.Instances = append(out.Instances, wi)
 	}
 	return out
+}
+
+// PortfolioWinner returns the portfolio configuration index that won a
+// race in this response, or -1 when no instance raced to a winner. With
+// portfolio routing only the predicted-hardest instance races, so at
+// most one instance carries a winner per call.
+func (r *Response) PortfolioWinner() int {
+	for _, in := range r.Instances {
+		if in.PortfolioWinner != nil {
+			return *in.PortfolioWinner
+		}
+	}
+	return -1
 }
 
 // FormatTopology renders a topology in the line format Request.Topology

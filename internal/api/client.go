@@ -37,7 +37,17 @@ func (c *Client) httpClient() *http.Client {
 // *core.UnsatError — exactly as a library call would report them.
 // When req.TimeoutMS is unset and ctx carries a deadline, the
 // remaining time is forwarded so the server solve honours it too.
+//
+// Every call carries a request ID: req.RequestID when the caller set
+// one, a fresh NewRequestID otherwise. The ID and the tenant travel as
+// the X-AED-Request-Id / X-AED-Tenant headers (and in the body), so the
+// server's access log, spans, and incidents are attributable to this
+// exact call — fish it out of req.RequestID (Do writes the generated ID
+// back) and hand it to aedtrace -request.
 func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	if req.RequestID == "" {
+		req.RequestID = NewRequestID()
+	}
 	r := *req
 	if r.Tenant == "" {
 		r.Tenant = c.Tenant
@@ -58,6 +68,10 @@ func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(HeaderRequestID, r.RequestID)
+	if r.Tenant != "" {
+		hreq.Header.Set(HeaderTenant, r.Tenant)
+	}
 	hres, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return nil, err

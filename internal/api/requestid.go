@@ -1,0 +1,27 @@
+package api
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// reqIDFallback makes the time-based fallback IDs unique within the
+// process even when the clock doesn't advance between calls.
+var reqIDFallback atomic.Uint64
+
+// NewRequestID returns a fresh request ID: 16 lowercase hex characters
+// (64 random bits), short enough to grep and long enough that
+// collisions across a service's retention window are negligible. If the
+// system's randomness source fails it falls back to a time-plus-counter
+// ID rather than erroring — a request ID must never be the reason a
+// solve fails.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", uint64(time.Now().UnixNano())<<8|reqIDFallback.Add(1)&0xff)
+	}
+	return hex.EncodeToString(b[:])
+}

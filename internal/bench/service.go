@@ -43,6 +43,15 @@ type ServiceResult struct {
 	// WarmSpeedup is cold p50 / warm p50 — the acceptance floor is 10x.
 	WarmSpeedup float64 `json:"warm_speedup"`
 
+	// QueueWait and Solve decompose the steady phases' server-side
+	// latency into its two components, read from the aedd.queue_wait_ms
+	// and aedd.solve_ms histograms after the steady traffic completes:
+	// time a request sat admitted waiting for a worker vs. time a worker
+	// spent solving it. Separate series so queueing pressure is visible
+	// independently of solver cost.
+	QueueWait LatencyStats `json:"queue_wait"`
+	Solve     LatencyStats `json:"solve"`
+
 	// ThroughputRPS is completed solves per second over the steady
 	// phases (cold+warm+watch wall time).
 	ThroughputRPS float64 `json:"throughput_rps"`
@@ -240,6 +249,13 @@ func Service(w io.Writer, scale Scale) ServiceResult {
 	res.MaxQueueDepth = m.Gauge("aedd.queue.depth").Max()
 	res.Workers = int(m.Gauge("aedd.workers").Value())
 	res.QueueCap = int(m.Gauge("aedd.queue.cap").Value())
+	snap := m.Snapshot()
+	if h, ok := snap.Histograms["aedd.queue_wait_ms"]; ok {
+		res.QueueWait = LatencyStats{Count: int(h.Count), P50MS: h.Quantile(0.50), P99MS: h.Quantile(0.99)}
+	}
+	if h, ok := snap.Histograms["aedd.solve_ms"]; ok {
+		res.Solve = LatencyStats{Count: int(h.Count), P50MS: h.Quantile(0.50), P99MS: h.Quantile(0.99)}
+	}
 	closeHTTP()
 	drainCtx, cancelDrain := context.WithTimeout(ctx, time.Minute)
 	svc.Shutdown(drainCtx)
@@ -331,6 +347,8 @@ func Service(w io.Writer, scale Scale) ServiceResult {
 	}
 	fmt.Fprintf(w, "warm speedup %.1fx | %.1f req/s | max queue depth %d\n",
 		res.WarmSpeedup, res.ThroughputRPS, res.MaxQueueDepth)
+	fmt.Fprintf(w, "server side: queue-wait p50 %.2fms p99 %.2fms | solve p50 %.2fms p99 %.2fms (n=%d)\n",
+		res.QueueWait.P50MS, res.QueueWait.P99MS, res.Solve.P50MS, res.Solve.P99MS, res.Solve.Count)
 	fmt.Fprintf(w, "burst: %d/%d rejected queue-full | drain: %d completed, %d rejected, %d dropped\n",
 		res.BurstRejected, res.BurstSent, res.DrainCompleted, res.DrainRejected, res.DroppedInFlight)
 	return res

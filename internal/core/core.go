@@ -245,6 +245,11 @@ type InstanceStats struct {
 	// Solver holds the instance's cumulative SAT-solver counters
 	// (decisions, conflicts, restarts, ...).
 	Solver sat.Stats
+	// PortfolioWinner is the portfolio configuration index that won the
+	// instance's most recent SAT race, or -1 when no race completed
+	// (portfolio disabled for this instance, or no call produced a
+	// winner). For Cached instances it describes the original solve.
+	PortfolioWinner int
 }
 
 // SynthesizeContext computes configuration updates for net on topo
@@ -255,7 +260,7 @@ type InstanceStats struct {
 func SynthesizeContext(ctx context.Context, net *config.Network, topo *topology.Topology, ps []policy.Policy, opts Options) (*Result, error) {
 	start := time.Now()
 	tr := opts.tracer()
-	root := tr.Start("synthesize")
+	root := tr.StartCtx(ctx, "synthesize")
 	defer root.End()
 
 	gsp := root.Child("group")
@@ -337,7 +342,7 @@ func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.To
 
 	msp := root.Child("monolithic")
 	defer msp.End()
-	stop := wd.Watch("monolithic")
+	stop := wd.Watch(ctx, "monolithic")
 	defer stop()
 	j := encode.NewJoint(net, topo, opts.Encode)
 	j.Observe(msp, tr.Metrics())
@@ -369,8 +374,9 @@ func solveMonolithic(ctx context.Context, net *config.Network, topo *topology.To
 	res.Instances = append(res.Instances, InstanceStats{
 		Policies: total, NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 		Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
-		Slow:   opts.markSlow(r.Duration),
-		Solver: r.Stats,
+		Slow:            opts.markSlow(r.Duration),
+		Solver:          r.Stats,
+		PortfolioWinner: r.PortfolioWinner,
 	})
 	if !r.Sat {
 		for _, d := range dests {
@@ -395,10 +401,11 @@ func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topo
 	dsp := root.Child("destination")
 	dsp.SetStr("dest", dest)
 	defer dsp.End()
-	stop := wd.Watch(dest)
+	stop := wd.Watch(ctx, dest)
 	defer stop()
+	ri, _ := obs.RequestFrom(ctx)
 	rec := tr.Recorder()
-	rec.RecordLabeled(obs.EvSolveStart, dest, 0, 0)
+	rec.RecordRequest(obs.EvSolveStart, dest, ri.ID, 0, 0)
 	e := encode.New(net, topo, d, opts.Encode)
 	e.Observe(dsp, tr.Metrics())
 	esp := dsp.Child("encode")
@@ -422,7 +429,7 @@ func solveInstance(ctx context.Context, net *config.Network, topo *topology.Topo
 	if r.Sat {
 		satBit = 1
 	}
-	rec.RecordLabeled(obs.EvSolveEnd, dest, satBit, r.Duration.Milliseconds())
+	rec.RecordRequest(obs.EvSolveEnd, dest, ri.ID, satBit, r.Duration.Milliseconds())
 	return r, e, nil
 }
 
@@ -578,8 +585,9 @@ func solveSplit(ctx context.Context, net *config.Network, topo *topology.Topolog
 			Destination: o.dest, Policies: len(groups[dests[i]]),
 			NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
-			Slow:   opts.markSlow(r.Duration),
-			Solver: r.Stats,
+			Slow:            opts.markSlow(r.Duration),
+			Solver:          r.Stats,
+			PortfolioWinner: r.PortfolioWinner,
 		})
 		res.SolveTime += r.Duration
 		if r.Duration > critical {

@@ -119,8 +119,9 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 
 	start := time.Now()
 	tr := s.opts.tracer()
-	root := tr.Start("session.solve")
+	root := tr.StartCtx(ctx, "session.solve")
 	defer root.End()
+	ri, _ := obs.RequestFrom(ctx)
 
 	gsp := root.Child("group")
 	ps, groups, dests := groupDests(ps)
@@ -153,7 +154,7 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 				conflicts[i] = e.conflict
 				cached[i] = true
 				hits++
-				rec.RecordLabeled(obs.EvCacheHit, d.String(), int64(fps[i]), 0)
+				rec.RecordRequest(obs.EvCacheHit, d.String(), ri.ID, int64(fps[i]), 0)
 				continue
 			}
 			// Dirty with a live instance: when the shared inputs and the
@@ -166,9 +167,9 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 				liveable[i] = e
 			}
 			invalidations++
-			rec.RecordLabeled(obs.EvCacheInvalidate, d.String(), int64(fps[i]), int64(e.fp))
+			rec.RecordRequest(obs.EvCacheInvalidate, d.String(), ri.ID, int64(fps[i]), int64(e.fp))
 		}
-		rec.RecordLabeled(obs.EvCacheMiss, d.String(), int64(fps[i]), 0)
+		rec.RecordRequest(obs.EvCacheMiss, d.String(), ri.ID, int64(fps[i]), 0)
 		dirty = append(dirty, i)
 	}
 	fsp.SetInt("hits", int64(hits))
@@ -267,8 +268,9 @@ func (s *Engine) Solve(ctx context.Context, ps []policy.Policy) (*Result, error)
 			NumVars: r.NumVars, NumClauses: r.NumClauses, NumDeltas: r.NumDeltas,
 			Iterations: r.Iterations, Duration: r.Duration, Sat: r.Sat,
 			Cached: cached[i], Rebound: rebound[i],
-			Slow:   !cached[i] && s.opts.markSlow(r.Duration),
-			Solver: r.Stats,
+			Slow:            !cached[i] && s.opts.markSlow(r.Duration),
+			Solver:          r.Stats,
+			PortfolioWinner: r.PortfolioWinner,
 		})
 		if !cached[i] {
 			res.Solver = res.Solver.Add(r.Stats)
@@ -328,17 +330,18 @@ func resolveLive(ctx context.Context, enc *encode.Encoder, net *config.Network,
 	dsp.SetBool("rebind", true)
 	dsp.SetInt("bindings_swapped", int64(swapped))
 	defer dsp.End()
-	stop := wd.Watch(dest)
+	stop := wd.Watch(ctx, dest)
 	defer stop()
+	ri, _ := obs.RequestFrom(ctx)
 	enc.Observe(dsp, tr.Metrics())
 	rec := tr.Recorder()
-	rec.RecordLabeled(obs.EvSolveStart, dest, 0, 0)
+	rec.RecordRequest(obs.EvSolveStart, dest, ri.ID, 0, 0)
 	r := enc.ReSolveContext(ctx, opts.Strategy)
-	rec.RecordLabeled(obs.EvRebind, dest, int64(swapped), r.Duration.Milliseconds())
+	rec.RecordRequest(obs.EvRebind, dest, ri.ID, int64(swapped), r.Duration.Milliseconds())
 	var satBit int64
 	if r.Sat {
 		satBit = 1
 	}
-	rec.RecordLabeled(obs.EvSolveEnd, dest, satBit, r.Duration.Milliseconds())
+	rec.RecordRequest(obs.EvSolveEnd, dest, ri.ID, satBit, r.Duration.Milliseconds())
 	return r, true
 }

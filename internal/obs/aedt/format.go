@@ -116,7 +116,26 @@ const (
 	// ref Name (the event-kind name), ref Label, varint A, varint B.
 	// The event's wall-clock unix-µs timestamp rides the time column.
 	KindEvent Kind = 5
+	// KindEventReq is a flight-recorder event attributed to a request:
+	// the KindEvent payload followed by ref Req (the request ID).
+	// Writers emit it only for attributed events, so streams without
+	// request telemetry are byte-identical to pre-kind files; per the
+	// versioning rules above, older readers skip it via the length
+	// column (not a version bump).
+	KindEventReq Kind = 6
+	// KindHistogramEx is a histogram with bucket exemplars: the
+	// KindHistogram payload followed by uvarint nExemplars, nExemplars
+	// × ref (one request-ID ref per bucket, parallel to the counts;
+	// empty-string refs mark buckets without an exemplar). Emitted only
+	// when at least one bucket has an exemplar; older readers skip it.
+	KindHistogramEx Kind = 7
 )
+
+// maxKnownKind is the highest kind this build decodes; records with a
+// larger kind byte are skipped via the payload-length column (forward
+// compatibility), and only known kinds are held to the strict
+// trailing-payload check.
+const maxKnownKind = KindHistogramEx
 
 // AttrKind tags one span attribute value.
 type AttrKind uint8
@@ -158,18 +177,25 @@ type Record struct {
 	// Name is the span name, metric name, or recorder event-kind name.
 	Name string
 
-	// Metric fields (KindCounter/KindGauge/KindHistogram).
+	// Metric fields (KindCounter/KindGauge/KindHistogram[Ex]).
 	Value  int64
 	Max    int64
 	Count  int64
 	Sum    float64
 	Bounds []float64
 	Counts []int64
+	// Exemplars carries per-bucket request IDs (KindHistogramEx only;
+	// parallel to Counts, "" for buckets without one). The writer
+	// encodes it only when Kind is KindHistogramEx.
+	Exemplars []string
 
-	// Flight-recorder fields (KindEvent).
+	// Flight-recorder fields (KindEvent/KindEventReq).
 	Seq   uint64
 	Label string
 	A, B  int64
+	// Req is the request ID the event is attributed to (KindEventReq
+	// only; the writer encodes it only for that kind).
+	Req string
 }
 
 // Decoding errors. Reader wraps them with positional detail; use

@@ -265,11 +265,12 @@ func (rd *Reader) Next(rec *Record) error {
 	rd.idx++
 
 	*rec = Record{
-		Kind:   kind,
-		Time:   rd.lastTime,
-		Attrs:  rec.Attrs[:0],
-		Bounds: rec.Bounds[:0],
-		Counts: rec.Counts[:0],
+		Kind:      kind,
+		Time:      rd.lastTime,
+		Attrs:     rec.Attrs[:0],
+		Bounds:    rec.Bounds[:0],
+		Counts:    rec.Counts[:0],
+		Exemplars: rec.Exemplars[:0],
 	}
 	switch kind {
 	case KindSpan:
@@ -342,7 +343,7 @@ func (rd *Reader) Next(rec *Record) error {
 		if rec.Max, err = p.varint(); err != nil {
 			return err
 		}
-	case KindHistogram:
+	case KindHistogram, KindHistogramEx:
 		if rec.Name, err = p.str(rd.strs); err != nil {
 			return err
 		}
@@ -382,7 +383,23 @@ func (rd *Reader) Next(rec *Record) error {
 			}
 			rec.Counts = append(rec.Counts, v)
 		}
-	case KindEvent:
+		if kind == KindHistogramEx {
+			nEx, err := p.uvarint()
+			if err != nil {
+				return err
+			}
+			if nEx > plen {
+				return fmt.Errorf("%w: block %d histogram declares %d exemplars", ErrCorrupt, blk, nEx)
+			}
+			for i := uint64(0); i < nEx; i++ {
+				e, err := p.str(rd.strs)
+				if err != nil {
+					return err
+				}
+				rec.Exemplars = append(rec.Exemplars, e)
+			}
+		}
+	case KindEvent, KindEventReq:
 		if rec.Seq, err = p.uvarint(); err != nil {
 			return err
 		}
@@ -398,12 +415,17 @@ func (rd *Reader) Next(rec *Record) error {
 		if rec.B, err = p.varint(); err != nil {
 			return err
 		}
+		if kind == KindEventReq {
+			if rec.Req, err = p.str(rd.strs); err != nil {
+				return err
+			}
+		}
 	default:
 		// Forward compatibility: unknown kinds are skipped (their
 		// payload was already consumed via the length column); the
 		// caller sees the raw kind and an otherwise-empty record.
 	}
-	if p.off != len(p.b) && kind != KindInvalid && kind <= KindEvent {
+	if p.off != len(p.b) && kind != KindInvalid && kind <= maxKnownKind {
 		return fmt.Errorf("%w: block %d record has %d trailing payload bytes", ErrCorrupt, blk, len(p.b)-p.off)
 	}
 	return nil

@@ -123,7 +123,7 @@ func (w *Writer) Append(rec *Record) {
 		p = w.uvarint(p, w.intern(rec.Name))
 		p = w.varint(p, rec.Value)
 		p = w.varint(p, rec.Max)
-	case KindHistogram:
+	case KindHistogram, KindHistogramEx:
 		p = w.uvarint(p, w.intern(rec.Name))
 		p = w.varint(p, rec.Count)
 		p = u64le(p, math.Float64bits(rec.Sum))
@@ -135,12 +135,21 @@ func (w *Writer) Append(rec *Record) {
 		for _, c := range rec.Counts {
 			p = w.varint(p, c)
 		}
-	case KindEvent:
+		if rec.Kind == KindHistogramEx {
+			p = w.uvarint(p, uint64(len(rec.Exemplars)))
+			for _, e := range rec.Exemplars {
+				p = w.uvarint(p, w.intern(e))
+			}
+		}
+	case KindEvent, KindEventReq:
 		p = w.uvarint(p, rec.Seq)
 		p = w.uvarint(p, w.intern(rec.Name))
 		p = w.uvarint(p, w.intern(rec.Label))
 		p = w.varint(p, rec.A)
 		p = w.varint(p, rec.B)
+		if rec.Kind == KindEventReq {
+			p = w.uvarint(p, w.intern(rec.Req))
+		}
 	}
 	w.payloads = p
 	w.plens = w.uvarint(w.plens, uint64(len(w.payloads)-start))

@@ -74,13 +74,15 @@ func (BinarySink) WriteRecorder(w io.Writer, rec *Recorder) error {
 // metrics registry as an AEDT binary stream — the binary twin of
 // WriteJSONL, carrying the same events.
 func WriteAEDT(w io.Writer, t *Tracer) error {
-	bw := aedt.NewWriter(w, aedt.StreamTrace)
-	AppendAEDT(bw, traceEvents(t))
+	events := traceEvents(t)
+	bw := aedt.NewWriter(w, streamKindFor(events))
+	AppendAEDT(bw, events)
 	return bw.Close()
 }
 
 // traceEvents materializes the WriteJSONL event sequence: finished
-// spans in end order, then counters, gauges, histograms sorted by name.
+// spans in end order, then counters, gauges, histograms sorted by
+// name, then the flight-recorder tail when a recorder is attached.
 func traceEvents(t *Tracer) []Event {
 	var out []Event
 	for _, sp := range t.Spans() {
@@ -97,7 +99,12 @@ func traceEvents(t *Tracer) []Event {
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]
 		out = append(out, Event{Type: "histogram", Name: name, Count: h.Count, Sum: h.Sum,
-			Bounds: h.Bounds, Counts: h.Counts})
+			Bounds: h.Bounds, Counts: h.Counts, Exemplars: h.Exemplars})
+	}
+	if rec := t.Recorder(); rec != nil {
+		for _, ev := range rec.Events() {
+			out = append(out, recorderToEvent(ev))
+		}
 	}
 	return out
 }
@@ -123,6 +130,9 @@ func appendRecorderEvents(w *aedt.Writer, events []RecorderEvent) {
 			Kind: aedt.KindEvent, Time: ev.Time.UnixMicro(), Seq: ev.Seq,
 			Name: ev.Kind, Label: ev.Label, A: ev.A, B: ev.B,
 		}
+		if ev.Req != "" {
+			rec.Kind, rec.Req = aedt.KindEventReq, ev.Req
+		}
 		w.Append(&rec)
 	}
 }
@@ -131,7 +141,8 @@ func appendRecorderEvents(w *aedt.Writer, events []RecorderEvent) {
 // reusing rec's slices. Returns false for event types AEDT does not
 // carry.
 func eventToRecord(ev Event, rec *aedt.Record) bool {
-	*rec = aedt.Record{Attrs: rec.Attrs[:0], Bounds: rec.Bounds[:0], Counts: rec.Counts[:0]}
+	*rec = aedt.Record{Attrs: rec.Attrs[:0], Bounds: rec.Bounds[:0], Counts: rec.Counts[:0],
+		Exemplars: rec.Exemplars[:0]}
 	switch ev.Type {
 	case "", "span":
 		rec.Kind = aedt.KindSpan
@@ -160,6 +171,10 @@ func eventToRecord(ev Event, rec *aedt.Record) bool {
 		rec.Sum = ev.Sum
 		rec.Bounds = append(rec.Bounds, ev.Bounds...)
 		rec.Counts = append(rec.Counts, ev.Counts...)
+		if len(ev.Exemplars) > 0 {
+			rec.Kind = aedt.KindHistogramEx
+			rec.Exemplars = append(rec.Exemplars, ev.Exemplars...)
+		}
 	case "recorder":
 		rec.Kind = aedt.KindEvent
 		rec.Time = ev.TimeUS
@@ -168,6 +183,9 @@ func eventToRecord(ev Event, rec *aedt.Record) bool {
 		rec.Label = ev.Label
 		rec.A = ev.A
 		rec.B = ev.B
+		if ev.Req != "" {
+			rec.Kind, rec.Req = aedt.KindEventReq, ev.Req
+		}
 	default:
 		return false
 	}
@@ -232,13 +250,17 @@ func recordToEvent(rec *aedt.Record) (Event, bool) {
 		return Event{Type: "counter", Name: rec.Name, Value: rec.Value}, true
 	case aedt.KindGauge:
 		return Event{Type: "gauge", Name: rec.Name, Value: rec.Value, Max: rec.Max}, true
-	case aedt.KindHistogram:
-		return Event{Type: "histogram", Name: rec.Name, Count: rec.Count, Sum: rec.Sum,
+	case aedt.KindHistogram, aedt.KindHistogramEx:
+		ev := Event{Type: "histogram", Name: rec.Name, Count: rec.Count, Sum: rec.Sum,
 			Bounds: append([]float64(nil), rec.Bounds...),
-			Counts: append([]int64(nil), rec.Counts...)}, true
-	case aedt.KindEvent:
+			Counts: append([]int64(nil), rec.Counts...)}
+		if len(rec.Exemplars) > 0 {
+			ev.Exemplars = append([]string(nil), rec.Exemplars...)
+		}
+		return ev, true
+	case aedt.KindEvent, aedt.KindEventReq:
 		return Event{Type: "recorder", Name: rec.Name, Seq: rec.Seq, TimeUS: rec.Time,
-			Label: rec.Label, A: rec.A, B: rec.B}, true
+			Label: rec.Label, Req: rec.Req, A: rec.A, B: rec.B}, true
 	}
 	return Event{}, false
 }

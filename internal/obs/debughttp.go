@@ -72,6 +72,10 @@ type HistogramJSON struct {
 	P99    float64   `json:"p99"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
+	// Exemplars, parallel to Counts, maps each bucket to the last
+	// request ID observed into it (see Histogram.ObserveExemplar);
+	// omitted for histograms never fed an exemplar.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // MetricsJSON is the /metrics response body.
@@ -98,7 +102,7 @@ func metricsPayload(t *Tracer) MetricsJSON {
 		out.Histograms[name] = HistogramJSON{
 			Count: h.Count, Sum: h.Sum, Mean: h.Mean(),
 			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
-			Bounds: h.Bounds, Counts: h.Counts,
+			Bounds: h.Bounds, Counts: h.Counts, Exemplars: h.Exemplars,
 		}
 	}
 	return out

@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,12 +61,24 @@ func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return t.newSpan(name, 0)
+	return t.newSpan(name, 0, nil)
+}
+
+// StartCtx opens a root span carrying the request identity attached to
+// ctx by WithRequest, if any: the span — and every Child span under it
+// — materializes request_id/tenant/session attributes when recorded.
+// The nil-tracer check runs before ctx is touched, so the disabled path
+// stays allocation-free.
+func (t *Tracer) StartCtx(ctx context.Context, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(name, 0, requestPtr(ctx))
 }
 
 // newSpan allocates a span and registers it as in-flight.
-func (t *Tracer) newSpan(name string, parent uint64) *Span {
-	s := &Span{t: t, id: t.nextID.Add(1), parent: parent, name: name, start: time.Now()}
+func (t *Tracer) newSpan(name string, parent uint64, req *RequestInfo) *Span {
+	s := &Span{t: t, id: t.nextID.Add(1), parent: parent, name: name, start: time.Now(), req: req}
 	t.mu.Lock()
 	if t.open == nil { // tolerate a zero-value Tracer
 		t.open = make(map[uint64]*Span)
@@ -148,6 +161,13 @@ type Span struct {
 	name   string
 	start  time.Time
 
+	// req, when non-nil, is the request identity inherited from
+	// StartCtx (shared by pointer down the Child chain; immutable after
+	// creation, so reads need no lock). It surfaces as the
+	// request_id/tenant/session attributes of every record taken from
+	// this span.
+	req *RequestInfo
+
 	// mu guards attrs and ended: the owning goroutine appends
 	// attributes, while live-tree readers snapshot them concurrently.
 	mu    sync.Mutex
@@ -169,12 +189,12 @@ const (
 	attrDur
 )
 
-// Child opens a sub-span of s.
+// Child opens a sub-span of s, inheriting s's request identity.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.t.newSpan(name, s.id)
+	return s.t.newSpan(name, s.id, s.req)
 }
 
 // setAttr appends one attribute unless the span has already ended
@@ -225,13 +245,30 @@ func (s *Span) SetDur(key string, v time.Duration) {
 	s.setAttr(attr{key: key, kind: attrDur, num: int64(v)})
 }
 
-// attrMap materializes the attribute slice as the exported map form.
-// Caller must hold s.mu (or own the span exclusively).
-func attrMap(attrs []attr) map[string]any {
-	if len(attrs) == 0 {
+// attrMap materializes the attribute slice, plus the request identity
+// when present, as the exported map form. Request attributes are added
+// first so an explicit setter call with the same key wins. Caller must
+// hold s.mu (or own the span exclusively).
+func attrMap(attrs []attr, req *RequestInfo) map[string]any {
+	n := len(attrs)
+	if req != nil {
+		n += 3
+	}
+	if n == 0 {
 		return nil
 	}
-	m := make(map[string]any, len(attrs))
+	m := make(map[string]any, n)
+	if req != nil {
+		if req.ID != "" {
+			m["request_id"] = req.ID
+		}
+		if req.Tenant != "" {
+			m["tenant"] = req.Tenant
+		}
+		if req.Session != "" {
+			m["session"] = req.Session
+		}
+	}
 	for _, a := range attrs {
 		switch a.kind {
 		case attrInt:
@@ -243,6 +280,9 @@ func attrMap(attrs []attr) map[string]any {
 		case attrDur:
 			m[a.key] = time.Duration(a.num).Microseconds()
 		}
+	}
+	if len(m) == 0 {
+		return nil
 	}
 	return m
 }
@@ -257,7 +297,7 @@ func (s *Span) snapshot(now time.Time) SpanRecord {
 		Name:     s.name,
 		Start:    s.start,
 		Duration: now.Sub(s.start),
-		Attrs:    attrMap(s.attrs),
+		Attrs:    attrMap(s.attrs, s.req),
 		Open:     !s.ended,
 	}
 	s.mu.Unlock()
@@ -284,7 +324,7 @@ func (s *Span) End() {
 		Name:     s.name,
 		Start:    s.start,
 		Duration: time.Since(s.start),
-		Attrs:    attrMap(s.attrs),
+		Attrs:    attrMap(s.attrs, s.req),
 	}
 	s.mu.Unlock()
 	s.t.mu.Lock()

@@ -102,7 +102,8 @@ type Recorder struct {
 	as     []int64
 	bs     []int64
 	labels []string
-	seq    uint64 // total events ever recorded; next write goes to seq % cap
+	reqs   []string // request IDs (see RecordRequest); "" = unattributed
+	seq    uint64   // total events ever recorded; next write goes to seq % cap
 	epoch  time.Time
 
 	// dropped, when non-nil, is a registry counter bumped every time an
@@ -128,6 +129,7 @@ func NewRecorder(capacity int) *Recorder {
 		as:     make([]int64, capacity),
 		bs:     make([]int64, capacity),
 		labels: make([]string, capacity),
+		reqs:   make([]string, capacity),
 		epoch:  time.Now(),
 	}
 }
@@ -141,6 +143,14 @@ func (r *Recorder) Record(kind EventKind, a, b int64) {
 // prefix). The label string itself is stored by reference; passing an
 // already-materialized string keeps the append path allocation-free.
 func (r *Recorder) RecordLabeled(kind EventKind, label string, a, b int64) {
+	r.RecordRequest(kind, label, "", a, b)
+}
+
+// RecordRequest appends a labeled event attributed to a request ID
+// (the value WithRequest carries; "" records unattributed, identical to
+// RecordLabeled). Like the label, the ID is stored by reference, so the
+// append path stays allocation-free.
+func (r *Recorder) RecordRequest(kind EventKind, label, req string, a, b int64) {
 	if r == nil {
 		return
 	}
@@ -155,6 +165,7 @@ func (r *Recorder) RecordLabeled(kind EventKind, label string, a, b int64) {
 	r.as[i] = a
 	r.bs[i] = b
 	r.labels[i] = label
+	r.reqs[i] = req
 	r.seq++
 	r.mu.Unlock()
 }
@@ -171,6 +182,9 @@ type RecorderEvent struct {
 	Kind string `json:"kind"`
 	// Label is the optional event label (destination prefix etc.).
 	Label string `json:"label,omitempty"`
+	// Req is the request ID the event is attributed to (RecordRequest);
+	// empty for unattributed events.
+	Req string `json:"req,omitempty"`
 	// A and B are the kind-specific payloads.
 	A int64 `json:"a"`
 	B int64 `json:"b"`
@@ -224,6 +238,7 @@ func (r *Recorder) EventsSinceAppend(min uint64, dst []RecorderEvent) ([]Recorde
 			Time:  r.epoch.Add(time.Duration(r.times[i])),
 			Kind:  r.kinds[i].String(),
 			Label: r.labels[i],
+			Req:   r.reqs[i],
 			A:     r.as[i],
 			B:     r.bs[i],
 		})

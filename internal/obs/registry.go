@@ -146,12 +146,21 @@ type Histogram struct {
 	counts  []atomic.Int64 // len(bounds)+1, last = overflow
 	total   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum
+
+	// exemplars retains, per bucket, the last request ID observed into
+	// it via ObserveExemplar — the link from a latency bucket back to a
+	// replayable request. Plain Observe never touches it.
+	exemplars []atomic.Pointer[string]
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[string], len(bs)+1),
+	}
 }
 
 // Observe records one sample.
@@ -169,6 +178,26 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and retains id as the exemplar of
+// the bucket the sample lands in (the last writer wins; an empty id
+// records the sample without touching the exemplar). Exemplars link an
+// aggregate — "something landed in the 250–500ms bucket" — back to one
+// concrete request ID that can be pulled up with aedtrace -request.
+func (h *Histogram) ObserveExemplar(v float64, id string) {
+	if h == nil {
+		return
+	}
+	if id != "" {
+		// Copy into a branch-local before taking its address: &id would
+		// make the parameter escape at function entry, costing the nil
+		// and no-exemplar paths a heap allocation they must not pay.
+		e := id
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&e)
+	}
+	h.Observe(v)
 }
 
 // Count returns the number of observations.
@@ -201,6 +230,21 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	var any bool
+	for i := range h.exemplars {
+		if h.exemplars[i].Load() != nil {
+			any = true
+			break
+		}
+	}
+	if any {
+		s.Exemplars = make([]string, len(h.exemplars))
+		for i := range h.exemplars {
+			if p := h.exemplars[i].Load(); p != nil {
+				s.Exemplars[i] = *p
+			}
+		}
+	}
 	return s
 }
 
@@ -212,6 +256,10 @@ type HistogramSnapshot struct {
 	Counts []int64
 	Count  int64
 	Sum    float64
+	// Exemplars, parallel to Counts, holds each bucket's last observed
+	// request ID ("" for buckets without one). Nil when the histogram
+	// has never been fed through ObserveExemplar.
+	Exemplars []string
 }
 
 // Mean returns the average observed value (0 when empty).

@@ -37,6 +37,10 @@ type Event struct {
 	Sum    float64   `json:"sum,omitempty"`
 	Bounds []float64 `json:"bounds,omitempty"`
 	Counts []int64   `json:"counts,omitempty"`
+	// Exemplars, for histogram events, holds each bucket's last
+	// observed request ID, parallel to Counts (see
+	// Histogram.ObserveExemplar). Omitted when no bucket has one.
+	Exemplars []string `json:"exemplars,omitempty"`
 
 	// Flight-recorder fields (Type == "recorder"; Name holds the event
 	// kind). TimeUS is absolute wall-clock µs since the Unix epoch —
@@ -44,8 +48,11 @@ type Event struct {
 	Seq    uint64 `json:"seq,omitempty"`
 	TimeUS int64  `json:"time_us,omitempty"`
 	Label  string `json:"label,omitempty"`
-	A      int64  `json:"a,omitempty"`
-	B      int64  `json:"b,omitempty"`
+	// Req attributes a recorder event to a request ID (see
+	// Recorder.RecordRequest); empty for unattributed events.
+	Req string `json:"req,omitempty"`
+	A   int64  `json:"a,omitempty"`
+	B   int64  `json:"b,omitempty"`
 }
 
 // recorderToEvent converts one drained flight-recorder event to its
@@ -53,8 +60,16 @@ type Event struct {
 func recorderToEvent(ev RecorderEvent) Event {
 	return Event{
 		Type: "recorder", Name: ev.Kind, Seq: ev.Seq,
-		TimeUS: ev.Time.UnixMicro(), Label: ev.Label, A: ev.A, B: ev.B,
+		TimeUS: ev.Time.UnixMicro(), Label: ev.Label, Req: ev.Req, A: ev.A, B: ev.B,
 	}
+}
+
+// SpanEvent converts one span record to its exported Event form, with
+// the start offset relative to the tracer's epoch — the conversion used
+// for live span views outside this package (the service's /requests
+// route renders each in-flight request's open span subtree with it).
+func (t *Tracer) SpanEvent(sp SpanRecord) Event {
+	return spanEvent(sp, t.Epoch())
 }
 
 // spanEvent converts a span record to its exported event form, with
@@ -72,8 +87,9 @@ func spanEvent(sp SpanRecord, epoch time.Time) Event {
 	}
 }
 
-// WriteJSONL exports the tracer's finished spans followed by its
-// metrics registry as JSON-Lines events.
+// WriteJSONL exports the tracer's finished spans, its metrics
+// registry, and — when a flight recorder is attached — the recorder
+// tail, as JSON-Lines events.
 func WriteJSONL(w io.Writer, t *Tracer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -97,9 +113,16 @@ func WriteJSONL(w io.Writer, t *Tracer) error {
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]
 		ev := Event{Type: "histogram", Name: name, Count: h.Count, Sum: h.Sum,
-			Bounds: h.Bounds, Counts: h.Counts}
+			Bounds: h.Bounds, Counts: h.Counts, Exemplars: h.Exemplars}
 		if err := enc.Encode(ev); err != nil {
 			return err
+		}
+	}
+	if rec := t.Recorder(); rec != nil {
+		for _, ev := range rec.Events() {
+			if err := enc.Encode(recorderToEvent(ev)); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -81,12 +82,19 @@ func (w *Watchdog) Disarm() {
 // outlives After, an incident fires once, on a timer goroutine; the
 // returned stop function then records the total duration into the
 // solve.slow_ms histogram. stop is idempotent.
-func (w *Watchdog) Watch(name string) (stop func()) {
+//
+// ctx is the solve's context: a request identity attached to it via
+// WithRequest is stamped onto the incident record, its span, and its
+// recorder event, so an incident fired inside aedd names the request,
+// tenant, and session that caused it. The nil-watchdog check runs
+// before ctx is touched, so the disabled path stays allocation-free.
+func (w *Watchdog) Watch(ctx context.Context, name string) (stop func()) {
 	if w == nil || w.After <= 0 {
 		return func() {}
 	}
+	ri := requestPtr(ctx)
 	start := time.Now()
-	timer := time.AfterFunc(w.After, func() { w.incident(name, start) })
+	timer := time.AfterFunc(w.After, func() { w.incident(name, start, ri) })
 	var once sync.Once
 	return func() {
 		once.Do(func() {
@@ -110,6 +118,12 @@ type Incident struct {
 	At          time.Time `json:"at"`
 	RunningMS   int64     `json:"running_ms"`
 	ThresholdMS int64     `json:"threshold_ms"`
+	// RequestID, Tenant, and Session attribute the incident to the
+	// service request whose solve outlived the deadline (empty for
+	// solves armed without a request context — CLI runs, tests).
+	RequestID string `json:"request_id,omitempty"`
+	Tenant    string `json:"tenant,omitempty"`
+	Session   string `json:"session,omitempty"`
 	// OpenSpans is the live span tree at incident time (Open spans
 	// report elapsed-so-far durations).
 	OpenSpans []Event `json:"open_spans,omitempty"`
@@ -124,7 +138,7 @@ type Incident struct {
 
 // incident snapshots the tracer and emits the record. Runs on the
 // timer goroutine while the watched solve is still going.
-func (w *Watchdog) incident(name string, start time.Time) {
+func (w *Watchdog) incident(name string, start time.Time, ri *RequestInfo) {
 	if w.disarmed.Load() {
 		return
 	}
@@ -134,19 +148,31 @@ func (w *Watchdog) incident(name string, start time.Time) {
 
 	// Taxonomy entry: incidents appear in the trace itself, so offline
 	// analysis (aedtrace) sees them inline with the phases they hit.
-	sp := tr.Start("incident")
+	// The span allocation path can't take a ctx here, so the request
+	// identity is wired in via newSpan directly.
+	var sp *Span
+	if tr != nil {
+		sp = tr.newSpan("incident", 0, ri)
+	}
 	sp.SetStr("solve", name)
 	sp.SetDur("threshold", w.After)
 	sp.SetDur("running", now.Sub(start))
 	sp.End()
 	tr.Metrics().Counter("watchdog.incidents").Add(1)
-	tr.Recorder().RecordLabeled(EvIncident, name, w.After.Milliseconds(), 0)
+	var reqID string
+	if ri != nil {
+		reqID = ri.ID
+	}
+	tr.Recorder().RecordRequest(EvIncident, name, reqID, w.After.Milliseconds(), 0)
 
 	inc := Incident{
 		Solve:       name,
 		At:          now,
 		RunningMS:   now.Sub(start).Milliseconds(),
 		ThresholdMS: w.After.Milliseconds(),
+	}
+	if ri != nil {
+		inc.RequestID, inc.Tenant, inc.Session = ri.ID, ri.Tenant, ri.Session
 	}
 	for _, s := range tr.OpenSpans() {
 		inc.OpenSpans = append(inc.OpenSpans, spanEvent(s, tr.Epoch()))

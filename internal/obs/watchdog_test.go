@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"sync"
@@ -51,9 +52,12 @@ func TestWatchdogFiresIncidentWithoutAborting(t *testing.T) {
 	w.Incidents = &incidents
 	w.Dump = &dump
 
+	ctx := WithRequest(context.Background(), RequestInfo{
+		ID: "req-wd-1", Tenant: "acme", Session: "s1",
+	})
 	sp := tr.Start("solve")
 	sp.SetStr("dest", "10.7.0.0/24")
-	stop := w.Watch("10.7.0.0/24")
+	stop := w.Watch(ctx, "10.7.0.0/24")
 
 	waitFor(t, "incident JSONL", func() bool {
 		return strings.Contains(incidents.String(), "\n")
@@ -75,6 +79,10 @@ func TestWatchdogFiresIncidentWithoutAborting(t *testing.T) {
 	}
 	if inc.ThresholdMS != 5 || inc.RunningMS < inc.ThresholdMS {
 		t.Errorf("incident timing = running %dms threshold %dms", inc.RunningMS, inc.ThresholdMS)
+	}
+	if inc.RequestID != "req-wd-1" || inc.Tenant != "acme" || inc.Session != "s1" {
+		t.Errorf("incident attribution = %q/%q/%q, want req-wd-1/acme/s1",
+			inc.RequestID, inc.Tenant, inc.Session)
 	}
 	var foundOpen bool
 	for _, ev := range inc.OpenSpans {
@@ -132,7 +140,7 @@ func TestWatchdogQuietOnFastSolve(t *testing.T) {
 	w := NewWatchdog(time.Hour, tr)
 	w.Incidents = &incidents
 
-	stop := w.Watch("fast")
+	stop := w.Watch(context.Background(), "fast")
 	stop()
 	stop() // idempotent
 
@@ -152,7 +160,7 @@ func TestWatchdogNilAndDisabled(t *testing.T) {
 		t.Error("threshold 0 must yield the nil no-op watchdog")
 	}
 	var w *Watchdog
-	stop := w.Watch("anything")
+	stop := w.Watch(context.Background(), "anything")
 	stop()
 	if w.Count() != 0 {
 		t.Error("nil watchdog count must be 0")
@@ -166,7 +174,7 @@ func TestWatchdogDisarm(t *testing.T) {
 	w := NewWatchdog(time.Millisecond, tr)
 	w.Incidents = &incidents
 	w.Disarm()
-	stop := w.Watch("late")
+	stop := w.Watch(context.Background(), "late")
 	time.Sleep(20 * time.Millisecond)
 	stop()
 	if w.Count() != 0 || incidents.String() != "" {

@@ -27,6 +27,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -78,6 +79,11 @@ type Config struct {
 	// MaxTenantLabels caps the distinct per-tenant metric families;
 	// extra tenants are folded into the "other" label. 0 = 64.
 	MaxTenantLabels int
+	// AccessLog, when non-nil, receives one JSON line per request (see
+	// accessEntry): identity, verdict, queue wait, solve time, cache
+	// tiers hit, and the portfolio winner. Writes are serialized; nil
+	// (the default) disables the log.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +134,14 @@ type Server struct {
 	sessions map[string]*session // key: tenant + "/" + name
 	tenants  map[string]*tenantState
 	labels   map[string]string // tenant -> metric label (capped)
+
+	// In-flight request table behind GET /v1/requests (requests.go).
+	ifmu     sync.Mutex
+	inflight map[string]*inflight
+
+	// Access log (requests.go); alMu serializes lines.
+	alMu      sync.Mutex
+	accessLog io.Writer
 }
 
 // job is one admitted request travelling from handler to worker.
@@ -138,6 +152,9 @@ type job struct {
 	ctx      jobContext
 	enqueued time.Time
 	done     chan jobResult
+	// fl is the request's in-flight table entry; the worker flips its
+	// state to "solving". Nil for jobs built outside handleSolve.
+	fl *inflight
 }
 
 // jobContext bundles the request context with its cancel so the worker
@@ -150,6 +167,11 @@ type jobContext struct {
 type jobResult struct {
 	resp *api.Response
 	err  error
+	// queueWait is how long the job sat admitted before a worker picked
+	// it up; solve is the worker's wall time on it. Both feed the access
+	// log (and aedbench's service experiment) as separate series.
+	queueWait time.Duration
+	solve     time.Duration
 }
 
 // session is one live incremental engine plus the bookkeeping that
@@ -173,12 +195,14 @@ type tenantState struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		tr:       cfg.Tracer,
-		queue:    make(chan *job, cfg.QueueDepth),
-		sessions: make(map[string]*session),
-		tenants:  make(map[string]*tenantState),
-		labels:   make(map[string]string),
+		cfg:       cfg,
+		tr:        cfg.Tracer,
+		queue:     make(chan *job, cfg.QueueDepth),
+		sessions:  make(map[string]*session),
+		tenants:   make(map[string]*tenantState),
+		labels:    make(map[string]string),
+		inflight:  make(map[string]*inflight),
+		accessLog: cfg.AccessLog,
 	}
 	m := s.tr.Metrics()
 	m.Gauge("aedd.workers").Set(int64(cfg.Workers))
@@ -286,12 +310,15 @@ func (s *Server) worker() {
 	m := s.tr.Metrics()
 	for j := range s.queue {
 		m.Gauge("aedd.queue.depth").Set(int64(len(s.queue)))
+		wait := time.Since(j.enqueued)
 		m.Histogram("aedd.queue_wait_ms", obs.LatencyBuckets).
-			Observe(float64(time.Since(j.enqueued).Microseconds()) / 1000)
+			ObserveExemplar(float64(wait.Microseconds())/1000, j.req.RequestID)
+		j.fl.setState("solving")
+		solveStart := time.Now()
 		resp, err := s.execute(j)
 		j.ctx.cancel()
 		m.Counter("aedd.completed").Add(1)
-		j.done <- jobResult{resp: resp, err: err}
+		j.done <- jobResult{resp: resp, err: err, queueWait: wait, solve: time.Since(solveStart)}
 	}
 }
 
@@ -326,7 +353,7 @@ func (s *Server) execute(j *job) (*api.Response, error) {
 	}
 	ms := float64(time.Since(start).Microseconds()) / 1000
 	m := s.tr.Metrics()
-	m.Histogram("aedd.solve_ms", obs.LatencyBuckets).Observe(ms)
+	m.Histogram("aedd.solve_ms", obs.LatencyBuckets).ObserveExemplar(ms, j.req.RequestID)
 	m.Histogram("aedd.tenant."+label+".solve_ms", obs.LatencyBuckets).Observe(ms)
 	if err != nil {
 		return nil, err
@@ -415,6 +442,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	POST   /v1/solve            submit a synthesis request
 //	GET    /v1/sessions         list live sessions
 //	DELETE /v1/sessions/{name}  drop a session (?tenant= scopes it)
+//	GET    /v1/requests         in-flight requests with open span trees
 //	GET    /healthz             liveness + admission state
 //	GET    /metrics|/spans|/recorder|/debug/pprof/   obs debug surface
 func (s *Server) Handler() http.Handler {
@@ -423,6 +451,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(api.PathSolve, s.handleSolve)
 	mux.HandleFunc(api.PathSessions, s.handleSessions)
 	mux.HandleFunc(api.PathSessions+"/", s.handleSession)
+	mux.HandleFunc(api.PathRequests, s.handleRequests)
 	mux.HandleFunc(api.PathHealthz, s.handleHealthz)
 	return mux
 }
@@ -442,10 +471,27 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	tenant := req.Tenant
+	// Resolve the request identity: header over body over
+	// server-generated for the ID, header over body over "default" for
+	// the tenant. The resolved ID is echoed on the response so the
+	// caller always learns what to hand to aedtrace -request.
+	reqID := r.Header.Get(api.HeaderRequestID)
+	if reqID == "" {
+		reqID = req.RequestID
+	}
+	if reqID == "" {
+		reqID = api.NewRequestID()
+	}
+	req.RequestID = reqID
+	tenant := r.Header.Get(api.HeaderTenant)
+	if tenant == "" {
+		tenant = req.Tenant
+	}
 	if tenant == "" {
 		tenant = "default"
 	}
+	req.Tenant = tenant
+	w.Header().Set(api.HeaderRequestID, reqID)
 	// The deadline starts at admission and includes queue wait: a
 	// request that waited its budget out fails fast instead of
 	// occupying a worker.
@@ -457,26 +503,43 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		timeout = s.cfg.MaxTimeout
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	// Everything the solve does below this point — spans, recorder
+	// events, watchdog incidents — is attributed to this request.
+	ctx = obs.WithRequest(ctx, obs.RequestInfo{
+		ID: reqID, Tenant: tenant, Session: req.Session,
+	})
 	if prob.Opts.Workers == 0 {
 		prob.Opts.Workers = s.cfg.SolveWorkers
 	}
 	if prob.Opts.Portfolio == 0 {
 		prob.Opts.Portfolio = s.cfg.Portfolio
 	}
+	enqueued := time.Now()
+	fl, untrack := s.trackRequest(reqID, tenant, req.Session, enqueued)
+	defer untrack()
 	j := &job{
 		req: &req, prob: prob, tenant: tenant,
 		ctx:      jobContext{ctx: ctx, cancel: cancel},
-		enqueued: time.Now(),
+		enqueued: enqueued,
 		done:     make(chan jobResult, 1),
+		fl:       fl,
 	}
+	entry := accessEntry{RequestID: reqID, Tenant: tenant, Session: req.Session}
 	if err := s.admit(j); err != nil {
 		cancel()
+		entry.Verdict = accessVerdict(err)
+		s.logAccess(entry)
 		writeError(w, err)
 		return
 	}
 	// The worker always sends exactly one result, even for canceled
 	// contexts, so this wait is bounded by the job deadline.
 	out := <-j.done
+	entry.Verdict = accessVerdict(out.err)
+	entry.QueueWaitMS = float64(out.queueWait.Microseconds()) / 1000
+	entry.SolveMS = float64(out.solve.Microseconds()) / 1000
+	accessCounts(&entry, out.resp)
+	s.logAccess(entry)
 	if out.err != nil {
 		writeError(w, out.err)
 		return

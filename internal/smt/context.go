@@ -86,6 +86,11 @@ type Context struct {
 	// model/core is adopted so the MaxSAT searches above are none the
 	// wiser. See SetPortfolio.
 	portfolio sat.PortfolioOptions
+
+	// portfolioWinner latches the winning configuration index of the
+	// most recent portfolio race (-1, set by NewContext, until a race
+	// has a winner); see PortfolioWinner.
+	portfolioWinner int
 }
 
 type softConstraint struct {
@@ -113,6 +118,8 @@ func NewContext() *Context {
 		hashMemo:     make(map[*Formula]uint64),
 		internTab:    make(map[uint64][]internEntry),
 		totalN:       -1,
+
+		portfolioWinner: -1,
 	}
 }
 
@@ -343,6 +350,12 @@ func (c *Context) SetSolverConfig(cfg sat.Config) { c.solver.SetConfig(cfg) }
 // solveTimed (0 or 1 both mean the plain single-solver path).
 func (c *Context) PortfolioWorkers() int { return c.portfolio.Workers }
 
+// PortfolioWinner reports the winning configuration index of the most
+// recent portfolio race run on this context, or -1 when no race has
+// produced a winner — the provenance bit the service access log reports
+// per instance.
+func (c *Context) PortfolioWinner() int { return c.portfolioWinner }
+
 // solveTimed is the instrumented path for every SAT Solve call made by
 // the MaxSAT searches and satisfiability checks: it injects the
 // retractable-assertion selector assumptions, records per-call latency
@@ -354,19 +367,36 @@ func (c *Context) solveTimed(assumptions ...sat.Lit) sat.Status {
 	var st sat.Status
 	if c.reg == nil {
 		if c.portfolio.Workers > 1 {
-			st, _ = c.solver.SolvePortfolio(c.portfolio, assumptions...)
+			var ps sat.PortfolioStats
+			st, ps = c.solver.SolvePortfolio(c.portfolio, assumptions...)
+			if ps.Winner >= 0 {
+				c.portfolioWinner = ps.Winner
+			}
 		} else {
 			st = c.solver.Solve(assumptions...)
 		}
 	} else {
 		start := time.Now()
+		// One span per SAT call, parented under the instance's
+		// destination span: the sat-layer leaf of the request trace, so
+		// aedtrace -request resolves a slow request down to the
+		// individual CDCL searches (and their portfolio races) it paid
+		// for.
+		ssp := c.span.Child("sat.solve")
 		if c.portfolio.Workers > 1 {
 			var ps sat.PortfolioStats
 			st, ps = c.solver.SolvePortfolio(c.portfolio, assumptions...)
 			c.notePortfolio(ps)
+			ssp.SetInt("portfolio", int64(c.portfolio.Workers))
+			if ps.Winner >= 0 {
+				ssp.SetInt("winner", int64(ps.Winner))
+			}
 		} else {
 			st = c.solver.Solve(assumptions...)
 		}
+		ssp.SetStr("status", st.String())
+		ssp.SetInt("assumptions", int64(len(assumptions)))
+		ssp.End()
 		c.reg.Counter("solver.calls").Add(1)
 		c.reg.Histogram("solver.solve_ms", obs.LatencyBuckets).
 			Observe(float64(time.Since(start).Microseconds()) / 1000)
@@ -386,6 +416,7 @@ func (c *Context) solveTimed(assumptions ...sat.Lit) sat.Status {
 func (c *Context) notePortfolio(ps sat.PortfolioStats) {
 	c.reg.Counter("portfolio.races").Add(1)
 	if ps.Winner >= 0 {
+		c.portfolioWinner = ps.Winner
 		c.reg.Counter(fmt.Sprintf("portfolio.winner.cfg%d", ps.Winner)).Add(1)
 		c.reg.Histogram("portfolio.cancel_latency_ms", obs.LatencyBuckets).
 			Observe(float64(ps.CancelLatency.Microseconds()) / 1000)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/aed-net/aed/internal/api"
 	"github.com/aed-net/aed/internal/core"
+	"github.com/aed-net/aed/internal/obs"
 )
 
 // Request is one complete synthesis problem as a single serializable
@@ -23,6 +24,20 @@ type Request = api.Request
 // SolveOptions is the serializable subset of Options a Request
 // carries (see api.SolveOptions for the field docs).
 type SolveOptions = api.SolveOptions
+
+// Request-identity wire headers (see docs/SERVICE.md). The client
+// package sends both on every call; aedd echoes HeaderRequestID on the
+// response.
+const (
+	HeaderRequestID = api.HeaderRequestID
+	HeaderTenant    = api.HeaderTenant
+)
+
+// NewRequestID returns a fresh request ID (16 hex characters) suitable
+// for Request.RequestID. Callers that want to correlate a solve with
+// server-side telemetry before sending can mint the ID themselves; the
+// client package generates one automatically otherwise.
+func NewRequestID() string { return api.NewRequestID() }
 
 // Response is the serializable synthesis outcome: updated configs,
 // edits, diff counts, per-instance stats, and solver totals.
@@ -63,10 +78,20 @@ var (
 //
 // Request.Tenant and Request.Session are service concepts and are
 // ignored here; use NewSession for in-process incremental solving.
+//
+// When req.RequestID is set, the solve runs under that request
+// identity: every span, flight-recorder event, and watchdog incident of
+// the run carries it, so `aedtrace -request` can isolate this call in a
+// trace — same contract as the service path.
 func Do(ctx context.Context, req Request) (*Response, error) {
 	prob, err := req.Materialize()
 	if err != nil {
 		return nil, err
+	}
+	if req.RequestID != "" {
+		ctx = obs.WithRequest(ctx, obs.RequestInfo{
+			ID: req.RequestID, Tenant: req.Tenant, Session: req.Session,
+		})
 	}
 	if prob.Timeout > 0 {
 		var cancel context.CancelFunc
